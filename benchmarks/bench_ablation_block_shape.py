@@ -1,0 +1,68 @@
+"""Ablation: square vs rectangular chunks in Homogeneous Blocks (§4.1.1).
+
+The paper chooses square ``D × D`` chunks "in order to minimize the
+communication costs: for a given computation size (D²), the square is
+the shape that minimizes the data size (2D)".  This bench makes the
+claim executable: among ``a × b`` chunks of fixed area, data per chunk
+``a + b`` is minimised at ``a = b``, and the end-to-end Comm_hom volume
+degrades with the chunk aspect ratio exactly as predicted.
+
+Also covers the 2.5D comparison (§4.2's exception): replicated-memory
+schemes shave a √c factor that no 2D layout can reach.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matmul.two_five_d import two_five_d_volume, volume_vs_replication
+from repro.util.tables import format_table
+
+
+def test_square_chunks_minimise_input(benchmark):
+    def run():
+        area = 64.0
+        rows = []
+        for aspect in (1.0, 2.0, 4.0, 16.0):
+            a = np.sqrt(area * aspect)
+            b = area / a
+            rows.append([aspect, a, b, a + b])
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(
+        format_table(
+            ["aspect ratio", "a", "b", "input per chunk (a+b)"],
+            rows,
+            title="Ablation: chunk shape at fixed area 64 (§4.1.1's choice):",
+        )
+    )
+    inputs = [r[3] for r in rows]
+    assert inputs == sorted(inputs)  # monotone in aspect ratio
+    assert inputs[0] == pytest.approx(16.0)  # 2*sqrt(area): the square
+
+
+def test_two_five_d_replication_curve(benchmark):
+    """The §4.2 'notable exception': volume falls as 1/√c with memory
+    rising as c — outside the 2D no-free-lunch trade-off."""
+    N, p = 1000, 64
+    vols = benchmark.pedantic(
+        volume_vs_replication, args=(N, p), iterations=1, rounds=1
+    )
+    print()
+    print(
+        format_table(
+            ["c", "total volume", "per-proc volume", "per-proc memory"],
+            [
+                [v.c, v.total_volume, v.per_processor, v.memory_per_processor]
+                for v in vols
+            ],
+            title=f"2.5D replication sweep (N={N}, p={p}):",
+        )
+    )
+    assert vols[0].total_volume == pytest.approx(
+        two_five_d_volume(N, p, 1).total_volume
+    )
+    assert vols[-1].total_volume == pytest.approx(
+        vols[0].total_volume / np.sqrt(vols[-1].c)
+    )

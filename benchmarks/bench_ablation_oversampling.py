@@ -1,0 +1,80 @@
+"""Ablation: the oversampling ratio ``s`` in sample sort (§3.1).
+
+The paper picks ``s = log²N`` so that Step 1 (`sp log sp`) stays cheap
+while Theorem B.4 keeps the largest bucket near ``N/p``.  This bench
+sweeps ``s`` across the trade-off: tiny ``s`` → bad balance; huge ``s``
+→ Step-1 cost erodes the speedup.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.almost_linear import recommended_oversampling
+from repro.platform.star import StarPlatform
+from repro.sorting.sample_sort import sample_sort
+from repro.util.tables import format_table
+
+
+def test_oversampling_tradeoff(benchmark):
+    N, p = 200_000, 16
+    keys = np.random.default_rng(0).random(N)
+    plat = StarPlatform.homogeneous(p)
+    s_paper = recommended_oversampling(N)
+
+    def run():
+        rows = []
+        for s in (1, 4, 16, s_paper, 16 * s_paper):
+            res = sample_sort(keys, plat, s=s, rng=1)
+            rows.append(
+                [
+                    s,
+                    res.max_bucket / (N / p),
+                    res.step1_time,
+                    res.makespan,
+                    res.speedup(),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(
+        format_table(
+            ["s", "MaxSize/(N/p)", "step1 cost", "makespan", "speedup"],
+            rows,
+            title=(
+                f"Ablation: oversampling ratio (N={N}, p={p}; "
+                f"paper's s = log^2 N = {s_paper}):"
+            ),
+        )
+    )
+    by_s = {r[0]: r for r in rows}
+    # tiny s: noticeably imbalanced buckets
+    assert by_s[1][1] > by_s[s_paper][1]
+    # the paper's s keeps the max bucket within ~20% of N/p here
+    assert by_s[s_paper][1] < 1.20
+    # over-oversampling inflates step-1 cost
+    assert by_s[16 * s_paper][2] > by_s[s_paper][2]
+    # and the paper's choice is at least as fast end-to-end as 16x more
+    assert by_s[s_paper][3] <= by_s[16 * s_paper][3] * 1.05
+
+
+def test_heterogeneous_splitters_ablation(benchmark):
+    """§3.2 splitters on vs off, same platform: the speed-aware variant
+    wins on makespan."""
+    keys = np.random.default_rng(2).random(300_000)
+    plat = StarPlatform.from_speeds([1.0, 1.0, 4.0, 10.0])
+
+    def run():
+        aware = sample_sort(keys, plat, rng=3, heterogeneous=True)
+        naive = sample_sort(keys, plat, rng=3, heterogeneous=False)
+        return aware, naive
+
+    aware, naive = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(
+        f"\nspeed-aware makespan={aware.makespan:,.0f} vs "
+        f"equal-buckets makespan={naive.makespan:,.0f} "
+        f"({naive.makespan / aware.makespan:.2f}x slower)"
+    )
+    assert aware.makespan < naive.makespan
+    assert np.array_equal(aware.sorted_keys, naive.sorted_keys)

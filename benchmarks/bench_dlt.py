@@ -1,0 +1,56 @@
+"""Benchmarks for the DLT substrate itself (supporting machinery).
+
+Not a paper figure, but the harness that every experiment leans on:
+closed-form solvers, the event-driven replay and the demand-driven
+scheduler (both the heap and the closed-form fast path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dlt.single_round import solve_linear_one_port, solve_linear_parallel
+from repro.platform.star import StarPlatform
+from repro.simulate.demand_driven import (
+    identical_task_schedule,
+    run_demand_driven,
+    uniform_tasks,
+)
+from repro.simulate.master_worker import simulate_allocation
+
+
+@pytest.fixture(scope="module")
+def big_platform():
+    rng = np.random.default_rng(0)
+    return StarPlatform.from_speeds(
+        rng.uniform(1, 100, 256), rng.uniform(1, 10, 256)
+    )
+
+
+def test_linear_parallel_solver(benchmark, big_platform):
+    alloc = benchmark(solve_linear_parallel, big_platform, 1e6)
+    assert alloc.total == pytest.approx(1e6)
+
+
+def test_linear_one_port_solver(benchmark, big_platform):
+    alloc = benchmark(solve_linear_one_port, big_platform, 1e6)
+    assert alloc.total == pytest.approx(1e6)
+
+
+def test_event_replay(benchmark, big_platform):
+    amounts = solve_linear_parallel(big_platform, 1e6).amounts
+    _, _, makespan = benchmark(simulate_allocation, big_platform, amounts)
+    assert makespan > 0
+
+
+def test_demand_driven_heap(benchmark):
+    plat = StarPlatform.from_speeds(np.linspace(1, 20, 32))
+    tasks = uniform_tasks(5000, work=1.0)
+    res = benchmark(run_demand_driven, plat, tasks)
+    assert res.counts.sum() == 5000
+
+
+def test_demand_driven_closed_form(benchmark):
+    """The fast path that makes the Figure-4 sweeps feasible."""
+    plat = StarPlatform.from_speeds(np.linspace(1, 20, 32))
+    counts, _ = benchmark(identical_task_schedule, plat, 5_000_000, 1.0)
+    assert counts.sum() == 5_000_000

@@ -1,0 +1,92 @@
+"""Benchmark: the MapReduce fault-tolerance mechanisms of §1.1.
+
+Quantifies the machinery the paper credits MapReduce with — fail-stop
+recovery and speculative re-execution of stragglers — on the same
+demand-driven substrate the §4 strategies use.  Not a paper figure, but
+the executable backing for §1.1's qualitative claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.platform.star import StarPlatform
+from repro.simulate.demand_driven import uniform_tasks
+from repro.simulate.failures import (
+    FailureEvent,
+    run_with_failures,
+)
+from repro.util.tables import format_table
+
+
+def test_failure_recovery_cost(benchmark):
+    """Makespan and wasted work as workers progressively fail."""
+
+    def run():
+        plat = StarPlatform.homogeneous(8)
+        tasks = uniform_tasks(200, work=1.0, data=2.0)
+        rows = []
+        for n_failures in (0, 1, 2, 4):
+            failures = [
+                FailureEvent(worker=i, time=5.0 + i) for i in range(n_failures)
+            ]
+            res = run_with_failures(plat, tasks, failures=failures)
+            rows.append(
+                [
+                    n_failures,
+                    res.makespan,
+                    len(res.reexecuted),
+                    res.wasted_executions,
+                    res.data_shipped.sum(),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(
+        format_table(
+            ["failed workers", "makespan", "re-executed", "wasted execs",
+             "data shipped"],
+            rows,
+            title="Fail-stop recovery on 8 workers, 200 unit tasks:",
+        )
+    )
+    makespans = [r[1] for r in rows]
+    assert makespans == sorted(makespans)  # failures only hurt
+    assert rows[0][2] == 0  # no failures → no re-execution
+    # every run completes all 200 tasks despite losing workers
+    assert all(r[3] >= 0 for r in rows)
+
+
+def test_speculation_vs_stragglers(benchmark):
+    """Backup tasks recover most of the straggler-induced slowdown."""
+
+    def run():
+        # coarse tasks (one per worker): the regime where a straggling
+        # copy pins the makespan — many fine tasks would let the greedy
+        # scheduler absorb the slow node by itself
+        plat = StarPlatform.homogeneous(8)
+        tasks = uniform_tasks(8, work=10.0)
+        slowdown = np.ones(8)
+        slowdown[0] = 10.0  # one node "performing poorly" (§1.1)
+        healthy = run_with_failures(plat, tasks)
+        straggling = run_with_failures(plat, tasks, slowdown=slowdown)
+        rescued = run_with_failures(
+            plat, tasks, slowdown=slowdown, speculate=True
+        )
+        return healthy, straggling, rescued
+
+    healthy, straggling, rescued = benchmark.pedantic(
+        run, iterations=1, rounds=1
+    )
+    print(
+        f"\nhealthy makespan={healthy.makespan:.1f}, "
+        f"with straggler={straggling.makespan:.1f}, "
+        f"with speculation={rescued.makespan:.1f} "
+        f"({len(rescued.speculated)} backup tasks, "
+        f"{rescued.wasted_executions} wasted executions)"
+    )
+    assert straggling.makespan > healthy.makespan * 1.5
+    assert rescued.makespan < straggling.makespan
+    # speculation trades a little wasted work for a lot of makespan
+    assert rescued.wasted_executions >= 1

@@ -1,0 +1,20 @@
+"""Benchmark regenerating experiment E12 (Figure 2) as a table."""
+
+import pytest
+
+from repro.experiments.footprint import run_footprint_experiment
+
+
+def test_footprint_gap_and_affinity_recovery(benchmark):
+    result = benchmark.pedantic(run_footprint_experiment, iterations=1, rounds=1)
+    print()
+    print(result.render())
+    for row in result.rows:
+        # affinity ships no more than plain, no less than the footprint
+        assert row.affinity_shipped <= row.plain_shipped + 1e-9
+        assert row.affinity_shipped >= row.union_footprint - 1e-9
+        # affinity is *exactly* the footprint: unbounded caches mean a
+        # worker pays each segment once
+        assert row.affinity_shipped == pytest.approx(row.union_footprint)
+    # the gap the paper's proposal recovers is material
+    assert max(r.saved_fraction for r in result.rows) > 0.05

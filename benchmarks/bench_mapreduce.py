@@ -1,0 +1,114 @@
+"""Benchmarks for the MapReduce volume story: experiment E14 (§1.1, §4).
+
+Executable comparison of the three matmul-over-MapReduce formulations
+on the metered engine: the naive all-pairs job shuffles N³ records, the
+HAMA block job ships 2qN², the paper's partitioned outer product ships
+the half-perimeter volume.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.jobs import (
+    block_matmul_job,
+    naive_matmul_job,
+    outer_product_job,
+    word_count_job,
+)
+from repro.matmul.mapreduce_layouts import (
+    hama_block_volume,
+    naive_mapreduce_volume,
+)
+from repro.partition.column_based import peri_sum_partition
+from repro.util.tables import format_table
+
+
+def test_matmul_shuffle_volumes(benchmark):
+    def run():
+        rng = np.random.default_rng(0)
+        n, q = 12, 3
+        A, B = rng.normal(size=(n, n)), rng.normal(size=(n, n))
+        engine = MapReduceEngine()
+
+        job, inputs = naive_matmul_job(A, B)
+        _, m_naive = engine.run_with_metrics(job, inputs)
+
+        job, inputs = block_matmul_job(A, B, q)
+        _, m_block = engine.run_with_metrics(job, inputs)
+        return n, q, m_naive, m_block
+
+    n, q, m_naive, m_block = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(
+        format_table(
+            ["formulation", "shuffle records", "shuffle volume", "closed form"],
+            [
+                ["naive all-pairs", m_naive.shuffle_records,
+                 m_naive.shuffle_volume, float(n**3)],
+                [f"HAMA q={q}", m_block.shuffle_records,
+                 m_block.shuffle_volume, hama_block_volume(n, q)],
+            ],
+            title=f"MapReduce matmul shuffle volumes (N={n})",
+        )
+    )
+    assert m_naive.shuffle_records == n**3
+    assert m_block.shuffle_volume == pytest.approx(hama_block_volume(n, q))
+    # the §1.1 point: the prepared-dataset input alone is 2N³
+    assert naive_mapreduce_volume(n) == 2 * n**3
+    assert m_block.shuffle_volume < m_naive.shuffle_volume
+
+
+def test_outer_product_shuffle_matches_half_perimeters(benchmark):
+    def run():
+        rng = np.random.default_rng(1)
+        n = 40
+        a, b = rng.normal(size=n), rng.normal(size=n)
+        speeds = np.array([1.0, 2.0, 4.0, 8.0])
+        part = peri_sum_partition(speeds / speeds.sum())
+        job, inputs = outer_product_job(a, b, part)
+        out, m = MapReduceEngine().run_with_metrics(job, inputs)
+        return n, part, out, m, a, b
+
+    n, part, out, m, a, b = benchmark.pedantic(run, iterations=1, rounds=1)
+    expected = part.scaled(n).sum_half_perimeters
+    print(
+        f"\nshuffle volume={m.shuffle_volume:.0f}, "
+        f"scaled half-perimeter sum={expected:.0f}"
+    )
+    assert m.shuffle_volume == pytest.approx(expected, rel=0.15)
+    # numeric correctness of the distributed product
+    full = np.full((n, n), np.nan)
+    for owner, (rows, cols, block) in out.items():
+        full[np.ix_(rows, cols)] = block
+    assert np.allclose(full, np.outer(a, b))
+
+
+def test_two_pass_matmul_option_ii(benchmark):
+    """§2 option (ii): sequencing MapReduce jobs ([25]) moves the cubic
+    shuffle from the prepared input into the intermediate stage."""
+    from repro.mapreduce.chained import two_pass_matmul
+
+    rng = np.random.default_rng(2)
+    n = 10
+    A, B = rng.normal(size=(n, n)), rng.normal(size=(n, n))
+    C, chain = benchmark.pedantic(
+        two_pass_matmul, args=(A, B), iterations=1, rounds=1
+    )
+    m1, m2 = chain.metrics
+    print(
+        f"\npass-1 shuffle={m1.shuffle_records} records (2N²={2 * n * n}), "
+        f"pass-2 shuffle={m2.shuffle_records} records (N³={n**3})"
+    )
+    assert np.allclose(C, A @ B)
+    assert m1.shuffle_records == 2 * n * n
+    assert m2.shuffle_records == n**3
+
+
+def test_word_count_throughput(benchmark):
+    """Linear baseline: shuffle is O(input) — MapReduce's home turf."""
+    lines = ["lorem ipsum dolor sit amet"] * 2000
+    job, make_inputs = word_count_job(n_reducers=8)
+    engine = MapReduceEngine()
+    out = benchmark(engine.run, job, make_inputs(lines))
+    assert out["lorem"] == 2000

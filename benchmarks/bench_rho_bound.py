@@ -1,0 +1,29 @@
+"""Benchmark regenerating the §4.1.3 ρ table: experiment E6.
+
+Half-slow/half-fast(k) platforms: measured
+:math:`\\rho = Comm_{hom}/Comm_{het}` versus the analytic bounds
+:math:`(1+k)/(1+\\sqrt k)` and :math:`\\sqrt k - 1`.
+"""
+
+import pytest
+
+from repro.experiments.rho import run_rho_experiment
+
+
+def test_rho_half_fast_platforms(benchmark):
+    result = benchmark.pedantic(
+        run_rho_experiment,
+        kwargs={"ks": (1, 2, 4, 9, 16, 25, 64), "p": 40, "N": 10_000.0},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.render())
+    rows = {r.k: r for r in result.rows}
+    # the paper's chain: measured >= sqrt(k)-1 for every k
+    for k, row in rows.items():
+        assert row.measured_rho >= row.bound_simple - 1e-9, k
+    # rho grows without bound in k
+    assert rows[64].measured_rho > rows[4].measured_rho > rows[1].measured_rho
+    # homogeneous k=1: both strategies coincide
+    assert rows[1].measured_rho == pytest.approx(1.0, abs=0.05)

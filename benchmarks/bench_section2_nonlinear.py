@@ -1,0 +1,51 @@
+"""Benchmark regenerating the §2 table: experiments E1–E2.
+
+The "no free lunch" numbers: the fraction of an :math:`N^\\alpha`
+workload covered by one *optimal* DLT round, analytic vs the genuine
+equal-finish-time solver, on homogeneous and heterogeneous stars; plus
+the number of rounds a repeated-split scheme would need.
+"""
+
+import pytest
+
+from repro.core.nonlinear import residual_fraction
+from repro.experiments.section2 import run_section2
+
+
+def test_section2_vanishing_fraction(benchmark):
+    result = benchmark.pedantic(
+        run_section2,
+        kwargs={
+            "processors": (2, 4, 8, 16, 32, 64, 128),
+            "alphas": (1.5, 2.0, 3.0),
+            "N": 1000.0,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.render())
+
+    by_key = {(r.P, r.alpha): r for r in result.rows}
+    # solver == closed form on homogeneous platforms
+    for (P, alpha), row in by_key.items():
+        assert row.solved_fraction_homogeneous == pytest.approx(
+            row.analytic_fraction, rel=1e-5
+        )
+    # the paper's headline: at P=128, alpha=2, >99% of the work remains
+    assert 1 - by_key[(128, 2.0)].analytic_fraction > 0.99
+    assert residual_fraction(128, 3.0) > 0.9999
+    # heterogeneity does not rescue the exponent
+    assert by_key[(128, 2.0)].solved_fraction_heterogeneous < 0.1
+
+
+def test_section2_solver_throughput(benchmark):
+    """Microbenchmark: the nonlinear solver itself (p=64, alpha=2)."""
+    from repro.dlt.nonlinear_solver import solve_nonlinear_parallel
+    from repro.platform.star import StarPlatform
+
+    plat = StarPlatform.from_speeds(
+        [1.0 + 0.5 * i for i in range(64)]
+    )
+    alloc = benchmark(solve_nonlinear_parallel, plat, 1000.0, 2.0)
+    assert alloc.total == pytest.approx(1000.0)

@@ -1,0 +1,76 @@
+"""Benchmarks regenerating the §3 tables: experiments E3–E5.
+
+* E3: the residue table ``log p / log N``;
+* E4: Theorem-B.4 max-bucket statistics at the paper's oversampling;
+* E5: executed sample sorts on homogeneous and heterogeneous stars.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.section3 import run_section3
+from repro.platform.star import StarPlatform
+from repro.sorting.analysis import max_bucket_statistics
+from repro.sorting.sample_sort import sample_sort
+
+
+def test_section3_tables(benchmark):
+    result = benchmark.pedantic(
+        run_section3,
+        kwargs={"exec_N": 200_000, "exec_ps": (4, 16)},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.render())
+    # E3 shape: residue falls in N, rises in p
+    rows = {(r.N, r.p): r.residual_fraction for r in result.residue_rows}
+    assert rows[(2**22, 4)] < rows[(2**10, 4)]
+    assert rows[(2**10, 256)] > rows[(2**10, 4)]
+    # E5: every executed sort is correct
+    assert all(r.sorted_ok for r in result.execution_rows)
+
+
+def test_theorem_b4_statistics(benchmark):
+    """E4: MaxSize <= (N/p)(1 + (1/ln N)^{1/3}) w.h.p. at s = log²N."""
+    stats = benchmark.pedantic(
+        max_bucket_statistics,
+        kwargs={"N": 100_000, "p": 16, "trials": 30, "rng": 0},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(
+        f"MaxSize over {stats.trials} trials: mean={stats.mean_max:.0f}, "
+        f"worst={stats.worst_max}, bound={stats.b4_bound:.0f}, "
+        f"violation rate={stats.violation_rate:.2%}"
+    )
+    assert stats.violation_rate <= 0.2
+    assert stats.mean_overflow < 0.2
+
+
+def test_sample_sort_execution_speed(benchmark):
+    """Microbenchmark: the full pipeline on 10^5 keys, 8 workers."""
+    keys = np.random.default_rng(0).random(100_000)
+    plat = StarPlatform.homogeneous(8)
+    res = benchmark(sample_sort, keys, plat, None, 1)
+    assert np.array_equal(res.sorted_keys, np.sort(keys))
+
+
+def test_heterogeneous_sample_sort_balance(benchmark):
+    """E5: speed-proportional buckets balance step 3 (§3.2)."""
+    keys = np.random.default_rng(1).random(300_000)
+    plat = StarPlatform.from_speeds([1.0, 2.0, 4.0, 8.0])
+    res = benchmark.pedantic(
+        sample_sort, args=(keys, plat), kwargs={"rng": 2}, iterations=1, rounds=1
+    )
+    print()
+    print(
+        "bucket fractions:",
+        np.round(res.bucket_sizes / keys.size, 4),
+        "target:",
+        np.round(plat.normalized_speeds, 4),
+    )
+    t = res.local_sort_times
+    assert (t.max() - t.min()) / t.max() < 0.3
+    assert np.array_equal(res.sorted_keys, np.sort(keys))

@@ -1,0 +1,75 @@
+"""Benchmark: DLT on multi-level trees (substrate extension).
+
+Not a paper figure — the paper's model is the star — but the
+"single-level tree network" literature it critiques ([33], [34]) lives
+one generalisation away, and the library covers it: exact equivalent-
+rate closed forms for linear loads, the fixed-point solver for
+non-linear ones, and the §2 result persisting under relaying.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dlt.tree_solver import equivalent_rate, solve_tree
+from repro.platform.tree import TreePlatform
+from repro.util.tables import format_table
+
+
+def test_tree_linear_solver_vs_closed_form(benchmark):
+    def run():
+        rows = []
+        for depth, fanout in ((1, 8), (2, 3), (3, 2)):
+            plat = TreePlatform.balanced(depth=depth, fanout=fanout, bandwidth=4.0)
+            alloc = solve_tree(plat, 100.0)
+            closed = 100.0 / equivalent_rate(plat.root)
+            rows.append([depth, fanout, plat.size, alloc.makespan, closed])
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(
+        format_table(
+            ["depth", "fanout", "nodes", "solver makespan", "closed form"],
+            rows,
+            title="Linear DLT on trees: fixed-point solver vs equivalent rates",
+        )
+    )
+    for depth, fanout, nodes, solved, closed in rows:
+        assert solved == pytest.approx(closed, rel=1e-6)
+
+
+def test_tree_no_free_lunch(benchmark):
+    """§2 extends to trees: relay layers do not restore N^α work."""
+
+    def run():
+        rows = []
+        for fanout in (2, 4, 8):
+            plat = TreePlatform.balanced(depth=2, fanout=fanout, bandwidth=1e4)
+            alloc = solve_tree(plat, 100.0, alpha=2.0)
+            rows.append(
+                [fanout, plat.size, alloc.covered_work_fraction(100.0),
+                 1.0 / plat.size]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(
+        format_table(
+            ["fanout", "workers", "covered fraction", "1/P"],
+            rows,
+            title="No free lunch on depth-2 trees (alpha = 2, fast links):",
+        )
+    )
+    for fanout, workers, frac, inv_p in rows:
+        assert frac == pytest.approx(inv_p, rel=0.25)
+
+
+def test_tree_solver_throughput(benchmark):
+    """Solver speed on a 3-level, 85-node tree (single measured round —
+    one solve is ~1s, dominated by the nested bisections)."""
+    plat = TreePlatform.balanced(depth=3, fanout=4, bandwidth=2.0)
+    alloc = benchmark.pedantic(
+        solve_tree, args=(plat, 1000.0), iterations=1, rounds=1
+    )
+    assert alloc.total == pytest.approx(1000.0)

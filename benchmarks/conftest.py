@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure (see DESIGN.md's
+per-experiment index) and *prints* the regenerated table, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the paper's evaluation on stdout.  By default the sweeps use
+a reduced trial count to keep the harness fast; set ``REPRO_FULL=1`` to
+run the paper's full protocol (100 trials/point, p up to 100).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0", "false")
+
+#: trials per sweep point (paper: 100)
+TRIALS = 100 if FULL else 15
+#: processor counts for the Figure-4 x-axis (paper: 10..100)
+PROCESSORS = (10, 20, 40, 60, 80, 100) if FULL else (10, 40, 100)
+
+
+@pytest.fixture(scope="session")
+def figure4_protocol():
+    return {"processors": PROCESSORS, "trials": TRIALS}

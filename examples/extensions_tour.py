@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Tour of the library's extensions beyond the paper's §1.2 model.
+
+The paper deliberately works with the simplest platform (star, parallel
+links, single round, no failures).  This example exercises the
+machinery the paper points at but leaves out:
+
+1. one-port shipping of the rectangle distribution (§3's "more
+   complicated communication models" remark applied to §4);
+2. multi-level tree platforms — the general form of the "single level
+   tree network" of the critiqued papers — with the §2 result intact;
+3. failures and speculative re-execution (§1.1's MapReduce traits);
+4. the affinity-aware demand-driven scheduler proposed in the
+   conclusion.
+
+Run: ``python examples/extensions_tour.py``
+"""
+
+import numpy as np
+
+from repro.blocks.one_port import plan_het_one_port
+from repro.dlt.tree_solver import equivalent_rate, solve_tree
+from repro.experiments.footprint import run_footprint_experiment
+from repro.platform.star import StarPlatform
+from repro.platform.tree import TreePlatform
+from repro.simulate.demand_driven import uniform_tasks
+from repro.simulate.failures import FailureEvent, run_with_failures
+
+
+def main() -> None:
+    # --- 1. one-port rectangle shipping ---------------------------------
+    platform = StarPlatform.from_speeds([1.0, 2.0, 4.0, 8.0])
+    plan = plan_het_one_port(platform, N=10_000.0)
+    print("One-port Heterogeneous Blocks (Jackson order):")
+    print(f"  shipping order: {[platform[i].name for i in plan.order]}")
+    print(
+        f"  makespan {plan.makespan:,.0f} vs parallel-links "
+        f"{plan.parallel_links_makespan:,.0f} "
+        f"(+{100 * (plan.makespan / plan.parallel_links_makespan - 1):.1f}% "
+        f"for serialised sends)"
+    )
+    print()
+
+    # --- 2. trees --------------------------------------------------------
+    tree = TreePlatform.balanced(depth=2, fanout=3, bandwidth=5.0)
+    lin = solve_tree(tree, 1000.0)
+    print(f"Tree platform ({tree.size} nodes, height {tree.height}):")
+    print(
+        f"  linear load: makespan {lin.makespan:.2f} "
+        f"(= N / equivalent rate {equivalent_rate(tree.root):.3f})"
+    )
+    quad = solve_tree(tree, 1000.0, alpha=2.0)
+    print(
+        f"  quadratic load: the optimal relayed round covers only "
+        f"{100 * quad.covered_work_fraction(1000.0):.1f}% of the work — "
+        "no free lunch on trees either."
+    )
+    print()
+
+    # --- 3. failures + speculation ---------------------------------------
+    plat = StarPlatform.homogeneous(8)
+    tasks = uniform_tasks(200, work=1.0, data=2.0)
+    healthy = run_with_failures(plat, tasks)
+    wounded = run_with_failures(
+        plat, tasks, failures=[FailureEvent(worker=0, time=5.0)]
+    )
+    print("Fail-stop recovery (8 workers, 200 tasks, one death at t=5):")
+    print(
+        f"  makespan {healthy.makespan:.1f} -> {wounded.makespan:.1f}, "
+        f"{len(wounded.reexecuted)} task(s) re-executed, "
+        f"{wounded.wasted_executions} execution(s) wasted"
+    )
+    slow = np.ones(8)
+    slow[0] = 10.0
+    coarse = uniform_tasks(8, work=10.0)
+    straggle = run_with_failures(plat, coarse, slowdown=slow)
+    rescued = run_with_failures(plat, coarse, slowdown=slow, speculate=True)
+    print(
+        f"  straggler: makespan {straggle.makespan:.0f} -> "
+        f"{rescued.makespan:.0f} with speculative backups"
+    )
+    print()
+
+    # --- 4. affinity scheduling ------------------------------------------
+    print(run_footprint_experiment().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Section 4.2 + MapReduce walkthrough: matrix multiplication volumes.
+
+Runs real MapReduce jobs on the metered engine and exact per-step
+accounting of the outer-product matmul (Figure 3), reproducing the
+paper's motivation numbers: the naive prepared-dataset job shuffles N³
+records; block replication ships 2qN²; the heterogeneity-aware
+partitioned layout stays within ~2% of the lower bound and balances
+load perfectly.
+
+Run: ``python examples/matmul_mapreduce.py``
+"""
+
+import numpy as np
+
+from repro import StarPlatform, peri_sum_partition
+from repro.mapreduce import (
+    MapReduceEngine,
+    block_matmul_job,
+    naive_matmul_job,
+)
+from repro.mapreduce.jobs import assemble_block_output
+from repro.matmul import (
+    RectangleLayout,
+    partitioned_matmul,
+    simulate_outer_product_matmul,
+)
+from repro.matmul.mapreduce_layouts import (
+    hama_block_volume,
+    matmul_lower_bound,
+    naive_mapreduce_volume,
+    partitioned_volume,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n, q = 12, 3
+    A, B = rng.normal(size=(n, n)), rng.normal(size=(n, n))
+    engine = MapReduceEngine()
+
+    # --- executable MapReduce jobs, metered ----------------------------
+    job, inputs = naive_matmul_job(A, B)
+    out_naive, m_naive = engine.run_with_metrics(job, inputs)
+    C1 = np.empty((n, n))
+    for (i, j), v in out_naive.items():
+        C1[i, j] = v
+    assert np.allclose(C1, A @ B)
+
+    job, inputs = block_matmul_job(A, B, q)
+    out_block, m_block = engine.run_with_metrics(job, inputs)
+    assert np.allclose(assemble_block_output(out_block, n, q), A @ B)
+
+    print(
+        format_table(
+            ["job", "shuffle records", "shuffle volume"],
+            [
+                ["naive all-pairs (§1.1)", m_naive.shuffle_records,
+                 m_naive.shuffle_volume],
+                [f"HAMA blocks q={q}", m_block.shuffle_records,
+                 m_block.shuffle_volume],
+            ],
+            title=f"Executable MapReduce matmul (N={n}), both verified == A@B:",
+        )
+    )
+    print()
+
+    # --- closed-form volumes at production scale ------------------------
+    N = 10_000
+    speeds = rng.uniform(1, 100, 64)
+    rows = [
+        ["naive all-pairs input", naive_mapreduce_volume(N)],
+        ["HAMA blocks (q=8 of 64 reducers)", hama_block_volume(N, 8)],
+        ["partitioned (PERI-SUM, heterogeneous)", partitioned_volume(N, speeds)],
+        ["lower bound 2N^2 sum sqrt(x)", matmul_lower_bound(N, speeds)],
+    ]
+    print(
+        format_table(
+            ["layout", "volume (matrix elements)"],
+            rows,
+            floatfmt=".4e",
+            title=f"Matmul communication volumes at N={N}, p=64 uniform speeds:",
+        )
+    )
+    print()
+
+    # --- Figure 3: per-step broadcast accounting + numeric check --------
+    areas = speeds[:6] / speeds[:6].sum()
+    part = peri_sum_partition(areas)
+    layout = RectangleLayout(part, n=30)
+    acct = simulate_outer_product_matmul(layout)
+    print(
+        f"Outer-product algorithm on a 6-worker rectangle layout (n=30): "
+        f"received {acct.total_received:,.0f} elements over {acct.n} steps "
+        f"({acct.reuse_savings:,.0f} saved by residency)."
+    )
+    A2, B2 = rng.normal(size=(30, 30)), rng.normal(size=(30, 30))
+    assert np.allclose(partitioned_matmul(A2, B2, part), A2 @ B2)
+    print("Partitioned product verified against A @ B to machine precision.")
+
+
+if __name__ == "__main__":
+    main()

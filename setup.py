@@ -1,0 +1,10 @@
+"""Setup shim; metadata lives in setup.cfg.
+
+Kept as an explicit file (rather than pyproject.toml) so offline
+environments without the `wheel` package can `pip install -e .` via
+the legacy editable path — see setup.cfg's note.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""Block-distribution strategies for the outer product (§4.1).
+
+Three strategies over the ``N × N`` computational domain of
+:math:`a^T \\times b`:
+
+* :class:`HomogeneousBlocksStrategy` (``Comm_hom``) — §4.1.1: square
+  chunks sized so the *slowest* worker gets exactly one; demand-driven
+  assignment; communication counts each block's ``2D`` input with no
+  reuse across blocks (MapReduce semantics).
+* :class:`RefinedHomogeneousStrategy` (``Comm_hom/k``) — §4.3: shrink
+  the block side by ``k = 1, 2, 3, …`` until the demand-driven load
+  imbalance ``e`` drops to the threshold (1% in the paper).
+* :class:`HeterogeneousBlocksStrategy` (``Comm_het``) — §4.1.2: one
+  rectangle per worker from the PERI-SUM partitioner; communication is
+  the scaled sum of half-perimeters.
+
+All strategies return a :class:`StrategyResult` carrying the volume,
+the ratio to the lower bound (Figure 4's y-axis) and the imbalance.
+"""
+
+from repro.blocks.metrics import StrategyResult, load_imbalance
+from repro.blocks.homogeneous import HomogeneousBlocksStrategy
+from repro.blocks.refined import RefinedHomogeneousStrategy
+from repro.blocks.heterogeneous import HeterogeneousBlocksStrategy
+from repro.blocks.footprint import (
+    block_footprint_volume,
+    naive_block_volume,
+    assignment_footprints,
+)
+from repro.blocks.one_port import OnePortPlan, plan_het_one_port
+
+__all__ = [
+    "OnePortPlan",
+    "plan_het_one_port",
+    "StrategyResult",
+    "load_imbalance",
+    "HomogeneousBlocksStrategy",
+    "RefinedHomogeneousStrategy",
+    "HeterogeneousBlocksStrategy",
+    "block_footprint_volume",
+    "naive_block_volume",
+    "assignment_footprints",
+]

@@ -1,0 +1,63 @@
+"""Shared result type and metrics for the §4 strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bounds import lower_bound_comm
+
+
+def load_imbalance(finish_times: np.ndarray) -> float:
+    """The paper's :math:`e = (t_{max} - t_{min}) / t_{min}` (§4.3).
+
+    ``inf`` when some worker is completely idle (t = 0) while another
+    works — the refinement loop treats that as maximally imbalanced.
+    """
+    t = np.asarray(finish_times, dtype=float)
+    if t.size <= 1:
+        return 0.0
+    tmin, tmax = float(t.min()), float(t.max())
+    if tmin == 0.0:
+        return float("inf") if tmax > 0 else 0.0
+    return (tmax - tmin) / tmin
+
+
+@dataclass(frozen=True)
+class StrategyResult:
+    """Outcome of planning one outer-product distribution."""
+
+    strategy: str
+    N: float
+    speeds: np.ndarray
+    #: total communication volume (data units shipped by the master)
+    comm_volume: float
+    #: per-worker compute finish times under the plan
+    finish_times: np.ndarray
+    #: e = (tmax - tmin)/tmin
+    imbalance: float
+    #: strategy-specific detail (block side, k, partition, ...)
+    detail: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def lower_bound(self) -> float:
+        """:math:`2N\\sum\\sqrt{x_i}` for this instance."""
+        return lower_bound_comm(self.N, self.speeds)
+
+    @property
+    def ratio_to_lower_bound(self) -> float:
+        """Figure 4's y-axis value for this strategy/instance."""
+        return self.comm_volume / self.lower_bound
+
+    @property
+    def makespan(self) -> float:
+        return float(np.max(self.finish_times))
+
+    def summary(self) -> str:
+        return (
+            f"{self.strategy}: comm={self.comm_volume:.6g} "
+            f"({self.ratio_to_lower_bound:.4f}x LB), "
+            f"imbalance e={self.imbalance:.4g}"
+        )

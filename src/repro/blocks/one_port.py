@@ -1,0 +1,133 @@
+"""One-port shipping of the Heterogeneous Blocks distribution.
+
+§3.1 closes by noting that once a workload is (almost) divisible,
+"optimizing the data distribution phase to slave processors under more
+complicated communication models ... is meaningful".  The same holds
+for §4's rectangles: under the one-port model the master ships each
+worker its ``(a, b)`` segments *sequentially*, and the shipping order
+matters because workers compute after receiving.
+
+Worker *i* with rectangle of width ``u_i`` and height ``v_i`` (scaled)
+receives ``u_i + v_i`` data and then computes its ``u_i · v_i`` area at
+cycle time ``w_i``.  With all send times fixed, this is again
+single-machine scheduling with delivery times, so Jackson's rule
+(largest compute time first) is optimal — reusing the §3 machinery from
+:mod:`repro.sorting.dlt_schedule`'s argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+import numpy as np
+
+from repro.blocks.heterogeneous import HeterogeneousBlocksStrategy
+from repro.platform.star import StarPlatform
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class OnePortPlan:
+    """Timeline of shipping rectangles one-port, then computing."""
+
+    order: tuple[int, ...]
+    send_end: np.ndarray
+    finish: np.ndarray
+    makespan: float
+    comm_volume: float
+
+    @property
+    def parallel_links_makespan(self) -> float:
+        """What the §1.2 model would report (all sends at t = 0)."""
+        send_durations = np.empty_like(self.send_end)
+        prev = 0.0
+        for idx in self.order:
+            send_durations[idx] = self.send_end[idx] - prev
+            prev = self.send_end[idx]
+        compute = self.finish - self.send_end
+        return float(np.max(send_durations + compute))
+
+
+def plan_het_one_port(
+    platform: StarPlatform, N: float, order: str = "jackson"
+) -> OnePortPlan:
+    """Ship the PERI-SUM rectangles under one-port communications.
+
+    ``order``: ``"jackson"`` (largest compute first — optimal),
+    ``"index"`` (platform order) or ``"smallest-first"`` (the
+    pessimisation, for contrast in tests).
+    """
+    check_positive(N, "N")
+    het = HeterogeneousBlocksStrategy().plan(platform, N)
+    scaled = het.detail["scaled_partition"]
+    p = platform.size
+    send_size = np.empty(p)
+    compute = np.empty(p)
+    w = platform.cycle_times
+    c = platform.comm_times
+    for rect in scaled:
+        i = rect.owner
+        send_size[i] = rect.half_perimeter
+        compute[i] = rect.w * rect.h * w[i]
+
+    if order == "jackson":
+        sigma = np.argsort(-compute, kind="stable")
+    elif order == "index":
+        sigma = np.arange(p)
+    elif order == "smallest-first":
+        sigma = np.argsort(compute, kind="stable")
+    else:
+        raise ValueError(f"unknown order policy {order!r}")
+
+    send_end = np.empty(p)
+    finish = np.empty(p)
+    t = 0.0
+    for idx in sigma:
+        t += c[idx] * send_size[idx]
+        send_end[idx] = t
+        finish[idx] = t + compute[idx]
+    return OnePortPlan(
+        order=tuple(int(i) for i in sigma),
+        send_end=send_end,
+        finish=finish,
+        makespan=float(finish.max()),
+        comm_volume=float(send_size.sum() * 1.0),
+    )
+
+
+def brute_force_one_port_plan(platform: StarPlatform, N: float) -> OnePortPlan:
+    """Exhaustive optimum over shipping orders (tests, p <= 8)."""
+    p = platform.size
+    if p > 8:
+        raise ValueError("brute force limited to p <= 8")
+    het = HeterogeneousBlocksStrategy().plan(platform, N)
+    scaled = het.detail["scaled_partition"]
+    send_size = np.empty(p)
+    compute = np.empty(p)
+    w = platform.cycle_times
+    c = platform.comm_times
+    for rect in scaled:
+        send_size[rect.owner] = rect.half_perimeter
+        compute[rect.owner] = rect.w * rect.h * w[rect.owner]
+
+    best: OnePortPlan | None = None
+    for sigma in permutations(range(p)):
+        send_end = np.empty(p)
+        finish = np.empty(p)
+        t = 0.0
+        for idx in sigma:
+            t += c[idx] * send_size[idx]
+            send_end[idx] = t
+            finish[idx] = t + compute[idx]
+        plan = OnePortPlan(
+            order=tuple(sigma),
+            send_end=send_end,
+            finish=finish,
+            makespan=float(finish.max()),
+            comm_volume=float(send_size.sum()),
+        )
+        if best is None or plan.makespan < best.makespan - 1e-15:
+            best = plan
+    assert best is not None
+    return best

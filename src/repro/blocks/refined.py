@@ -1,0 +1,69 @@
+"""The ``Comm_hom/k`` refinement strategy (§4.3).
+
+§4.3: "we introduce the Comm_hom/k strategy, that divides the block-size
+by k for increasing values of k until an acceptable load-balance is
+reached.  In our simulations, the stopping criterion for this process is
+when e ≤ 1%."  Smaller blocks balance better (the greedy gap is one
+block's duration) but ship more data (volume grows linearly in ``k``) —
+this trade-off is what makes ``Comm_hom/k`` land 15–30× above the lower
+bound on heterogeneous platforms while staying optimal on homogeneous
+ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blocks.homogeneous import HomogeneousBlocksStrategy
+from repro.blocks.metrics import StrategyResult
+from repro.platform.star import StarPlatform
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RefinedHomogeneousStrategy:
+    """Sweep the subdivision ``k`` until the imbalance target is met.
+
+    Parameters
+    ----------
+    imbalance_target:
+        The paper's ``e`` threshold; 1% by default.
+    max_subdivision:
+        Safety cap on ``k``; if reached, the best (lowest-``e``) plan
+        seen is returned with ``detail["converged"] = False``.
+    """
+
+    imbalance_target: float = 0.01
+    max_subdivision: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive(self.imbalance_target, "imbalance_target")
+        if self.max_subdivision < 1:
+            raise ValueError("max_subdivision must be >= 1")
+
+    def plan(self, platform: StarPlatform, N: float) -> StrategyResult:
+        """Increase ``k`` from 1; stop at the first plan with
+        ``e <= imbalance_target``."""
+        best: StrategyResult | None = None
+        for k in range(1, self.max_subdivision + 1):
+            plan = HomogeneousBlocksStrategy(subdivision=k).plan(platform, N)
+            if best is None or plan.imbalance < best.imbalance:
+                best = plan
+            if plan.imbalance <= self.imbalance_target:
+                return self._label(plan, converged=True)
+        assert best is not None
+        return self._label(best, converged=False)
+
+    @staticmethod
+    def _label(plan: StrategyResult, converged: bool) -> StrategyResult:
+        detail = dict(plan.detail)
+        detail["converged"] = converged
+        return StrategyResult(
+            strategy="hom/k",
+            N=plan.N,
+            speeds=plan.speeds,
+            comm_volume=plan.comm_volume,
+            finish_times=plan.finish_times,
+            imbalance=plan.imbalance,
+            detail=detail,
+        )

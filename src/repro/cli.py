@@ -1,0 +1,210 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro figure4 --model uniform --trials 100
+    python -m repro section2 --alphas 1.5 2 3
+    python -m repro section3
+    python -m repro rho --k 4 16 64
+    python -m repro plan --speeds 1 2 4 8 --N 10000
+    python -m repro sort --n 200000 --speeds 1 1 2 4
+    python -m repro all          # every experiment, default protocol
+
+Each sub-command prints the same ASCII table the corresponding
+benchmark produces, so the CLI is the interactive twin of
+``pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    from repro.experiments.figure4 import run_figure4
+    from repro.util.ascii_plot import figure4_chart
+
+    result = run_figure4(
+        args.model,
+        processors=tuple(args.processors),
+        trials=args.trials,
+        seed=args.seed,
+    )
+    print(result.render())
+    if args.chart:
+        print()
+        print(figure4_chart(result, log_y=args.model != "homogeneous"))
+    return 0
+
+
+def _cmd_section2(args: argparse.Namespace) -> int:
+    from repro.experiments.section2 import run_section2
+
+    print(
+        run_section2(
+            processors=tuple(args.processors),
+            alphas=tuple(args.alphas),
+            N=args.N,
+            seed=args.seed,
+        ).render()
+    )
+    return 0
+
+
+def _cmd_section3(args: argparse.Namespace) -> int:
+    from repro.experiments.section3 import run_section3
+
+    print(run_section3(exec_N=args.n, seed=args.seed).render())
+    return 0
+
+
+def _cmd_rho(args: argparse.Namespace) -> int:
+    from repro.experiments.rho import run_rho_experiment
+
+    print(run_rho_experiment(ks=tuple(args.k), p=args.p, N=args.N).render())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.strategies import compare_strategies
+    from repro.platform.star import StarPlatform
+
+    platform = StarPlatform.from_speeds(args.speeds)
+    print(platform.describe())
+    print()
+    print(compare_strategies(platform, N=args.N).summary())
+    return 0
+
+
+def _cmd_sort(args: argparse.Namespace) -> int:
+    from repro.platform.star import StarPlatform
+    from repro.sorting.sample_sort import sample_sort
+
+    platform = StarPlatform.from_speeds(args.speeds)
+    keys = np.random.default_rng(args.seed).random(args.n)
+    res = sample_sort(keys, platform, rng=args.seed)
+    ok = bool(np.array_equal(res.sorted_keys, np.sort(keys)))
+    print(
+        f"sample sort: N={args.n}, p={platform.size}, "
+        f"s={res.oversampling}, sorted={ok}"
+    )
+    print(f"  bucket sizes:   {res.bucket_sizes.tolist()}")
+    print(f"  makespan:       {res.makespan:,.0f} work units")
+    print(f"  speedup:        {res.speedup():.2f}x over one master-speed core")
+    print(f"  parallel frac:  {100 * res.parallel_fraction:.1f}%")
+    return 0 if ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_report
+
+    report = build_report(
+        trials=args.trials, seed=args.seed, charts=not args.no_charts
+    )
+    if args.output:
+        report.save(args.output)
+        print(f"report written to {args.output}")
+    else:
+        print(report.text)
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from repro.experiments.figure4 import run_figure4
+    from repro.experiments.rho import run_rho_experiment
+    from repro.experiments.section2 import run_section2
+    from repro.experiments.section3 import run_section3
+
+    for model in ("homogeneous", "uniform", "lognormal"):
+        print(
+            run_figure4(
+                model, processors=(10, 40, 100), trials=args.trials, seed=args.seed
+            ).render()
+        )
+        print()
+    print(run_section2().render())
+    print()
+    print(run_section3().render())
+    print()
+    print(run_rho_experiment(p=40).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Non-Linear Divisible Loads: There is No "
+            "Free Lunch' — regenerate any experiment."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=2013, help="RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p4 = sub.add_parser("figure4", help="Figure 4 panel (a/b/c)")
+    p4.add_argument(
+        "--model",
+        choices=("homogeneous", "uniform", "lognormal"),
+        default="uniform",
+    )
+    p4.add_argument(
+        "--processors", type=int, nargs="+", default=[10, 20, 40, 60, 80, 100]
+    )
+    p4.add_argument("--trials", type=int, default=100)
+    p4.add_argument(
+        "--chart", action="store_true", help="also draw an ASCII chart"
+    )
+    p4.set_defaults(fn=_cmd_figure4)
+
+    p2 = sub.add_parser("section2", help="the vanishing-fraction table")
+    p2.add_argument(
+        "--processors", type=int, nargs="+", default=[2, 4, 8, 16, 32, 64, 128]
+    )
+    p2.add_argument("--alphas", type=float, nargs="+", default=[1.5, 2.0, 3.0])
+    p2.add_argument("--N", type=float, default=1000.0)
+    p2.set_defaults(fn=_cmd_section2)
+
+    p3 = sub.add_parser("section3", help="sorting residue + sample sorts")
+    p3.add_argument("--n", type=int, default=200_000, help="keys per run")
+    p3.set_defaults(fn=_cmd_section3)
+
+    pr = sub.add_parser("rho", help="half-slow/half-fast rho table")
+    pr.add_argument("--k", type=float, nargs="+", default=[1, 2, 4, 9, 16, 25, 64])
+    pr.add_argument("--p", type=int, default=40)
+    pr.add_argument("--N", type=float, default=10_000.0)
+    pr.set_defaults(fn=_cmd_rho)
+
+    pp = sub.add_parser("plan", help="compare strategies on a platform")
+    pp.add_argument("--speeds", type=float, nargs="+", required=True)
+    pp.add_argument("--N", type=float, default=10_000.0)
+    pp.set_defaults(fn=_cmd_plan)
+
+    ps = sub.add_parser("sort", help="run a sample sort")
+    ps.add_argument("--n", type=int, default=100_000)
+    ps.add_argument("--speeds", type=float, nargs="+", default=[1.0, 1.0, 1.0, 1.0])
+    ps.set_defaults(fn=_cmd_sort)
+
+    pa = sub.add_parser("all", help="every experiment, reduced protocol")
+    pa.add_argument("--trials", type=int, default=20)
+    pa.set_defaults(fn=_cmd_all)
+
+    prep = sub.add_parser("report", help="full reproduction report")
+    prep.add_argument("--trials", type=int, default=30)
+    prep.add_argument("--output", type=str, default=None, help="write to file")
+    prep.add_argument("--no-charts", action="store_true")
+    prep.set_defaults(fn=_cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

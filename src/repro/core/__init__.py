@@ -1,0 +1,79 @@
+"""The paper's primary contribution: analysis + strategy layer.
+
+* :mod:`repro.core.cost_models` — workload cost functions (linear,
+  power-law :math:`N^\\alpha`, :math:`N \\log N`, …).
+* :mod:`repro.core.nonlinear` — §2: the vanishing-fraction theorem for
+  super-linear divisible loads.
+* :mod:`repro.core.almost_linear` — §3: sorting as an *almost* divisible
+  load.
+* :mod:`repro.core.bounds` — §4: communication lower bounds,
+  closed-form volumes and the :math:`\\rho` heterogeneity-gain bound.
+* :mod:`repro.core.strategies` — the user-facing façade tying the block
+  strategies, the partitioner and the platform together.
+"""
+
+from repro.core.cost_models import (
+    CostModel,
+    LinearCost,
+    AffineCost,
+    PowerLawCost,
+    NLogNCost,
+    CallableCost,
+)
+from repro.core.nonlinear import (
+    total_work,
+    partial_work,
+    partial_work_fraction,
+    residual_fraction,
+    rounds_to_finish,
+    dlt_phase_report,
+)
+from repro.core.almost_linear import (
+    sorting_work,
+    sorting_partial_work,
+    sorting_residual_fraction,
+    recommended_oversampling,
+    sample_sort_cost_breakdown,
+)
+from repro.core.bounds import (
+    lower_bound_comm,
+    comm_hom_ideal,
+    comm_het_upper_bound,
+    rho_lower_bound,
+    half_fast_rho_bound,
+    PERI_SUM_GUARANTEE,
+)
+from repro.core.strategies import (
+    OuterProductPlan,
+    plan_outer_product,
+    compare_strategies,
+)
+
+__all__ = [
+    "CostModel",
+    "LinearCost",
+    "AffineCost",
+    "PowerLawCost",
+    "NLogNCost",
+    "CallableCost",
+    "total_work",
+    "partial_work",
+    "partial_work_fraction",
+    "residual_fraction",
+    "rounds_to_finish",
+    "dlt_phase_report",
+    "sorting_work",
+    "sorting_partial_work",
+    "sorting_residual_fraction",
+    "recommended_oversampling",
+    "sample_sort_cost_breakdown",
+    "lower_bound_comm",
+    "comm_hom_ideal",
+    "comm_het_upper_bound",
+    "rho_lower_bound",
+    "half_fast_rho_bound",
+    "PERI_SUM_GUARANTEE",
+    "OuterProductPlan",
+    "plan_outer_product",
+    "compare_strategies",
+]

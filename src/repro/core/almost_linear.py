@@ -1,0 +1,179 @@
+"""Section 3 — sorting as an *almost* divisible load.
+
+Sorting ``N`` keys costs :math:`W = N \\log N`.  Splitting into ``p``
+lists of :math:`N/p` and sorting them in parallel performs
+
+.. math:: W_\\text{partial} = p \\frac{N}{p} \\log\\frac{N}{p}
+          = N\\log N - N \\log p,
+
+so the residue is :math:`\\log p / \\log N`, which vanishes for large
+``N`` — unlike the :math:`1 - 1/P^{\\alpha-1}` residue of §2.  The catch:
+independent partial sorts don't compose into a sorted whole, so a
+*preprocessing* phase (sample sort, §3.1) must first split the keys into
+range-disjoint buckets.  These functions give the cost accounting; the
+executable algorithm lives in :mod:`repro.sorting`.
+
+All logarithms are base 2 (comparison sorts); the residue ratio is
+base-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_integer, check_positive
+
+
+def sorting_work(N: float) -> float:
+    """Comparison-sort work :math:`N \\log_2 N` (0 for ``N <= 1``)."""
+    check_positive(N, "N")
+    if N <= 1:
+        return 0.0
+    return float(N * np.log2(N))
+
+
+def sorting_partial_work(N: float, p: int) -> float:
+    """Work done by ``p`` independent sorts of ``N/p`` keys each."""
+    check_positive(N, "N")
+    check_integer(p, "p", minimum=1)
+    chunk = N / p
+    return float(p * sorting_work(chunk)) if chunk > 1 else 0.0
+
+
+def sorting_residual_fraction(N: float, p: int) -> float:
+    """The §3.1 residue :math:`\\log p / \\log N`.
+
+    The fraction of the total sorting work that cannot be delegated to
+    the embarrassingly parallel phase.  Tends to 0 as ``N`` grows with
+    ``p`` fixed — sorting is *amenable* to DLT.
+    """
+    check_positive(N, "N")
+    check_integer(p, "p", minimum=1)
+    if N <= 1:
+        return 0.0
+    return float(np.log2(p) / np.log2(N))
+
+
+def recommended_oversampling(N: float) -> int:
+    """The paper's oversampling ratio :math:`s = (\\log_2 N)^2` (§3.1).
+
+    With this choice the Step-1 sample sort (:math:`sp\\log(sp)`) stays
+    dominated by Step 2's :math:`N \\log p` and the max-bucket bound of
+    Theorem B.4 holds with high probability.
+    """
+    check_positive(N, "N")
+    if N <= 2:
+        return 1
+    return max(1, int(round(np.log2(N) ** 2)))
+
+
+@dataclass(frozen=True)
+class SampleSortCosts:
+    """Cost breakdown of the three sample-sort phases (§3.1).
+
+    Times are in abstract work units on a unit-speed machine; the master
+    executes Steps 1–2, workers execute Step 3 in parallel.
+    """
+
+    N: int
+    p: int
+    s: int
+    #: Step 1: sort the sample of ``s*p`` keys on the master
+    step1_sample_sort: float
+    #: Step 2: bucket each key by binary search over ``p-1`` splitters
+    step2_bucketing: float
+    #: Step 3 (per worker, expected): sort ``N/p`` keys
+    step3_expected_local_sort: float
+    #: Step 3 bound with the Theorem-B.4 max bucket size
+    step3_whp_bound: float
+    #: parallel makespan estimate: steps 1+2 on master, then max step 3
+    makespan_estimate: float
+    #: total work of a sequential sort, for speedup computation
+    sequential_work: float
+
+    @property
+    def speedup_estimate(self) -> float:
+        """Sequential work over estimated parallel makespan."""
+        if self.makespan_estimate == 0:
+            return 1.0
+        return self.sequential_work / self.makespan_estimate
+
+    @property
+    def preprocessing_fraction(self) -> float:
+        """Share of the makespan spent in the sequential Steps 1–2."""
+        pre = self.step1_sample_sort + self.step2_bucketing
+        return pre / self.makespan_estimate if self.makespan_estimate else 0.0
+
+
+def theorem_b4_epsilon(N: float) -> float:
+    """The relative overflow :math:`(1/\\log N)^{1/3}` of Theorem B.4.
+
+    With oversampling :math:`s = \\log^2 N`, the largest bucket satisfies
+    :math:`\\text{MaxSize} \\le (N/p)(1 + \\epsilon)` with probability at
+    least :math:`1 - N^{-1/3}` (Blelloch et al. [40], as invoked in §3.1).
+    Natural log, following the source's statement.
+    """
+    check_positive(N, "N")
+    if N <= np.e:
+        return 1.0
+    return float((1.0 / np.log(N)) ** (1.0 / 3.0))
+
+
+def theorem_b4_max_bucket_bound(N: int, p: int) -> float:
+    """High-probability bound on the largest bucket: ``(N/p)(1+eps)``."""
+    check_integer(N, "N", minimum=1)
+    check_integer(p, "p", minimum=1)
+    return (N / p) * (1.0 + theorem_b4_epsilon(N))
+
+
+def sample_sort_cost_breakdown(
+    N: int, p: int, s: int | None = None
+) -> SampleSortCosts:
+    """Analytic cost model of sample sort (§3.1), all three steps.
+
+    ``s`` defaults to the paper's :math:`\\log^2 N`.  Step 3 uses both
+    the expected bucket size ``N/p`` and the Theorem-B.4 w.h.p. bound;
+    the makespan estimate uses the expected size (the paper's
+    "optimal on p processors with high probability" statement).
+    """
+    check_integer(N, "N", minimum=2)
+    check_integer(p, "p", minimum=1)
+    if s is None:
+        s = recommended_oversampling(N)
+    s = check_integer(s, "s", minimum=1)
+    sample = s * p
+    step1 = sorting_work(sample) if sample > 1 else 0.0
+    step2 = float(N * np.log2(max(p, 2))) if p > 1 else 0.0
+    expected_bucket = N / p
+    step3_exp = sorting_work(expected_bucket) if expected_bucket > 1 else 0.0
+    whp_bucket = theorem_b4_max_bucket_bound(N, p)
+    step3_whp = sorting_work(whp_bucket) if whp_bucket > 1 else 0.0
+    makespan = step1 + step2 + step3_exp
+    return SampleSortCosts(
+        N=N,
+        p=p,
+        s=s,
+        step1_sample_sort=step1,
+        step2_bucketing=step2,
+        step3_expected_local_sort=step3_exp,
+        step3_whp_bound=step3_whp,
+        makespan_estimate=makespan,
+        sequential_work=sorting_work(N),
+    )
+
+
+def heterogeneous_bucket_fractions(speeds: np.ndarray) -> np.ndarray:
+    """Target bucket-size fractions for heterogeneous workers (§3.2).
+
+    Worker :math:`P_i` (cycle time :math:`w_i`) should receive a bucket
+    proportional to its speed :math:`1/w_i`, i.e. fraction
+    :math:`(1/w_i) / \\sum_k (1/w_k)`.  (For :math:`N\\log N` costs this
+    equalises leading-order finish times; the :math:`\\log` factor's
+    variation across buckets is second-order, as in the paper.)
+    """
+    speeds = np.asarray(speeds, dtype=float)
+    if speeds.ndim != 1 or speeds.size == 0 or np.any(speeds <= 0):
+        raise ValueError("speeds must be a non-empty positive 1-D array")
+    return speeds / speeds.sum()

@@ -1,0 +1,143 @@
+"""Section 4 — closed-form communication volumes and bounds.
+
+All formulas are for the outer product :math:`a^T \\times b` of two
+vectors of size ``N`` on workers with speeds :math:`s_1 \\le \\dots \\le
+s_p` and normalized speeds :math:`x_i = s_i/\\sum_k s_k`:
+
+* lower bound (§4.3): each worker ideally gets an
+  :math:`N\\sqrt{x_i} \\times N\\sqrt{x_i}` square, so
+  :math:`LB = 2N\\sum_i \\sqrt{x_i}`;
+* **Homogeneous Blocks** (§4.1.1): square chunks sized for the slowest
+  worker, :math:`Comm_{hom} = 2N\\sqrt{\\sum_i s_i / s_1}`;
+* **Heterogeneous Blocks** (§4.1.2): PERI-SUM partitioning,
+  :math:`Comm_{het} \\le \\frac{7N}{2}\\sum_i\\sqrt{x_i}`;
+* the gain ratio (§4.1.3):
+  :math:`\\rho \\ge \\frac{4}{7}\\frac{\\sum_i s_i}{\\sqrt{s_1}\\sum_i\\sqrt{s_i}}`,
+  and for half-slow/half-fast(k) platforms
+  :math:`\\rho \\ge \\frac{1+k}{1+\\sqrt{k}} \\ge \\sqrt{k} - 1`.
+
+The same formulas govern matrix multiplication (§4.2) with the volume
+scaled by ``N`` steps: comm is proportional to the sum of
+half-perimeters either way, so every ratio carries over unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive, check_positive_array
+
+#: Guaranteed approximation factor of the column-based PERI-SUM
+#: partitioner versus the lower bound (§4.1.2): the algorithm's cost
+#: satisfies ``C_hat <= 1 + (5/4) * LB`` and, since ``LB >= 2``,
+#: ``C_hat <= (7/4) * LB``.  Asymptotically (``LB >> 2``) the effective
+#: ratio tends to 5/4; observed ratios in §4.3 are within 2%.
+PERI_SUM_GUARANTEE = 7.0 / 4.0
+
+#: The additive form of the same guarantee: ``C_hat <= PERI_SUM_ADDITIVE
+#: + PERI_SUM_ASYMPTOTIC * LB``.
+PERI_SUM_ADDITIVE = 1.0
+PERI_SUM_ASYMPTOTIC = 5.0 / 4.0
+
+
+def normalized_speeds(speeds) -> np.ndarray:
+    """:math:`x_i = s_i / \\sum_k s_k`."""
+    s = check_positive_array(speeds, "speeds")
+    return s / s.sum()
+
+
+def lower_bound_comm(N: float, speeds) -> float:
+    """:math:`LB = 2N \\sum_i \\sqrt{x_i}` — ideal disjoint squares (§4.3).
+
+    Corresponds to giving worker *i* an
+    :math:`N\\sqrt{x_i} \\times N\\sqrt{x_i}` square of the computational
+    domain; squares minimise half-perimeter at fixed area, and the bound
+    ignores the (generally impossible) requirement that the squares tile
+    the domain, hence *lower* bound.
+    """
+    check_positive(N, "N")
+    x = normalized_speeds(speeds)
+    return float(2.0 * N * np.sqrt(x).sum())
+
+
+def comm_hom_ideal(N: float, speeds) -> float:
+    """Idealised Homogeneous Blocks volume (§4.1.1).
+
+    Block side :math:`D = \\sqrt{x_1} N` (one block for the slowest
+    worker), :math:`1/x_1` blocks in total, each shipping :math:`2D`:
+
+    .. math:: Comm_{hom} = \\frac{1}{x_1} \\cdot 2N\\sqrt{x_1}
+              = 2N\\sqrt{\\frac{\\sum_i s_i}{s_1}}.
+
+    Assumes every count is integral — the realistic, rounded variant is
+    :class:`repro.blocks.HomogeneousBlocksStrategy`.
+    """
+    check_positive(N, "N")
+    s = check_positive_array(speeds, "speeds")
+    return float(2.0 * N * np.sqrt(s.sum() / s.min()))
+
+
+def comm_het_upper_bound(N: float, speeds) -> float:
+    """Guaranteed Heterogeneous Blocks volume (§4.1.2).
+
+    .. math:: Comm_{het} \\le \\frac{7N}{2} \\sum_i \\sqrt{x_i}
+              = \\frac{7N}{2}\\frac{\\sum_i \\sqrt{s_i}}
+                               {\\sqrt{\\sum_i s_i}}.
+    """
+    check_positive(N, "N")
+    x = normalized_speeds(speeds)
+    return float(3.5 * N * np.sqrt(x).sum())
+
+
+def rho_lower_bound(speeds) -> float:
+    """Guaranteed gain of heterogeneity-aware partitioning (§4.1.3).
+
+    .. math:: \\rho = \\frac{Comm_{hom}}{Comm_{het}}
+              \\ge \\frac{4}{7} \\cdot
+              \\frac{\\sum_i s_i}{\\sqrt{s_1} \\sum_i \\sqrt{s_i}}.
+
+    Equals :math:`4/7 \\cdot \\sqrt{p}/p \\cdot p = 4\\sqrt{p}/7/\\dots`
+    — for homogeneous platforms reduces to the (vacuous) statement
+    :math:`\\rho \\ge 4/7`; grows without bound with heterogeneity.
+    """
+    s = check_positive_array(speeds, "speeds")
+    return float((4.0 / 7.0) * s.sum() / (np.sqrt(s.min()) * np.sqrt(s).sum()))
+
+
+def half_fast_rho_bound(k: float) -> float:
+    """The §4.1.3 closing example: half slow (1), half fast (k) workers.
+
+    .. math:: \\rho \\ge \\frac{1 + k}{1 + \\sqrt{k}} \\ge \\sqrt{k} - 1.
+
+    (The first expression is exact for the 4/7-free form of the ratio
+    with equal worker counts; the second is the paper's simplification.)
+    """
+    check_positive(k, "k")
+    return float((1.0 + k) / (1.0 + np.sqrt(k)))
+
+
+def half_fast_rho_simple(k: float) -> float:
+    """The weaker closed form :math:`\\sqrt{k} - 1` from §4.1.3."""
+    check_positive(k, "k")
+    return float(np.sqrt(k) - 1.0)
+
+
+def ratio_to_lower_bound(volume: float, N: float, speeds) -> float:
+    """Normalise a measured volume by :func:`lower_bound_comm`.
+
+    This is exactly the y-axis of the paper's Figure 4.
+    """
+    lb = lower_bound_comm(N, speeds)
+    if volume < 0:
+        raise ValueError(f"volume must be non-negative, got {volume}")
+    return float(volume / lb)
+
+
+def peri_sum_lower_bound(areas) -> float:
+    """Half-perimeter lower bound on the *unit* square: ``2 Σ √a_i``.
+
+    Unit-square analogue of :func:`lower_bound_comm` (the ``N``-scaled
+    version); used directly by the partition package.
+    """
+    a = check_positive_array(areas, "areas")
+    return float(2.0 * np.sqrt(a).sum())

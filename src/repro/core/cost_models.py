@@ -1,0 +1,206 @@
+"""Workload cost models.
+
+A cost model maps a *chunk size* ``n`` (data units) to the amount of
+*work* (computation units) that chunk requires.  A worker of cycle time
+:math:`w_i` then spends :math:`w_i \\cdot \\text{work}(n)` wall-clock
+seconds on it.  The whole point of the paper is how the shape of this
+function interacts with divisibility:
+
+* :class:`LinearCost` — classic DLT; chunks compose
+  (``work(a+b) == work(a)+work(b)``).
+* :class:`PowerLawCost` with :math:`\\alpha > 1` — the §2 negative
+  result: splitting *destroys* work
+  (``work(a)+work(b) < work(a+b)``), so a single distribution round only
+  covers a :math:`1/P^{\\alpha-1}` fraction of the job.
+* :class:`NLogNCost` — sorting; *almost* linear, residue
+  :math:`\\log p/\\log N` (§3).
+
+All models are vectorised over NumPy arrays.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.util.validation import check_nonnegative, check_positive
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class CostModel(ABC):
+    """Maps chunk size ``n`` (data units) → work (computation units)."""
+
+    #: short identifier used in tables and traces
+    name: str = "abstract"
+
+    @abstractmethod
+    def work(self, n: ArrayLike) -> ArrayLike:
+        """Work required by a chunk of ``n`` data units."""
+
+    def __call__(self, n: ArrayLike) -> ArrayLike:
+        return self.work(n)
+
+    @property
+    def is_linear(self) -> bool:
+        """Whether ``work`` is additive under splitting."""
+        return False
+
+    def split_loss(self, n: float, parts: int) -> float:
+        """Work *lost* by splitting ``n`` into ``parts`` equal chunks.
+
+        ``work(n) - parts * work(n/parts)``; zero iff the model is
+        linear, positive for super-linear models (this is the "no free
+        lunch"), negative for sub-linear ones.
+        """
+        check_nonnegative(n, "n")
+        if parts < 1:
+            raise ValueError(f"parts must be >= 1, got {parts}")
+        return float(self.work(n) - parts * self.work(n / parts))
+
+    def inverse(self, target: float, hi: float | None = None) -> float:
+        """Chunk size whose work equals ``target`` (monotone bisection).
+
+        Subclasses with closed forms override this.  Requires
+        ``work`` to be continuous and non-decreasing with
+        ``work(0) <= target``.
+        """
+        check_nonnegative(target, "target")
+        if target == 0:
+            return 0.0
+        lo = 0.0
+        if hi is None:
+            hi = 1.0
+            while self.work(hi) < target:
+                hi *= 2.0
+                if hi > 1e300:
+                    raise ValueError("cost model never reaches target work")
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if self.work(mid) < target:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo <= 1e-12 * max(1.0, hi):
+                break
+        return 0.5 * (lo + hi)
+
+
+@dataclass(frozen=True)
+class LinearCost(CostModel):
+    """``work(n) = rate * n`` — the classical divisible-load model."""
+
+    rate: float = 1.0
+    name: str = "linear"
+
+    def __post_init__(self) -> None:
+        check_positive(self.rate, "rate")
+
+    def work(self, n: ArrayLike) -> ArrayLike:
+        return self.rate * np.asarray(n, dtype=float)
+
+    @property
+    def is_linear(self) -> bool:
+        return True
+
+    def inverse(self, target: float, hi: float | None = None) -> float:
+        check_nonnegative(target, "target")
+        return target / self.rate
+
+
+@dataclass(frozen=True)
+class AffineCost(CostModel):
+    """``work(n) = latency + rate * n`` for ``n > 0`` (0 at ``n = 0``).
+
+    Models a fixed per-chunk start-up cost; used by the multi-round
+    scheduler to show the latency/pipelining trade-off.
+    """
+
+    rate: float = 1.0
+    latency: float = 0.0
+    name: str = "affine"
+
+    def __post_init__(self) -> None:
+        check_positive(self.rate, "rate")
+        check_nonnegative(self.latency, "latency")
+
+    def work(self, n: ArrayLike) -> ArrayLike:
+        arr = np.asarray(n, dtype=float)
+        out = self.latency + self.rate * arr
+        return np.where(arr > 0, out, 0.0) if isinstance(arr, np.ndarray) else out
+
+    @property
+    def is_linear(self) -> bool:
+        return self.latency == 0.0
+
+
+@dataclass(frozen=True)
+class PowerLawCost(CostModel):
+    """``work(n) = coeff * n**alpha`` — the §2 super-linear workload.
+
+    ``alpha = 2`` is the paper's running example (outer product /
+    quadratic loads, the model of Hung & Robertazzi [31,32] and Suresh et
+    al. [33–35]); ``alpha = 3`` corresponds to matrix multiplication in
+    terms of matrix *order*.
+    """
+
+    alpha: float = 2.0
+    coeff: float = 1.0
+    name: str = "power-law"
+
+    def __post_init__(self) -> None:
+        check_positive(self.alpha, "alpha")
+        check_positive(self.coeff, "coeff")
+
+    def work(self, n: ArrayLike) -> ArrayLike:
+        return self.coeff * np.power(np.asarray(n, dtype=float), self.alpha)
+
+    @property
+    def is_linear(self) -> bool:
+        return self.alpha == 1.0
+
+    def inverse(self, target: float, hi: float | None = None) -> float:
+        check_nonnegative(target, "target")
+        return float((target / self.coeff) ** (1.0 / self.alpha))
+
+
+@dataclass(frozen=True)
+class NLogNCost(CostModel):
+    """``work(n) = coeff * n * log2(n)`` (0 for ``n <= 1``) — sorting.
+
+    The §3 "almost linear" workload: super-additive, but with a residue
+    that vanishes relative to the total (``log p / log N``).
+    """
+
+    coeff: float = 1.0
+    name: str = "n-log-n"
+
+    def __post_init__(self) -> None:
+        check_positive(self.coeff, "coeff")
+
+    def work(self, n: ArrayLike) -> ArrayLike:
+        arr = np.asarray(n, dtype=float)
+        safe = np.maximum(arr, 1.0)
+        out = self.coeff * safe * np.log2(safe)
+        if np.ndim(arr) == 0:
+            return float(out)
+        return out
+
+
+@dataclass(frozen=True)
+class CallableCost(CostModel):
+    """Wrap an arbitrary vectorised function as a cost model."""
+
+    fn: Callable[[ArrayLike], ArrayLike]
+    name: str = "callable"
+    linear: bool = False
+
+    def work(self, n: ArrayLike) -> ArrayLike:
+        return self.fn(np.asarray(n, dtype=float))
+
+    @property
+    def is_linear(self) -> bool:
+        return self.linear

@@ -1,0 +1,186 @@
+"""Section 2 — non-linear workloads are not amenable to DLT.
+
+The paper's core negative result, reproduced here as executable
+arithmetic.  For a workload of total size ``N`` with cost
+:math:`W = N^\\alpha` on a *homogeneous* star of ``P`` workers:
+
+* each worker optimally receives :math:`N/P` data and finishes at
+  :math:`(N/P)c + (N/P)^\\alpha w`;
+* the work actually performed in this single round is
+  :math:`W_\\text{partial} = P (N/P)^\\alpha = N^\\alpha / P^{\\alpha-1}`;
+* hence the *residual fraction*
+
+  .. math:: \\frac{W - W_\\text{partial}}{W} = 1 - \\frac{1}{P^{\\alpha-1}}
+     \\xrightarrow{P \\to \\infty} 1.
+
+So as the platform grows, essentially *all* of the work remains after
+the phase the non-linear-DLT literature optimises — there is no free
+lunch.  These functions also quantify how many successive rounds a
+split-recombine scheme would need, making the contrast with the linear
+case concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_integer, check_positive
+
+
+def total_work(N: float, alpha: float) -> float:
+    """Sequential work :math:`W = N^\\alpha` of the whole load."""
+    check_positive(N, "N")
+    check_positive(alpha, "alpha")
+    return float(N**alpha)
+
+
+def partial_work(N: float, P: int, alpha: float) -> float:
+    """Work done by one DLT round on ``P`` homogeneous workers.
+
+    :math:`W_\\text{partial} = P \\cdot (N/P)^\\alpha = N^\\alpha / P^{\\alpha-1}`.
+    """
+    check_positive(N, "N")
+    check_integer(P, "P", minimum=1)
+    check_positive(alpha, "alpha")
+    return float(P * (N / P) ** alpha)
+
+
+def partial_work_fraction(P: int, alpha: float) -> float:
+    """Fraction of total work done in the DLT round: :math:`P^{1-\\alpha}`.
+
+    Independent of ``N`` — the non-linearity exponent alone decides how
+    badly divisibility fails.
+    """
+    check_integer(P, "P", minimum=1)
+    check_positive(alpha, "alpha")
+    return float(P ** (1.0 - alpha))
+
+
+def residual_fraction(P: int, alpha: float) -> float:
+    """Fraction of work *left over* after the DLT round.
+
+    :math:`(W - W_\\text{partial}) / W = 1 - 1/P^{\\alpha-1}` — the
+    paper's headline formula, tending to 1 for large ``P`` whenever
+    :math:`\\alpha > 1`.
+    """
+    return 1.0 - partial_work_fraction(P, alpha)
+
+
+def speedup_single_round(P: int, alpha: float) -> float:
+    """Best-case speedup of one round over sequential execution.
+
+    Ignoring communication, one round takes :math:`(N/P)^\\alpha w`
+    versus :math:`N^\\alpha w` sequentially — a speedup of
+    :math:`P^\\alpha`, *but only on the fraction it processes*.  The
+    effective speedup of "round + sequential remainder" is what
+    :func:`rounds_to_finish` and :func:`dlt_phase_report` expose.
+    """
+    check_integer(P, "P", minimum=1)
+    check_positive(alpha, "alpha")
+    return float(P**alpha)
+
+
+def rounds_to_finish(P: int, alpha: float, coverage: float = 0.99) -> int:
+    """Number of *independent* equal-split rounds to cover the work.
+
+    Thought experiment used in §2's discussion: if one insisted on
+    repeatedly applying single-round DLT to the remaining work (assuming,
+    optimistically, that leftover work kept the same :math:`N^\\alpha`
+    structure), each round covers a :math:`P^{1-\\alpha}` fraction, so
+    reaching ``coverage`` of the total needs
+
+    .. math:: r \\ge \\frac{\\ln(1 - \\text{coverage})}
+                     {\\ln(1 - P^{1-\\alpha})}
+
+    rounds.  For linear loads (:math:`\\alpha = 1`) a single round covers
+    everything; for :math:`\\alpha = 2` and large ``P`` this grows like
+    :math:`P \\ln(1/(1-\\text{coverage}))` — divisibility has bought
+    nothing.
+    """
+    check_integer(P, "P", minimum=1)
+    check_positive(alpha, "alpha")
+    if not 0 < coverage < 1:
+        raise ValueError(f"coverage must be in (0, 1), got {coverage}")
+    frac = partial_work_fraction(P, alpha)
+    if frac >= 1.0:
+        return 1
+    return int(np.ceil(np.log(1.0 - coverage) / np.log(1.0 - frac)))
+
+
+@dataclass(frozen=True)
+class DLTPhaseReport:
+    """Everything §2 says about one DLT round on a homogeneous star."""
+
+    N: float
+    P: int
+    alpha: float
+    c: float
+    w: float
+    #: data per worker, ``N/P``
+    chunk: float
+    #: makespan of the round, ``(N/P)c + (N/P)^alpha w``
+    round_makespan: float
+    #: total sequential work ``N^alpha``
+    total_work: float
+    #: work covered by the round
+    partial_work: float
+    #: ``partial_work / total_work`` = ``P^(1-alpha)``
+    covered_fraction: float
+    #: ``1 - covered_fraction`` → 1 as P grows (the "no free lunch")
+    residual_fraction: float
+    #: time to process the *residual* sequentially at cycle time ``w``
+    residual_sequential_time: float
+
+    def summary(self) -> str:
+        """One-paragraph human-readable statement of the result."""
+        return (
+            f"One DLT round on P={self.P} workers (alpha={self.alpha}): "
+            f"each worker gets {self.chunk:.6g} data, round ends at "
+            f"t={self.round_makespan:.6g}, but covers only "
+            f"{100 * self.covered_fraction:.3g}% of the total work — "
+            f"{100 * self.residual_fraction:.3g}% remains."
+        )
+
+
+def dlt_phase_report(
+    N: float, P: int, alpha: float, c: float = 1.0, w: float = 1.0
+) -> DLTPhaseReport:
+    """Quantify one equal-split DLT round (§2's homogeneous analysis)."""
+    check_positive(N, "N")
+    check_integer(P, "P", minimum=1)
+    check_positive(alpha, "alpha")
+    check_positive(c, "c")
+    check_positive(w, "w")
+    chunk = N / P
+    round_makespan = chunk * c + (chunk**alpha) * w
+    W = total_work(N, alpha)
+    Wp = partial_work(N, P, alpha)
+    return DLTPhaseReport(
+        N=float(N),
+        P=int(P),
+        alpha=float(alpha),
+        c=float(c),
+        w=float(w),
+        chunk=float(chunk),
+        round_makespan=float(round_makespan),
+        total_work=W,
+        partial_work=Wp,
+        covered_fraction=Wp / W,
+        residual_fraction=1.0 - Wp / W,
+        residual_sequential_time=(W - Wp) * w,
+    )
+
+
+def linear_contrast(N: float, P: int, c: float = 1.0, w: float = 1.0) -> float:
+    """Makespan of the same round for a *linear* load (for contrast).
+
+    Every worker receives ``N/P`` and the whole job is done at
+    :math:`(N/P)(c + w)` — full coverage, perfect speedup ``P`` on the
+    compute part.  Comparing this with
+    :attr:`DLTPhaseReport.residual_fraction` is the crux of §2.
+    """
+    check_positive(N, "N")
+    check_integer(P, "P", minimum=1)
+    return float((N / P) * (c + w))

@@ -1,0 +1,97 @@
+"""User-facing façade: plan an outer product on a platform.
+
+This is the library's quickstart entry point — it hides the strategy
+classes behind one function and one comparison helper:
+
+>>> from repro.platform import StarPlatform
+>>> from repro.core import plan_outer_product
+>>> platform = StarPlatform.from_speeds([1, 1, 4, 4])
+>>> plan = plan_outer_product(platform, N=1000, strategy="het")
+>>> plan.ratio_to_lower_bound  # doctest: +SKIP
+1.01...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.blocks.heterogeneous import HeterogeneousBlocksStrategy
+from repro.blocks.homogeneous import HomogeneousBlocksStrategy
+from repro.blocks.metrics import StrategyResult
+from repro.blocks.refined import RefinedHomogeneousStrategy
+from repro.platform.star import StarPlatform
+
+#: alias so downstream users import one name for the result type
+OuterProductPlan = StrategyResult
+
+_STRATEGIES = ("hom", "hom/k", "het")
+
+
+def plan_outer_product(
+    platform: StarPlatform,
+    N: float,
+    strategy: str = "het",
+    imbalance_target: float = 0.01,
+) -> OuterProductPlan:
+    """Plan the distribution of an ``N × N`` outer product.
+
+    ``strategy`` is one of:
+
+    * ``"hom"`` — Homogeneous Blocks (§4.1.1),
+    * ``"hom/k"`` — refined Homogeneous Blocks with the paper's
+      ``e <= imbalance_target`` stopping rule (§4.3),
+    * ``"het"`` — Heterogeneous Blocks via PERI-SUM (§4.1.2).
+    """
+    if strategy == "hom":
+        return HomogeneousBlocksStrategy().plan(platform, N)
+    if strategy == "hom/k":
+        return RefinedHomogeneousStrategy(
+            imbalance_target=imbalance_target
+        ).plan(platform, N)
+    if strategy == "het":
+        return HeterogeneousBlocksStrategy().plan(platform, N)
+    raise ValueError(
+        f"unknown strategy {strategy!r}; expected one of {_STRATEGIES}"
+    )
+
+
+@dataclass(frozen=True)
+class StrategyComparison:
+    """All three §4 strategies on one instance, ready for a table row."""
+
+    N: float
+    plans: Dict[str, OuterProductPlan]
+
+    @property
+    def ratios(self) -> Dict[str, float]:
+        """Ratio-to-lower-bound per strategy (Figure 4's quantity)."""
+        return {
+            name: plan.ratio_to_lower_bound for name, plan in self.plans.items()
+        }
+
+    @property
+    def rho(self) -> float:
+        """Measured :math:`\\rho = Comm_{hom} / Comm_{het}` (§4.1.3)."""
+        return self.plans["hom"].comm_volume / self.plans["het"].comm_volume
+
+    def summary(self) -> str:
+        lines = [f"Outer product N={self.N:g}:"]
+        for name in _STRATEGIES:
+            plan = self.plans[name]
+            lines.append(f"  {plan.summary()}")
+        lines.append(f"  rho = Comm_hom/Comm_het = {self.rho:.3f}")
+        return "\n".join(lines)
+
+
+def compare_strategies(
+    platform: StarPlatform, N: float, imbalance_target: float = 0.01
+) -> StrategyComparison:
+    """Run all three strategies on the same instance (one Figure-4 cell)."""
+    plans = {
+        name: plan_outer_product(
+            platform, N, strategy=name, imbalance_target=imbalance_target
+        )
+        for name in _STRATEGIES
+    }
+    return StrategyComparison(N=float(N), plans=plans)

@@ -1,0 +1,51 @@
+"""Classical Divisible Load Theory solvers (the substrate the paper builds on).
+
+* :mod:`repro.dlt.single_round` — closed-form optimal single-installment
+  allocations for *linear* loads, under parallel links (the paper's
+  model) and the classical one-port model.
+* :mod:`repro.dlt.ordering` — activation-order optimisation for the
+  one-port model (sort by bandwidth; brute-force checker).
+* :mod:`repro.dlt.nonlinear_solver` — the *criticized* approach
+  ([31]–[35]): equal-finish-time allocation of an :math:`N^\\alpha` load,
+  solved numerically.  Exists so §2's futility result can be measured
+  against the genuine optimum of that formulation.
+* :mod:`repro.dlt.multi_round` — multi-installment scheduling for linear
+  loads (extension; return messages stay out of scope per §1.2).
+"""
+
+from repro.dlt.single_round import (
+    Allocation,
+    solve_linear_parallel,
+    solve_linear_one_port,
+    equal_split,
+)
+from repro.dlt.nonlinear_solver import (
+    solve_nonlinear_parallel,
+    solve_nonlinear_one_port,
+    NonlinearAllocation,
+)
+from repro.dlt.ordering import (
+    best_one_port_order,
+    brute_force_one_port_order,
+    bandwidth_order,
+)
+from repro.dlt.multi_round import MultiRoundSchedule, solve_multi_round
+from repro.dlt.tree_solver import TreeAllocation, solve_tree, equivalent_rate
+
+__all__ = [
+    "TreeAllocation",
+    "solve_tree",
+    "equivalent_rate",
+    "Allocation",
+    "solve_linear_parallel",
+    "solve_linear_one_port",
+    "equal_split",
+    "solve_nonlinear_parallel",
+    "solve_nonlinear_one_port",
+    "NonlinearAllocation",
+    "best_one_port_order",
+    "brute_force_one_port_order",
+    "bandwidth_order",
+    "MultiRoundSchedule",
+    "solve_multi_round",
+]

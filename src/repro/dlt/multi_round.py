@@ -1,0 +1,142 @@
+"""Multi-installment (multi-round) DLT for linear loads — extension.
+
+The paper restricts itself to single-round distribution (§1.2) but
+mentions multi-round delivery ("the communications will be shorter ...
+and the workers will be able to compute the current chunk while
+receiving data for the next one").  We implement the standard *uniform*
+multi-round scheme for linear loads under parallel links so the library
+can quantify the pipelining gain — and tests can confirm that rounds do
+**not** rescue super-linear loads (each round still covers only a
+:math:`P^{1-\\alpha}` share of the work *it* distributes, so the total
+work performed stays linear in the data shipped).
+
+Scheme (per round ``r`` of ``R``): the master sends each worker its
+share of ``N/R`` using the single-round closed form; a worker may
+receive round ``r+1`` while computing round ``r``.  Under parallel
+links worker *i*'s timeline is the max-plus recurrence::
+
+    recv_end[i, r]    = recv_end[i, r-1] + c_i * amount[i, r]
+    compute_end[i, r] = max(recv_end[i, r], compute_end[i, r-1])
+                        + w_i * amount[i, r]
+
+With an :class:`repro.core.cost_models.AffineCost` communication latency
+the classic trade-off appears: more rounds pipeline better but pay more
+latency, and an interior optimum exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dlt.single_round import solve_linear_parallel
+from repro.platform.star import StarPlatform
+from repro.util.validation import check_integer, check_positive
+
+
+@dataclass(frozen=True)
+class MultiRoundSchedule:
+    """Timeline of a uniform multi-installment schedule.
+
+    Arrays are ``(p, R)``: entry ``[i, r]`` concerns worker *i*, round
+    *r*.
+    """
+
+    amounts: np.ndarray
+    receive_end: np.ndarray
+    compute_end: np.ndarray
+    makespan: float
+    rounds: int
+    comm_latency: float
+
+    @property
+    def total(self) -> float:
+        """Total data distributed across all rounds."""
+        return float(self.amounts.sum())
+
+    def worker_finish(self) -> np.ndarray:
+        """Final compute-completion time of each worker."""
+        return self.compute_end[:, -1]
+
+
+def solve_multi_round(
+    platform: StarPlatform,
+    N: float,
+    rounds: int,
+    comm_latency: float = 0.0,
+) -> MultiRoundSchedule:
+    """Uniform multi-round schedule of a linear load.
+
+    Each round distributes ``N/rounds`` with the optimal single-round
+    proportions; ``comm_latency`` is a fixed per-message start-up cost
+    added to every transfer (set it > 0 to expose the rounds trade-off).
+    """
+    check_positive(N, "N")
+    check_integer(rounds, "rounds", minimum=1)
+    if comm_latency < 0:
+        raise ValueError(f"comm_latency must be >= 0, got {comm_latency}")
+
+    p = platform.size
+    c = platform.comm_times
+    w = platform.cycle_times
+    per_round = solve_linear_parallel(platform, N / rounds).amounts
+
+    amounts = np.tile(per_round[:, None], (1, rounds))
+    receive_end = np.empty((p, rounds), dtype=float)
+    compute_end = np.empty((p, rounds), dtype=float)
+    for r in range(rounds):
+        prev_recv = receive_end[:, r - 1] if r > 0 else np.zeros(p)
+        prev_comp = compute_end[:, r - 1] if r > 0 else np.zeros(p)
+        receive_end[:, r] = prev_recv + comm_latency + c * amounts[:, r]
+        compute_end[:, r] = (
+            np.maximum(receive_end[:, r], prev_comp) + w * amounts[:, r]
+        )
+    return MultiRoundSchedule(
+        amounts=amounts,
+        receive_end=receive_end,
+        compute_end=compute_end,
+        makespan=float(compute_end[:, -1].max()),
+        rounds=rounds,
+        comm_latency=float(comm_latency),
+    )
+
+
+def best_round_count(
+    platform: StarPlatform,
+    N: float,
+    comm_latency: float,
+    max_rounds: int = 64,
+) -> tuple[int, float]:
+    """Scan round counts 1..max_rounds, return ``(best_R, makespan)``.
+
+    With zero latency the makespan is non-increasing in ``R`` (pure
+    pipelining gain); positive latency creates an interior optimum.
+    """
+    check_integer(max_rounds, "max_rounds", minimum=1)
+    best_r, best_t = 1, np.inf
+    for r in range(1, max_rounds + 1):
+        t = solve_multi_round(platform, N, r, comm_latency).makespan
+        if t < best_t - 1e-15:
+            best_r, best_t = r, t
+    return best_r, float(best_t)
+
+
+def multi_round_nonlinear_coverage(
+    platform: StarPlatform, N: float, alpha: float, rounds: int
+) -> float:
+    """Work fraction covered by ``rounds`` equal installments, cost N^α.
+
+    Each round hands worker *i* chunk :math:`n_{i,r}`; independent
+    chunks contribute :math:`\\sum n_{i,r}^\\alpha`.  For homogeneous
+    platforms this equals :math:`(PR)^{1-\\alpha} N^\\alpha /
+    N^\\alpha = (PR)^{1-\\alpha}` — *worse* per shipped byte than one
+    round, confirming §2: more rounds of finer chunks destroy even more
+    super-linear work.
+    """
+    check_positive(N, "N")
+    check_positive(alpha, "alpha")
+    check_integer(rounds, "rounds", minimum=1)
+    per_round = solve_linear_parallel(platform, N / rounds).amounts
+    covered = rounds * float(np.sum(per_round**alpha))
+    return covered / float(N**alpha)

@@ -1,0 +1,71 @@
+"""Activation-order optimisation for one-port single-round DLT.
+
+In the one-port model the master must choose in which order to feed the
+workers.  For linear loads the classical result is that serving workers
+by non-decreasing communication time :math:`c_i` is optimal (the
+makespan is independent of the computation speeds' order once all
+workers participate).  We provide the sort heuristic, an exhaustive
+checker used in tests, and a helper that compares a given order's
+makespan against the best.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Sequence
+
+import numpy as np
+
+from repro.dlt.single_round import Allocation, solve_linear_one_port
+from repro.platform.star import StarPlatform
+
+
+def bandwidth_order(platform: StarPlatform) -> np.ndarray:
+    """Serve fastest links first: indices sorted by non-decreasing c_i."""
+    return np.argsort(platform.comm_times, kind="stable")
+
+
+def best_one_port_order(
+    platform: StarPlatform, N: float, exhaustive_limit: int = 8
+) -> Allocation:
+    """Best one-port allocation over activation orders.
+
+    Uses brute force for ``p <= exhaustive_limit`` workers (exact),
+    otherwise the bandwidth-sort heuristic (optimal for linear loads).
+    """
+    if platform.size <= exhaustive_limit:
+        return brute_force_one_port_order(platform, N)
+    return solve_linear_one_port(platform, N, order=bandwidth_order(platform))
+
+
+def brute_force_one_port_order(platform: StarPlatform, N: float) -> Allocation:
+    """Exhaustively try all ``p!`` orders; exact but exponential.
+
+    Only for small platforms (tests use it to certify the heuristic).
+    """
+    p = platform.size
+    if p > 9:
+        raise ValueError(
+            f"brute force over {p}! orders is infeasible; use the heuristic"
+        )
+    best: Allocation | None = None
+    for order in permutations(range(p)):
+        alloc = solve_linear_one_port(platform, N, order=order)
+        if best is None or alloc.makespan < best.makespan - 1e-15:
+            best = alloc
+    assert best is not None
+    return best
+
+
+def order_gap(
+    platform: StarPlatform, N: float, order: Sequence[int]
+) -> float:
+    """Relative makespan excess of ``order`` over the best order.
+
+    Returns ``(T(order) - T*) / T*``; zero means ``order`` is optimal.
+    """
+    given = solve_linear_one_port(platform, N, order=order)
+    best = best_one_port_order(platform, N)
+    if best.makespan == 0:
+        return 0.0
+    return (given.makespan - best.makespan) / best.makespan

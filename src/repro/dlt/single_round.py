@@ -1,0 +1,172 @@
+"""Closed-form single-round DLT for linear loads.
+
+This is the machinery whose success motivated the papers §2 refutes:
+for *linear* loads, optimal allocations have closed forms and all
+workers finish simultaneously.
+
+Parallel links (the paper's model)
+----------------------------------
+Worker *i* starts receiving at 0, finishes receiving at
+:math:`c_i \\alpha_i` and computing at :math:`(c_i + w_i)\\alpha_i`.
+Minimising the makespan under :math:`\\sum \\alpha_i = N` yields
+
+.. math:: \\alpha_i = \\frac{N / (c_i + w_i)}{\\sum_k 1/(c_k + w_k)},
+          \\qquad T = \\frac{N}{\\sum_k 1/(c_k + w_k)}.
+
+One-port model (classical DLT)
+------------------------------
+The master serves workers sequentially in an order :math:`\\sigma`; in
+an optimal schedule every participating worker finishes at the same
+time ``T`` and there is no idle time on the master's port, giving the
+textbook recurrence (e.g. Bharadwaj et al. [9])
+
+.. math:: (c_{\\sigma(1)} + w_{\\sigma(1)})\\,\\alpha_{\\sigma(1)} = T,
+          \\qquad
+          \\alpha_{\\sigma(j)} = \\alpha_{\\sigma(j-1)}
+          \\frac{w_{\\sigma(j-1)}}{c_{\\sigma(j)} + w_{\\sigma(j)}} .
+
+The chunk vector is then scaled so it sums to ``N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.platform.star import StarPlatform
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Result of a single-round DLT computation.
+
+    ``amounts[i]`` is the data assigned to worker *i* (platform order,
+    not service order); ``receive_end``/``finish`` are absolute times.
+    """
+
+    amounts: np.ndarray
+    receive_end: np.ndarray
+    finish: np.ndarray
+    makespan: float
+    model: str
+    order: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("amounts", "receive_end", "finish"):
+            object.__setattr__(
+                self, name, np.asarray(getattr(self, name), dtype=float)
+            )
+
+    @property
+    def total(self) -> float:
+        """Total data distributed, :math:`\\sum_i \\alpha_i`."""
+        return float(self.amounts.sum())
+
+    @property
+    def idle_times(self) -> np.ndarray:
+        """Per-worker idle time before the makespan, ``T - finish_i``.
+
+        All-zero (to numerical precision) characterises optimal
+        single-round schedules for linear loads.
+        """
+        return self.makespan - self.finish
+
+    def efficiency(self, sequential_time: float) -> float:
+        """Parallel efficiency versus a given sequential execution time."""
+        check_positive(sequential_time, "sequential_time")
+        p = self.amounts.size
+        if self.makespan == 0:
+            return 1.0
+        return sequential_time / (p * self.makespan)
+
+
+def solve_linear_parallel(platform: StarPlatform, N: float) -> Allocation:
+    """Optimal single-round allocation of a linear load, parallel links.
+
+    Every worker finishes at :math:`T = N / \\sum_k 1/(c_k+w_k)`.
+    """
+    check_positive(N, "N")
+    c = platform.comm_times
+    w = platform.cycle_times
+    inv = 1.0 / (c + w)
+    T = N / inv.sum()
+    amounts = T * inv
+    receive_end = c * amounts
+    finish = receive_end + w * amounts
+    return Allocation(
+        amounts=amounts,
+        receive_end=receive_end,
+        finish=finish,
+        makespan=float(T),
+        model="linear/parallel-links",
+    )
+
+
+def solve_linear_one_port(
+    platform: StarPlatform, N: float, order: Sequence[int] | None = None
+) -> Allocation:
+    """Optimal single-round one-port allocation for a given order.
+
+    ``order`` defaults to serving faster-*links* first (non-decreasing
+    :math:`c_i`), which is the optimal activation order for linear loads
+    in the one-port model when all workers participate (see
+    :mod:`repro.dlt.ordering` for the brute-force cross-check).
+    """
+    check_positive(N, "N")
+    c = platform.comm_times
+    w = platform.cycle_times
+    p = platform.size
+    if order is None:
+        order = np.argsort(c, kind="stable")
+    order = np.asarray(order, dtype=int)
+    if sorted(order.tolist()) != list(range(p)):
+        raise ValueError(f"order must be a permutation of 0..{p - 1}")
+
+    # Unnormalised chunks via the textbook recurrence, then scale to N.
+    raw = np.empty(p, dtype=float)
+    first = order[0]
+    raw[first] = 1.0 / (c[first] + w[first])
+    for j in range(1, p):
+        prev, cur = order[j - 1], order[j]
+        raw[cur] = raw[prev] * w[prev] / (c[cur] + w[cur])
+    amounts = raw * (N / raw.sum())
+
+    receive_end = np.empty(p, dtype=float)
+    t = 0.0
+    for idx in order:
+        t += c[idx] * amounts[idx]
+        receive_end[idx] = t
+    finish = receive_end + w * amounts
+    return Allocation(
+        amounts=amounts,
+        receive_end=receive_end,
+        finish=finish,
+        makespan=float(finish.max()),
+        model="linear/one-port",
+        order=tuple(int(i) for i in order),
+    )
+
+
+def equal_split(platform: StarPlatform, N: float) -> Allocation:
+    """The trivial equal split ``N/p`` under parallel links.
+
+    Optimal for homogeneous platforms (§2's setting); suboptimal
+    otherwise — kept as the baseline the closed forms are compared to.
+    """
+    check_positive(N, "N")
+    p = platform.size
+    amounts = np.full(p, N / p)
+    c = platform.comm_times
+    w = platform.cycle_times
+    receive_end = c * amounts
+    finish = receive_end + w * amounts
+    return Allocation(
+        amounts=amounts,
+        receive_end=receive_end,
+        finish=finish,
+        makespan=float(finish.max()),
+        model="linear/equal-split",
+    )

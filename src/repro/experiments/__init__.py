@@ -1,0 +1,48 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment returns a structured result with a ``render()`` method
+producing the ASCII table the benchmarks print; see DESIGN.md's
+per-experiment index for the mapping to paper figures.
+"""
+
+from repro.experiments.runner import SweepResult, sweep_mean_std
+from repro.experiments.figure4 import (
+    Figure4Point,
+    Figure4Result,
+    run_figure4,
+    run_figure4_point,
+)
+from repro.experiments.section2 import run_section2, Section2Result
+from repro.experiments.section3 import run_section3, Section3Result
+from repro.experiments.rho import run_rho_experiment, RhoResult
+from repro.experiments.footprint import run_footprint_experiment, FootprintResult
+from repro.experiments.report import build_report, Report
+from repro.experiments.stats import (
+    summarize,
+    significantly_greater,
+    paired_speedup_summary,
+    Summary,
+)
+
+__all__ = [
+    "run_footprint_experiment",
+    "FootprintResult",
+    "build_report",
+    "Report",
+    "summarize",
+    "significantly_greater",
+    "paired_speedup_summary",
+    "Summary",
+    "SweepResult",
+    "sweep_mean_std",
+    "Figure4Point",
+    "Figure4Result",
+    "run_figure4",
+    "run_figure4_point",
+    "run_section2",
+    "Section2Result",
+    "run_section3",
+    "Section3Result",
+    "run_rho_experiment",
+    "RhoResult",
+]

@@ -1,0 +1,49 @@
+"""Generic sweep machinery shared by the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.util.rng import SeedLike, spawn_rngs
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Per-point mean/std over independent trials."""
+
+    x_values: tuple
+    means: np.ndarray
+    stds: np.ndarray
+    trials: int
+
+    def as_series(self) -> dict[str, np.ndarray]:
+        return {"mean": self.means, "std": self.stds}
+
+
+def sweep_mean_std(
+    fn: Callable[[object, np.random.Generator], float],
+    x_values: Sequence,
+    trials: int,
+    seed: SeedLike = 0,
+) -> SweepResult:
+    """Evaluate ``fn(x, rng)`` ``trials`` times per x; report mean ± std.
+
+    Seeding: trial *t* at point *x_i* gets stream ``spawn(seed)[i*T+t]``,
+    so results are independent of evaluation order and reproducible.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    x_values = tuple(x_values)
+    rngs = spawn_rngs(seed, len(x_values) * trials)
+    means = np.empty(len(x_values))
+    stds = np.empty(len(x_values))
+    for i, x in enumerate(x_values):
+        vals = np.array(
+            [fn(x, rngs[i * trials + t]) for t in range(trials)], dtype=float
+        )
+        means[i] = vals.mean()
+        stds[i] = vals.std(ddof=0)
+    return SweepResult(x_values=x_values, means=means, stds=stds, trials=trials)

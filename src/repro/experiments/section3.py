@@ -1,0 +1,129 @@
+"""Section 3 experiment: sorting's vanishing residue + sample-sort quality.
+
+Two tables in one result:
+
+* the residue table — ``log p / log N`` for sweeps of N and p,
+  demonstrating that (unlike §2's :math:`1-1/P^{\\alpha-1}`) the
+  non-divisible fraction *decreases* in the problem size;
+* the execution table — real sample-sort runs (the arrays are actually
+  sorted) reporting max-bucket overflow versus Theorem B.4's bound,
+  parallel fraction of the makespan, and speedup, on homogeneous and
+  heterogeneous platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.almost_linear import (
+    sorting_residual_fraction,
+    theorem_b4_max_bucket_bound,
+)
+from repro.platform.generators import make_speeds
+from repro.platform.star import StarPlatform
+from repro.sorting.sample_sort import sample_sort
+from repro.util.rng import SeedLike, make_rng
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class ResidueRow:
+    N: int
+    p: int
+    residual_fraction: float
+
+
+@dataclass(frozen=True)
+class ExecutionRow:
+    N: int
+    p: int
+    platform_kind: str
+    max_bucket: int
+    b4_bound: float
+    parallel_fraction: float
+    speedup: float
+    sorted_ok: bool
+
+
+@dataclass(frozen=True)
+class Section3Result:
+    residue_rows: tuple[ResidueRow, ...]
+    execution_rows: tuple[ExecutionRow, ...]
+
+    def render(self) -> str:
+        residue = format_table(
+            ["N", "p", "log p / log N"],
+            [[r.N, r.p, r.residual_fraction] for r in self.residue_rows],
+            title="Section 3: non-divisible residue of sorting",
+        )
+        execution = format_table(
+            [
+                "N",
+                "p",
+                "platform",
+                "MaxSize",
+                "B.4 bound",
+                "parallel frac",
+                "speedup",
+                "sorted",
+            ],
+            [
+                [
+                    r.N,
+                    r.p,
+                    r.platform_kind,
+                    r.max_bucket,
+                    r.b4_bound,
+                    r.parallel_fraction,
+                    r.speedup,
+                    r.sorted_ok,
+                ]
+                for r in self.execution_rows
+            ],
+            title="Section 3: executed sample sorts",
+        )
+        return residue + "\n\n" + execution
+
+
+def run_section3(
+    residue_Ns: Sequence[int] = (2**10, 2**14, 2**18, 2**22),
+    residue_ps: Sequence[int] = (4, 16, 64, 256),
+    exec_N: int = 200_000,
+    exec_ps: Sequence[int] = (4, 16),
+    seed: SeedLike = 7,
+) -> Section3Result:
+    """Build both Section-3 tables (experiments E3–E5 of DESIGN.md)."""
+    residue_rows = tuple(
+        ResidueRow(N=N, p=p, residual_fraction=sorting_residual_fraction(N, p))
+        for N in residue_Ns
+        for p in residue_ps
+    )
+
+    rng = make_rng(seed)
+    exec_rows = []
+    for p in exec_ps:
+        keys = rng.random(exec_N)
+        for kind in ("homogeneous", "uniform"):
+            speeds = make_speeds(kind, p, rng)
+            platform = StarPlatform.from_speeds(speeds)
+            result = sample_sort(keys, platform, rng=rng)
+            exec_rows.append(
+                ExecutionRow(
+                    N=exec_N,
+                    p=p,
+                    platform_kind=kind,
+                    max_bucket=result.max_bucket,
+                    b4_bound=theorem_b4_max_bucket_bound(exec_N, p),
+                    parallel_fraction=result.parallel_fraction,
+                    speedup=result.speedup(),
+                    sorted_ok=bool(
+                        np.array_equal(result.sorted_keys, np.sort(keys))
+                    ),
+                )
+            )
+    return Section3Result(
+        residue_rows=residue_rows, execution_rows=tuple(exec_rows)
+    )

@@ -1,0 +1,97 @@
+"""Statistical helpers for experiment sweeps (scipy-backed).
+
+The paper reports mean ± standard deviation over 100 trials; a careful
+reproduction should also say how confident it is in the means.  These
+helpers add Student-t confidence intervals and a two-sample comparison
+used to assert that strategy orderings are statistically significant,
+not seed luck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread and a t confidence interval of one sample."""
+
+    n: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        return 0.5 * (self.ci_high - self.ci_low)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.mean:.4g} ± {self.half_width:.2g} "
+            f"({100 * self.confidence:.0f}% CI, n={self.n})"
+        )
+
+
+def summarize(sample, confidence: float = 0.95) -> Summary:
+    """Mean ± Student-t confidence interval of a 1-D sample."""
+    arr = np.asarray(sample, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("sample must be a non-empty 1-D array")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    n = arr.size
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if n > 1 else 0.0
+    if n > 1 and std > 0:
+        half = float(
+            stats.t.ppf(0.5 + confidence / 2, df=n - 1) * std / np.sqrt(n)
+        )
+    else:
+        half = 0.0
+    return Summary(
+        n=n,
+        mean=mean,
+        std=std,
+        ci_low=mean - half,
+        ci_high=mean + half,
+        confidence=confidence,
+    )
+
+
+def significantly_greater(
+    a, b, alpha: float = 0.01
+) -> tuple[bool, float]:
+    """Welch's one-sided t-test: is ``mean(a) > mean(b)`` significant?
+
+    Returns ``(significant, p_value)``.  Used by the benchmarks to
+    assert that e.g. ``Comm_hom/k``'s ratio genuinely dominates
+    ``Comm_het``'s rather than fluctuating above it.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.size < 2 or b.size < 2:
+        raise ValueError("need at least two observations per sample")
+    t_stat, p_two = stats.ttest_ind(a, b, equal_var=False)
+    p_one = p_two / 2 if t_stat > 0 else 1 - p_two / 2
+    return bool(t_stat > 0 and p_one < alpha), float(p_one)
+
+
+def paired_speedup_summary(
+    baseline, improved, confidence: float = 0.95
+) -> Summary:
+    """CI of the per-trial ratio ``baseline / improved`` (paired).
+
+    E.g. per-trial ρ = Comm_hom / Comm_het across the Figure-4 cloud.
+    """
+    base = np.asarray(baseline, dtype=float)
+    imp = np.asarray(improved, dtype=float)
+    if base.shape != imp.shape:
+        raise ValueError("paired samples must share a shape")
+    if np.any(imp <= 0):
+        raise ValueError("improved sample must be strictly positive")
+    return summarize(base / imp, confidence=confidence)

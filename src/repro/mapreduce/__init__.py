@@ -1,0 +1,48 @@
+"""A mini MapReduce engine with shuffle-volume metering.
+
+The paper motivates its analysis with MapReduce ([23, 26]); this package
+implements an executable (single-process) MapReduce so the volume claims
+can be *measured* on real jobs rather than asserted:
+
+* :mod:`repro.mapreduce.engine` — map → combine → shuffle → reduce over
+  key–value pairs, pluggable partitioner, full metrics;
+* :mod:`repro.mapreduce.scheduler` — demand-driven placement of map
+  tasks on heterogeneous workers (the Hadoop model §4 describes);
+* :mod:`repro.mapreduce.jobs` — word count (linear baseline), the naive
+  all-pairs matmul, HAMA-style block matmul and the paper's partitioned
+  outer product.
+"""
+
+from repro.mapreduce.engine import (
+    MapReduceEngine,
+    MapReduceJob,
+    MapReduceMetrics,
+    hash_partitioner,
+)
+from repro.mapreduce.jobs import (
+    word_count_job,
+    naive_matmul_job,
+    block_matmul_job,
+    outer_product_job,
+)
+from repro.mapreduce.scheduler import schedule_map_tasks
+from repro.mapreduce.chained import (
+    ChainResult,
+    run_chain,
+    two_pass_matmul,
+)
+
+__all__ = [
+    "ChainResult",
+    "run_chain",
+    "two_pass_matmul",
+    "MapReduceEngine",
+    "MapReduceJob",
+    "MapReduceMetrics",
+    "hash_partitioner",
+    "word_count_job",
+    "naive_matmul_job",
+    "block_matmul_job",
+    "outer_product_job",
+    "schedule_map_tasks",
+]

@@ -1,0 +1,158 @@
+"""Chained MapReduce jobs — the paper's §2 option (ii).
+
+§2 offers two escapes for non-linear workloads: (i) inflate the data
+(replication, the route this paper analyses) or (ii) "decompose the
+overall operation using a long sequence of MapReduce operations, such
+as proposed in [25]" (Berlińska & Drozdowski).  This module implements
+the sequencing machinery — the output of one job feeds the next job's
+map — plus the canonical two-pass matrix multiplication:
+
+* **pass 1 (join)**: records of A keyed by ``k`` meet records of B
+  keyed by ``k``; the reducer emits one partial product per compatible
+  ``(i, j)`` pair — shuffle is only :math:`2N^2` *input* values, but
+  the pass *outputs* :math:`N^3` partials;
+* **pass 2 (aggregate)**: partial products shuffle by ``(i, j)`` and
+  sum — an :math:`N^3`-record shuffle.
+
+The lesson, measurable on the metered engine: sequencing moves the
+cubic blow-up from the *input preparation* (§1.1's prepared dataset)
+into an *intermediate shuffle* — the volume does not disappear, exactly
+as the no-free-lunch analysis predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.mapreduce.engine import (
+    KV,
+    MapReduceEngine,
+    MapReduceJob,
+    MapReduceMetrics,
+)
+
+
+@dataclass(frozen=True)
+class ChainResult:
+    """Outputs and metrics of a job chain."""
+
+    outputs: tuple
+    metrics: tuple[MapReduceMetrics, ...]
+
+    @property
+    def total_shuffle_volume(self) -> float:
+        return float(sum(m.shuffle_volume for m in self.metrics))
+
+    @property
+    def final_output(self):
+        return self.outputs[-1]
+
+
+def run_chain(
+    jobs: Sequence[MapReduceJob],
+    first_inputs: Sequence[Any],
+    adapters: Sequence | None = None,
+) -> ChainResult:
+    """Run jobs in sequence; each stage's output feeds the next map.
+
+    ``adapters[i]`` converts stage *i*'s output dict into the record
+    list for stage *i+1* (default: ``list(output.items())``).
+    """
+    if not jobs:
+        raise ValueError("need at least one job")
+    if adapters is None:
+        adapters = [None] * (len(jobs) - 1)
+    if len(adapters) != len(jobs) - 1:
+        raise ValueError(
+            f"need {len(jobs) - 1} adapters for {len(jobs)} jobs"
+        )
+    engine = MapReduceEngine()
+    outputs = []
+    metrics = []
+    records: Sequence[Any] = first_inputs
+    for stage, job in enumerate(jobs):
+        out, m = engine.run_with_metrics(job, records)
+        outputs.append(out)
+        metrics.append(m)
+        if stage < len(jobs) - 1:
+            adapter = adapters[stage]
+            records = (
+                list(out.items()) if adapter is None else adapter(out)
+            )
+    return ChainResult(outputs=tuple(outputs), metrics=tuple(metrics))
+
+
+def two_pass_matmul_jobs(A: np.ndarray, B: np.ndarray):
+    """The [25]-style two-pass matrix product.
+
+    Returns ``(jobs, inputs, adapters)`` for :func:`run_chain`; the
+    final output maps ``(i, j)`` to :math:`c_{ij}`.
+    """
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    n = A.shape[0]
+    if A.shape != (n, n) or B.shape != (n, n):
+        raise ValueError("square matrices of equal order required")
+
+    # pass-1 input: one record per matrix entry
+    inputs: List[tuple] = [
+        ("A", i, k, float(A[i, k])) for i in range(n) for k in range(n)
+    ] + [("B", k, j, float(B[k, j])) for k in range(n) for j in range(n)]
+
+    def map1(rec) -> Iterable[KV]:
+        which, r, c, v = rec
+        if which == "A":
+            yield c, ("A", r, v)  # key by k
+        else:
+            yield r, ("B", c, v)
+
+    def reduce1(key: Hashable, values: List[Any]) -> Iterable[KV]:
+        a_vals = [(i, v) for which, i, v in values if which == "A"]
+        b_vals = [(j, v) for which, j, v in values if which == "B"]
+        partials = [
+            ((i, j), av * bv) for i, av in a_vals for j, bv in b_vals
+        ]
+        yield ("partials", key), partials
+
+    job1 = MapReduceJob(
+        map_fn=map1,
+        reduce_fn=reduce1,
+        n_reducers=max(1, n),
+        name="matmul-pass1-join",
+    )
+
+    def adapter(out: dict) -> List[tuple]:
+        # flatten every k-group's partial list into pass-2 records
+        records = []
+        for (_tag, _k), partials in out.items():
+            records.extend(partials)
+        return records
+
+    def map2(rec) -> Iterable[KV]:
+        (i, j), v = rec
+        yield (i, j), v
+
+    def reduce2(key: Hashable, values: List[float]) -> Iterable[KV]:
+        yield key, float(np.sum(values))
+
+    job2 = MapReduceJob(
+        map_fn=map2,
+        reduce_fn=reduce2,
+        n_reducers=max(1, n),
+        name="matmul-pass2-sum",
+    )
+    return [job1, job2], inputs, [adapter]
+
+
+def two_pass_matmul(A: np.ndarray, B: np.ndarray) -> tuple[np.ndarray, ChainResult]:
+    """Run the two-pass product; returns ``(C, chain_result)``."""
+    jobs, inputs, adapters = two_pass_matmul_jobs(A, B)
+    chain = run_chain(jobs, inputs, adapters)
+    n = int(np.sqrt(len(chain.final_output)))
+    C = np.empty((n, n))
+    for (i, j), v in chain.final_output.items():
+        C[i, j] = v
+    return C, chain

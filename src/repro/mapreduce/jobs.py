@@ -1,0 +1,231 @@
+"""Concrete MapReduce jobs: the paper's running examples, executable.
+
+* :func:`word_count_job` — the linear-complexity workload MapReduce was
+  designed for (§1.1): shuffle volume is linear in the input.
+* :func:`naive_matmul_job` — the §1.1 prepared-dataset matrix product:
+  input is all :math:`N^3` compatible pairs, shuffle carries
+  :math:`N^3` products; correct but communication-catastrophic.
+* :func:`block_matmul_job` — HAMA-style ``q × q`` block replication:
+  map emits each A block to the ``q`` reducers of its row and each B
+  block to the ``q`` of its column; shuffle volume ``2qN²``.
+* :func:`outer_product_job` — the paper's §4.1 outer product with a
+  prescribed rectangle per reducer: shuffle carries exactly each
+  reducer's half-perimeter of input data.
+
+All jobs return plain :class:`~repro.mapreduce.engine.MapReduceJob`
+objects plus their input sequence, ready for the engine; tests check
+the numeric outputs against NumPy and the metered volumes against the
+closed forms of :mod:`repro.matmul.mapreduce_layouts`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.mapreduce.engine import KV, MapReduceJob
+from repro.partition.rectangle import Partition
+from repro.util.validation import check_integer
+
+
+# ----------------------------------------------------------------- word count
+def word_count_job(n_reducers: int = 4, combine: bool = True):
+    """Classic word count over lines of text.
+
+    Returns ``(job, make_inputs)`` where ``make_inputs(lines)`` is the
+    identity (lines are the records).  With ``combine=True`` the
+    per-task combiner pre-sums counts — the linear-workload optimisation
+    the paper contrasts with non-linear jobs, where no combiner can
+    remove the replication.
+    """
+
+    def map_fn(line: str) -> Iterable[KV]:
+        for word in line.split():
+            yield word, 1
+
+    def reduce_fn(key: Hashable, values: List[int]) -> Iterable[KV]:
+        yield key, sum(values)
+
+    combine_fn = (lambda k, vs: [sum(vs)]) if combine else None
+    job = MapReduceJob(
+        map_fn=map_fn,
+        reduce_fn=reduce_fn,
+        n_reducers=n_reducers,
+        combine_fn=combine_fn,
+        name="word-count",
+    )
+    return job, lambda lines: list(lines)
+
+
+# -------------------------------------------------------------- naive matmul
+def naive_matmul_job(A: np.ndarray, B: np.ndarray):
+    """The §1.1 formulation: input = all compatible pairs.
+
+    Record ``(i, k, j, a_ik, b_kj)`` maps to ``((i, j), a_ik * b_kj)``;
+    the reducer sums per key — the value shuffled per record is one
+    product, total :math:`N^3` (the *input* preparation itself already
+    inflated the data to :math:`2N^3` values, counted separately by
+    :func:`repro.matmul.mapreduce_layouts.naive_mapreduce_volume`).
+
+    Returns ``(job, inputs)``.
+    """
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    n = A.shape[0]
+    if A.shape != (n, n) or B.shape != (n, n):
+        raise ValueError("square matrices of equal order required")
+
+    inputs: List[Tuple[int, int, int, float, float]] = [
+        (i, k, j, float(A[i, k]), float(B[k, j]))
+        for i in range(n)
+        for k in range(n)
+        for j in range(n)
+    ]
+
+    def map_fn(rec) -> Iterable[KV]:
+        i, k, j, a, b = rec
+        yield (i, j), a * b
+
+    def reduce_fn(key: Hashable, values: List[float]) -> Iterable[KV]:
+        yield key, float(np.sum(values))
+
+    job = MapReduceJob(
+        map_fn=map_fn,
+        reduce_fn=reduce_fn,
+        n_reducers=max(1, n),
+        name="naive-matmul",
+    )
+    return job, inputs
+
+
+# -------------------------------------------------------------- block matmul
+def block_matmul_job(A: np.ndarray, B: np.ndarray, q: int):
+    """HAMA-style block matmul on a ``q × q`` reducer grid.
+
+    Input records are matrix blocks; map *replicates* each A block to
+    all reducers in its block-row and each B block to all reducers in
+    its block-column (the §4 "data redundancy" made explicit).  Reducer
+    ``(bi, bj)`` then computes C block ``(bi, bj)``.  The shuffled value
+    size is the block's element count, so the metered volume equals
+    ``2 q N²`` exactly when ``q`` divides ``N``.
+
+    Returns ``(job, inputs)``; output maps block coords to C blocks.
+    """
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    n = A.shape[0]
+    check_integer(q, "q", minimum=1)
+    if A.shape != (n, n) or B.shape != (n, n):
+        raise ValueError("square matrices of equal order required")
+    if n % q != 0:
+        raise ValueError(f"q={q} must divide N={n} for the block job")
+    bs = n // q
+
+    inputs: List[Tuple[str, int, int, np.ndarray]] = []
+    for bi in range(q):
+        for bk in range(q):
+            inputs.append(
+                ("A", bi, bk, A[bi * bs:(bi + 1) * bs, bk * bs:(bk + 1) * bs])
+            )
+            inputs.append(
+                ("B", bi, bk, B[bi * bs:(bi + 1) * bs, bk * bs:(bk + 1) * bs])
+            )
+
+    def map_fn(rec) -> Iterable[KV]:
+        which, bi, bk, block = rec
+        if which == "A":
+            for bj in range(q):
+                yield (bi, bj), ("A", bk, block)
+        else:
+            # rec holds B block (bk', bj) stored as (bi=bk', bk=bj)
+            bk_, bj = bi, bk
+            for bi2 in range(q):
+                yield (bi2, bj), ("B", bk_, block)
+
+    def reduce_fn(key: Hashable, values: List[Any]) -> Iterable[KV]:
+        a_blocks = {k: blk for which, k, blk in values if which == "A"}
+        b_blocks = {k: blk for which, k, blk in values if which == "B"}
+        acc = np.zeros((bs, bs))
+        for k in range(q):
+            acc += a_blocks[k] @ b_blocks[k]
+        yield key, acc
+
+    def grid_partitioner(key: Hashable, n_reducers: int) -> int:
+        bi, bj = key
+        return (bi * q + bj) % n_reducers
+
+    job = MapReduceJob(
+        map_fn=map_fn,
+        reduce_fn=reduce_fn,
+        n_reducers=q * q,
+        partition_fn=grid_partitioner,
+        size_of=lambda v: float(v[2].size),
+        name=f"block-matmul-q{q}",
+    )
+    return job, inputs
+
+
+def assemble_block_output(output: dict, n: int, q: int) -> np.ndarray:
+    """Stitch the block-matmul reducer output into a full matrix."""
+    bs = n // q
+    C = np.empty((n, n))
+    for (bi, bj), block in output.items():
+        C[bi * bs:(bi + 1) * bs, bj * bs:(bj + 1) * bs] = block
+    return C
+
+
+# ------------------------------------------------------------- outer product
+def outer_product_job(a: np.ndarray, b: np.ndarray, partition: Partition):
+    """The §4.1 outer product with one rectangle per reducer.
+
+    Map sends each element of ``a`` (resp. ``b``) to every reducer whose
+    rectangle's row (resp. column) range contains it; the shuffled
+    volume is therefore exactly the scaled half-perimeter sum the paper
+    computes.  Reducer ``r`` emits its rectangle of
+    :math:`a_i b_j` values as one block.
+
+    Returns ``(job, inputs)``; output maps rectangle owner → (rows,
+    cols, block).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    n = a.size
+    if b.size != n:
+        raise ValueError("vectors must have equal length")
+
+    ranges = []
+    for rect in partition:
+        r0, r1 = rect.row_range(n)
+        c0, c1 = rect.col_range(n)
+        ranges.append((rect.owner, r0, r1, c0, c1))
+
+    inputs: List[Tuple[str, int, float]] = [
+        ("a", i, float(a[i])) for i in range(n)
+    ] + [("b", j, float(b[j])) for j in range(n)]
+
+    def map_fn(rec) -> Iterable[KV]:
+        which, idx, value = rec
+        for owner, r0, r1, c0, c1 in ranges:
+            if which == "a" and r0 <= idx < r1:
+                yield owner, ("a", idx, value)
+            elif which == "b" and c0 <= idx < c1:
+                yield owner, ("b", idx, value)
+
+    def reduce_fn(key: Hashable, values: List[Any]) -> Iterable[KV]:
+        a_part = sorted((i, v) for which, i, v in values if which == "a")
+        b_part = sorted((j, v) for which, j, v in values if which == "b")
+        rows = np.array([i for i, _ in a_part], dtype=int)
+        cols = np.array([j for j, _ in b_part], dtype=int)
+        av = np.array([v for _, v in a_part])
+        bv = np.array([v for _, v in b_part])
+        yield key, (rows, cols, np.outer(av, bv))
+
+    job = MapReduceJob(
+        map_fn=map_fn,
+        reduce_fn=reduce_fn,
+        n_reducers=len(partition),
+        partition_fn=lambda key, n_red: int(key) % n_red,
+        name="outer-product",
+    )
+    return job, inputs

@@ -1,0 +1,61 @@
+"""Matrix multiplication on heterogeneous platforms (§4.2).
+
+The whole computation is a 3-D cube: element ``(i, k, j)`` is the basic
+operation :math:`a_{i,k} b_{k,j}`.  Every classical implementation
+(ScaLAPACK and the MapReduce ports the paper cites) runs ``N`` steps of
+the §4.1 *outer product*, so the communication volume is proportional to
+the sum of the half-perimeters of the processors' rectangles — the §4.1
+ratios carry over verbatim.  This package provides:
+
+* :mod:`repro.matmul.cube` — the computation-cube model and volumes;
+* :mod:`repro.matmul.layouts` — rectangle and block-cyclic layouts;
+* :mod:`repro.matmul.outer_product_algo` — the per-step broadcast
+  simulation (Figure 3);
+* :mod:`repro.matmul.numeric` — NumPy validation that a partitioned
+  multiply computes exactly ``A @ B``;
+* :mod:`repro.matmul.mapreduce_layouts` — shuffle volumes of the
+  MapReduce formulations (naive n³ and HAMA-style block replication).
+"""
+
+from repro.matmul.cube import ComputationCube
+from repro.matmul.layouts import RectangleLayout, BlockCyclicLayout
+from repro.matmul.outer_product_algo import (
+    OuterProductRun,
+    simulate_outer_product_matmul,
+)
+from repro.matmul.numeric import (
+    partitioned_matmul,
+    outer_product_matmul,
+    mapreduce_matmul_reference,
+)
+from repro.matmul.mapreduce_layouts import (
+    naive_mapreduce_volume,
+    hama_block_volume,
+    partitioned_volume,
+    best_hama_grid,
+)
+from repro.matmul.two_five_d import (
+    TwoFiveDVolume,
+    two_five_d_volume,
+    volume_vs_replication,
+    max_replication,
+)
+
+__all__ = [
+    "TwoFiveDVolume",
+    "two_five_d_volume",
+    "volume_vs_replication",
+    "max_replication",
+    "ComputationCube",
+    "RectangleLayout",
+    "BlockCyclicLayout",
+    "OuterProductRun",
+    "simulate_outer_product_matmul",
+    "partitioned_matmul",
+    "outer_product_matmul",
+    "mapreduce_matmul_reference",
+    "naive_mapreduce_volume",
+    "hama_block_volume",
+    "partitioned_volume",
+    "best_hama_grid",
+]

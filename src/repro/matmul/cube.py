@@ -1,0 +1,103 @@
+"""The 3-D computation cube of matrix multiplication (§4.2).
+
+``C = A × B`` for ``N × N`` matrices decomposes into :math:`N^3` basic
+operations; operation ``(i, k, j)`` multiplies :math:`a_{i,k}` by
+:math:`b_{k,j}` and accumulates into :math:`c_{i,j}`.  The cube model
+answers volume questions without touching numerics:
+
+* data size: :math:`2N^2` inputs + :math:`N^2` outputs;
+* work: :math:`N^3` — super-linear in the data, which is why §2 applies
+  and naive DLT fails;
+* a sub-brick ``[i0,i1) × [k0,k1) × [j0,j1)`` needs
+  ``(i1-i0)(k1-k0)`` elements of A and ``(k1-k0)(j1-j0)`` of B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_integer
+
+
+@dataclass(frozen=True)
+class Brick:
+    """An axis-aligned sub-brick of the computation cube."""
+
+    i0: int
+    i1: int
+    k0: int
+    k1: int
+    j0: int
+    j1: int
+
+    def __post_init__(self) -> None:
+        if not (self.i0 <= self.i1 and self.k0 <= self.k1 and self.j0 <= self.j1):
+            raise ValueError(f"degenerate brick bounds: {self}")
+
+    @property
+    def work(self) -> int:
+        """Number of basic multiply-accumulate operations inside."""
+        return (self.i1 - self.i0) * (self.k1 - self.k0) * (self.j1 - self.j0)
+
+    @property
+    def a_volume(self) -> int:
+        """Distinct A elements the brick reads."""
+        return (self.i1 - self.i0) * (self.k1 - self.k0)
+
+    @property
+    def b_volume(self) -> int:
+        """Distinct B elements the brick reads."""
+        return (self.k1 - self.k0) * (self.j1 - self.j0)
+
+    @property
+    def c_volume(self) -> int:
+        """Distinct C elements the brick contributes to."""
+        return (self.i1 - self.i0) * (self.j1 - self.j0)
+
+    @property
+    def input_volume(self) -> int:
+        return self.a_volume + self.b_volume
+
+
+@dataclass(frozen=True)
+class ComputationCube:
+    """The full ``N × N × N`` cube with its global volumes."""
+
+    N: int
+
+    def __post_init__(self) -> None:
+        check_integer(self.N, "N", minimum=1)
+
+    @property
+    def work(self) -> int:
+        """:math:`N^3` basic operations."""
+        return self.N**3
+
+    @property
+    def input_size(self) -> int:
+        """:math:`2N^2` matrix entries (A and B)."""
+        return 2 * self.N**2
+
+    @property
+    def output_size(self) -> int:
+        """:math:`N^2` entries of C."""
+        return self.N**2
+
+    @property
+    def nonlinearity_alpha(self) -> float:
+        """Work = (data)^alpha with data = N²: alpha = 3/2 in *data*
+        terms, or 3 in matrix-order terms — super-linear either way, so
+        §2's no-free-lunch applies."""
+        import numpy as np
+
+        return float(np.log(self.work) / np.log(self.input_size / 2))
+
+    def full_brick(self) -> Brick:
+        return Brick(0, self.N, 0, self.N, 0, self.N)
+
+    def column_slab(self, k0: int, k1: int) -> Brick:
+        """The slab of steps ``k0 <= k < k1`` — one (blocked) outer-
+        product step of the §4.2 algorithm."""
+        if not 0 <= k0 <= k1 <= self.N:
+            raise ValueError(f"slab [{k0}, {k1}) outside cube of size {self.N}")
+        return Brick(0, self.N, k0, k1, 0, self.N)

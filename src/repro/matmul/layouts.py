@@ -1,0 +1,147 @@
+"""Processor layouts over the ``N × N`` matrix index space.
+
+A *layout* assigns every matrix cell ``(i, j)`` to a processor; A, B and
+C share the layout (§4.2: "all 3 matrices share the same layout").  Two
+families:
+
+* :class:`RectangleLayout` — each processor owns one contiguous
+  rectangle (from :mod:`repro.partition`); the heterogeneity-aware
+  choice.
+* :class:`BlockCyclicLayout` — a ``P_r × P_c`` processor grid with
+  blocks dealt cyclically (the ScaLAPACK / MapReduce default); with a
+  homogeneous grid this is the classical virtualised layout the paper
+  describes ("blocks are scattered in a cyclic fashion along both grid
+  dimensions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partition.rectangle import Partition
+from repro.util.validation import check_integer
+
+
+class Layout:
+    """Interface: map cells to owners, report per-owner row/col coverage."""
+
+    n: int
+    n_procs: int
+
+    def owner_of(self, i: int, j: int) -> int:
+        raise NotImplementedError
+
+    def owner_matrix(self) -> np.ndarray:
+        """Dense ``n × n`` int matrix of owners (test/debug helper)."""
+        out = np.empty((self.n, self.n), dtype=int)
+        for i in range(self.n):
+            for j in range(self.n):
+                out[i, j] = self.owner_of(i, j)
+        return out
+
+    def rows_of(self, proc: int) -> np.ndarray:
+        """Sorted distinct row indices owned (any column) by ``proc``."""
+        raise NotImplementedError
+
+    def cols_of(self, proc: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RectangleLayout(Layout):
+    """One rectangle per processor, scaled from a unit-square partition.
+
+    The unit square maps onto the index grid: cell ``(i, j)`` belongs to
+    the rectangle containing the point
+    ``((j + 0.5)/n, (i + 0.5)/n)`` (x = columns, y = rows).  Rectangles
+    tile the square, so ownership is total; cells are resolved once and
+    cached as a dense matrix for ``n`` up to a few thousand.
+    """
+
+    partition: Partition
+    n: int
+
+    def __post_init__(self) -> None:
+        check_integer(self.n, "n", minimum=1)
+        owners = np.full((self.n, self.n), -1, dtype=int)
+        for rect in self.partition:
+            r0, r1 = rect.row_range(self.n)
+            c0, c1 = rect.col_range(self.n)
+            # Center-point test refines the (possibly overlapping)
+            # integer ranges so each cell gets exactly one owner.
+            for i in range(r0, r1):
+                y = (i + 0.5) / self.n
+                if not (rect.y <= y < rect.y2 or (rect.y2 >= 1.0 - 1e-12 and y >= rect.y)):
+                    continue
+                for j in range(c0, c1):
+                    x = (j + 0.5) / self.n
+                    if rect.x <= x < rect.x2 or (rect.x2 >= 1.0 - 1e-12 and x >= rect.x):
+                        owners[i, j] = rect.owner
+        if np.any(owners < 0):
+            missing = np.argwhere(owners < 0)[:5]
+            raise ValueError(
+                f"layout leaves cells unowned (e.g. {missing.tolist()}); "
+                "partition does not tile the unit square"
+            )
+        object.__setattr__(self, "_owners", owners)
+        object.__setattr__(
+            self, "n_procs", int(max(r.owner for r in self.partition)) + 1
+        )
+
+    def owner_of(self, i: int, j: int) -> int:
+        return int(self._owners[i, j])
+
+    def owner_matrix(self) -> np.ndarray:
+        return self._owners.copy()
+
+    def rows_of(self, proc: int) -> np.ndarray:
+        mask = (self._owners == proc).any(axis=1)
+        return np.flatnonzero(mask)
+
+    def cols_of(self, proc: int) -> np.ndarray:
+        mask = (self._owners == proc).any(axis=0)
+        return np.flatnonzero(mask)
+
+
+@dataclass(frozen=True)
+class BlockCyclicLayout(Layout):
+    """``P_r × P_c`` grid, blocks of side ``block`` dealt cyclically."""
+
+    n: int
+    p_rows: int
+    p_cols: int
+    block: int = 1
+
+    def __post_init__(self) -> None:
+        check_integer(self.n, "n", minimum=1)
+        check_integer(self.p_rows, "p_rows", minimum=1)
+        check_integer(self.p_cols, "p_cols", minimum=1)
+        check_integer(self.block, "block", minimum=1)
+        object.__setattr__(self, "n_procs", self.p_rows * self.p_cols)
+
+    def owner_of(self, i: int, j: int) -> int:
+        if not (0 <= i < self.n and 0 <= j < self.n):
+            raise IndexError(f"cell ({i}, {j}) outside {self.n}x{self.n}")
+        pr = (i // self.block) % self.p_rows
+        pc = (j // self.block) % self.p_cols
+        return pr * self.p_cols + pc
+
+    def rows_of(self, proc: int) -> np.ndarray:
+        pr = proc // self.p_cols
+        rows = [
+            i
+            for i in range(self.n)
+            if (i // self.block) % self.p_rows == pr
+        ]
+        return np.asarray(rows, dtype=int)
+
+    def cols_of(self, proc: int) -> np.ndarray:
+        pc = proc % self.p_cols
+        cols = [
+            j
+            for j in range(self.n)
+            if (j // self.block) % self.p_cols == pc
+        ]
+        return np.asarray(cols, dtype=int)

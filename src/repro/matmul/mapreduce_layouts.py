@@ -1,0 +1,75 @@
+"""Shuffle volumes of the MapReduce matmul formulations (§1.1, §4).
+
+Three ways to run ``C = A × B`` over MapReduce, with their master→worker
+(or mapper→reducer) data volumes for ``N × N`` matrices:
+
+* **naive** ([27]-style prepared dataset): the input is *all* compatible
+  pairs ``(a_ik, b_kj)`` — :math:`2N^3` values shuffled (the §1.1
+  quote: "a large redundancy in data communication");
+* **HAMA-style block replication** ([27, 36]): a :math:`q \\times q`
+  reducer grid; each reducer computes an :math:`N/q \\times N/q` block
+  of C and needs a row-band of A plus a column-band of B:
+  :math:`2N^2/q` each → total :math:`2qN^2`.  Choosing
+  :math:`q = \\sqrt{p}` (all reducers used once) gives
+  :math:`2\\sqrt{p}N^2` — the homogeneous-optimal volume;
+* **partitioned** (this paper): rectangles from PERI-SUM; volume
+  :math:`N^2 \\cdot \\hat C(x)` where :math:`\\hat C` is the unit-square
+  half-perimeter sum — within 7/4 (observed 2%) of the lower bound
+  :math:`2N^2\\sum\\sqrt{x_i}` even on heterogeneous platforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.column_based import peri_sum_cost
+from repro.util.validation import check_integer, check_positive
+
+
+def naive_mapreduce_volume(N: int) -> float:
+    """Shuffle volume of the all-pairs formulation: :math:`2N^3` input
+    values (each of the :math:`N^3` map records carries one ``a`` and
+    one ``b`` value)."""
+    check_integer(N, "N", minimum=1)
+    return float(2 * N**3)
+
+
+def hama_block_volume(N: int, q: int) -> float:
+    """Input volume of a ``q × q`` block-replicated matmul: ``2 q N²``.
+
+    Each of the :math:`q^2` reducers receives :math:`N^2/q` of A and
+    :math:`N^2/q` of B.
+    """
+    check_integer(N, "N", minimum=1)
+    check_integer(q, "q", minimum=1)
+    return float(2 * q * N**2)
+
+
+def best_hama_grid(p: int) -> int:
+    """Largest ``q`` with ``q² <= p`` — use as many reducers as fit."""
+    check_integer(p, "p", minimum=1)
+    return int(np.floor(np.sqrt(p)))
+
+
+def partitioned_volume(N: int, speeds) -> float:
+    """Volume of the heterogeneity-aware partitioned matmul.
+
+    :math:`N^2 \\cdot \\hat C(x)` with :math:`\\hat C` the optimal
+    column-based PERI-SUM cost of the normalized speeds — the §4.2
+    statement that matmul volume is proportional to the same
+    half-perimeter sum as the outer product, scaled by ``N`` steps of
+    ``N``-unit broadcasts.
+    """
+    check_integer(N, "N", minimum=1)
+    speeds = np.asarray(speeds, dtype=float)
+    check_positive(float(speeds.min(initial=np.inf)), "speeds.min")
+    x = speeds / speeds.sum()
+    return float(N**2 * peri_sum_cost(x))
+
+
+def matmul_lower_bound(N: int, speeds) -> float:
+    """:math:`2 N^2 \\sum_i \\sqrt{x_i}` — the §4.3 bound times N steps."""
+    check_integer(N, "N", minimum=1)
+    speeds = np.asarray(speeds, dtype=float)
+    x = speeds / speeds.sum()
+    return float(2.0 * N**2 * np.sqrt(x).sum())

@@ -1,0 +1,111 @@
+"""2.5D matrix-multiplication communication volumes (§4.2's exception).
+
+§4.2 notes that all classical implementations are outer-product based
+"at the notable exception of recently introduced 2.5D schemes [42]"
+(Solomonik & Demmel, Euro-Par 2011).  For completeness the library
+models the 2.5D volume so the comparison the paper gestures at can be
+made concrete.
+
+Setup: ``p`` homogeneous processors arranged as a
+:math:`\\sqrt{p/c} \\times \\sqrt{p/c} \\times c` grid, keeping ``c``
+replicated copies of the input.  Per-processor communication (words
+moved) is :math:`O(N^2 / \\sqrt{c\\,p})`, a :math:`\\sqrt{c}` factor
+below the 2D (outer-product) algorithm's :math:`O(N^2/\\sqrt{p})`, at
+the price of :math:`c\\times` the memory.  We use the standard leading-
+order constants (Solomonik–Demmel Table 1): 2D moves
+:math:`2N^2/\\sqrt{p}` words per processor, 2.5D moves
+:math:`2N^2/\\sqrt{c\\,p}`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_integer
+
+
+def max_replication(p: int) -> int:
+    """Largest meaningful replication factor, :math:`c \\le p^{1/3}`.
+
+    Beyond :math:`c = p^{1/3}` the 2.5D algorithm degenerates to 3D and
+    extra copies stop helping.
+    """
+    check_integer(p, "p", minimum=1)
+    return max(1, int(np.floor(np.cbrt(p) + 1e-9)))
+
+
+@dataclass(frozen=True)
+class TwoFiveDVolume:
+    """Communication account of one (p, c, N) configuration."""
+
+    N: int
+    p: int
+    c: int
+    #: total words moved across all processors
+    total_volume: float
+    #: per-processor words moved
+    per_processor: float
+    #: memory per processor, in matrix-element units (inputs only)
+    memory_per_processor: float
+
+    @property
+    def speeddown_vs_2d(self) -> float:
+        """Volume ratio vs the c=1 (pure 2D outer-product) run: 1/√c."""
+        return 1.0 / np.sqrt(self.c)
+
+
+def two_five_d_volume(N: int, p: int, c: int = 1) -> TwoFiveDVolume:
+    """Leading-order 2.5D communication volume.
+
+    ``c = 1`` reproduces the 2D/outer-product volume
+    (:math:`2N^2\\sqrt{p}` total — the §4.3 lower bound for homogeneous
+    platforms), letting tests tie the two models together.
+    """
+    check_integer(N, "N", minimum=1)
+    check_integer(p, "p", minimum=1)
+    check_integer(c, "c", minimum=1)
+    if c > p:
+        raise ValueError(f"replication c={c} cannot exceed p={p}")
+    per_proc = 2.0 * N * N / np.sqrt(c * p)
+    return TwoFiveDVolume(
+        N=N,
+        p=p,
+        c=c,
+        total_volume=float(per_proc * p),
+        per_processor=float(per_proc),
+        memory_per_processor=float(c * 2.0 * N * N / p),
+    )
+
+
+def volume_vs_replication(N: int, p: int) -> list[TwoFiveDVolume]:
+    """Sweep c from 1 to :func:`max_replication` — the classic trade-off
+    curve (volume falls as 1/√c, memory rises as c)."""
+    return [two_five_d_volume(N, p, c) for c in range(1, max_replication(p) + 1)]
+
+
+def crossover_with_heterogeneous_partitioning(
+    N: int, speeds, c: int
+) -> dict:
+    """Compare homogeneous 2.5D against heterogeneous 2D partitioning.
+
+    2.5D assumes homogeneous processors; on a heterogeneous platform it
+    must either leave slow processors idle or run at the slowest's pace.
+    We model the charitable variant — 2.5D over the ``p`` *equal-speed
+    equivalent* processors (same aggregate speed) — and report both
+    volumes so experiments can locate the ``c`` needed for 2.5D's
+    replication to beat heterogeneity-aware 2D partitioning.
+    """
+    speeds = np.asarray(speeds, dtype=float)
+    p = speeds.size
+    from repro.matmul.mapreduce_layouts import partitioned_volume
+
+    het_2d = partitioned_volume(N, speeds)
+    hom_25d = two_five_d_volume(N, p, c).total_volume
+    return {
+        "het_2d_volume": het_2d,
+        "hom_25d_volume": hom_25d,
+        "ratio": het_2d / hom_25d,
+        "replication": c,
+    }

@@ -1,0 +1,41 @@
+"""Partitioning the unit square into rectangles of prescribed areas.
+
+The substrate behind the Heterogeneous Blocks strategy (§4.1.2): given
+areas :math:`a_1, \\dots, a_p` (the normalized speeds), tile the unit
+square with ``p`` rectangles of exactly those areas while minimising the
+sum of half-perimeters (**PERI-SUM**, = communication volume for the
+outer product) or the maximum half-perimeter (**PERI-MAX**).
+
+The general problem is NP-complete (Beaumont, Boudet, Rastello, Robert,
+*Algorithmica* 2002); the column-based relaxation is solvable optimally
+in :math:`O(p^2)` by dynamic programming and carries the paper's
+guarantee :math:`\\hat{C} \\le 1 + \\frac{5}{4} LB \\le \\frac{7}{4} LB`.
+"""
+
+from repro.partition.rectangle import Rectangle, Partition
+from repro.partition.column_based import (
+    peri_sum_partition,
+    peri_sum_cost,
+    column_groups,
+)
+from repro.partition.perimax import peri_max_partition
+from repro.partition.recursive import recursive_bisection_partition
+from repro.partition.naive import strip_partition, grid_partition
+from repro.partition.lower_bound import (
+    peri_sum_lower_bound,
+    peri_max_lower_bound,
+)
+
+__all__ = [
+    "Rectangle",
+    "Partition",
+    "peri_sum_partition",
+    "peri_sum_cost",
+    "column_groups",
+    "peri_max_partition",
+    "recursive_bisection_partition",
+    "strip_partition",
+    "grid_partition",
+    "peri_sum_lower_bound",
+    "peri_max_lower_bound",
+]

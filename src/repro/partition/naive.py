@@ -1,0 +1,60 @@
+"""Baseline partitioners: strips and square-ish grids.
+
+These are the layouts the column-based algorithm must beat:
+
+* :func:`strip_partition` — one column, ``p`` full-width strips; cost
+  :math:`p \\cdot 1 + 1 = p + 1` regardless of areas (the worst
+  reasonable layout, and the proof that any partitioner claiming
+  quality must do better than trivial);
+* :func:`grid_partition` — an :math:`r \\times c` grid of equal cells
+  for homogeneous platforms (the natural optimum when all areas are
+  equal and :math:`p` is a perfect square).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.partition.rectangle import Partition, Rectangle, stack_column
+from repro.util.validation import check_integer, check_probability_vector
+
+
+def strip_partition(areas: Sequence[float]) -> Partition:
+    """Full-width horizontal strips, heights = areas.
+
+    Sum of half-perimeters is exactly :math:`p + 1` on the unit square
+    (each strip has width 1; heights sum to 1).
+    """
+    a = check_probability_vector(areas, "areas")
+    rects = stack_column(0.0, 1.0, list(a), list(range(a.size)))
+    part = Partition(tuple(rects), side=1.0)
+    part.validate(expected_areas=a)
+    return part
+
+
+def grid_partition(p: int) -> Partition:
+    """Near-square ``r × c`` grid of ``p`` equal cells (``r*c == p``).
+
+    Picks the factorisation with ``r`` closest to :math:`\\sqrt p`.
+    For prime ``p`` this degenerates to a ``1 × p`` strip — exactly the
+    pathology that motivates non-grid partitioners.
+    """
+    check_integer(p, "p", minimum=1)
+    r = int(np.floor(np.sqrt(p)))
+    while p % r != 0:
+        r -= 1
+    c = p // r
+    rects = []
+    cell_w, cell_h = 1.0 / c, 1.0 / r
+    owner = 0
+    for i in range(r):
+        for j in range(c):
+            rects.append(
+                Rectangle(x=j * cell_w, y=i * cell_h, w=cell_w, h=cell_h, owner=owner)
+            )
+            owner += 1
+    part = Partition(tuple(rects), side=1.0)
+    part.validate(expected_areas=np.full(p, 1.0 / p))
+    return part

@@ -1,0 +1,72 @@
+"""Column-based PERI-MAX partitioning (the other 2002 objective).
+
+PERI-MAX minimises the *largest* half-perimeter — the communication
+volume of the most-loaded link rather than the total.  The paper's
+strategy uses PERI-SUM (total volume); PERI-MAX ships as an extension
+so the two objectives can be compared on the same platforms.
+
+Within a column of width :math:`w` holding areas
+:math:`a_{i_1} \\dots a_{i_k}`, the largest half-perimeter is
+:math:`w + \\max_r a_{i_r}/w`.  We run the analogous :math:`O(p^2)` DP
+over contiguous groups of the sorted areas, minimising the max over
+columns.  (Sorted-contiguous grouping is a standard heuristic here; for
+PERI-MAX it is not provably optimal among all column-based layouts, so
+this is labelled a heuristic and tests only check feasibility and
+domination over the trivial strip layout.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.partition.rectangle import Partition, Rectangle, stack_column
+from repro.util.validation import check_probability_vector
+
+
+def peri_max_partition(areas: Sequence[float]) -> Partition:
+    """Column-based partition minimising the max half-perimeter (heuristic)."""
+    a = check_probability_vector(areas, "areas")
+    p = a.size
+    order = np.argsort(a, kind="stable")
+    sorted_a = a[order]
+    prefix = np.concatenate([[0.0], np.cumsum(sorted_a)])
+
+    INF = float("inf")
+    f = np.full(p + 1, INF)  # f[k] = min over groupings of max column cost
+    f[0] = 0.0
+    choice = np.zeros(p + 1, dtype=int)
+    for k in range(1, p + 1):
+        best_cost, best_j = INF, 0
+        for j in range(k):
+            width = prefix[k] - prefix[j]
+            if width <= 0:
+                continue
+            # Largest area in the (sorted) group j..k-1 is sorted_a[k-1].
+            col_cost = width + float(sorted_a[k - 1]) / width
+            cost = max(f[j], col_cost)
+            if cost < best_cost - 1e-15:
+                best_cost, best_j = cost, j
+        f[k] = best_cost
+        choice[k] = best_j
+
+    groups: List[List[int]] = []
+    k = p
+    while k > 0:
+        j = int(choice[k])
+        groups.append([int(order[t]) for t in range(j, k)])
+        k = j
+    groups.reverse()
+
+    rects: List[Rectangle] = []
+    x = 0.0
+    for g_idx, group in enumerate(groups):
+        width = float(sum(a[i] for i in group))
+        if g_idx == len(groups) - 1:
+            width = 1.0 - x
+        rects.extend(stack_column(x, width, [a[i] for i in group], group))
+        x += width
+    part = Partition(tuple(rects), side=1.0)
+    part.validate(expected_areas=a)
+    return part

@@ -1,0 +1,216 @@
+"""Rectangle and partition geometry with exactness validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+_ATOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """An axis-aligned rectangle ``[x, x+w] × [y, y+h]``.
+
+    ``owner`` links a rectangle back to the processor index whose area
+    requirement it satisfies.
+    """
+
+    x: float
+    y: float
+    w: float
+    h: float
+    owner: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.w < 0 or self.h < 0:
+            raise ValueError(f"negative extent: w={self.w}, h={self.h}")
+
+    @property
+    def area(self) -> float:
+        return self.w * self.h
+
+    @property
+    def half_perimeter(self) -> float:
+        """:math:`w + h` — the outer-product communication cost of the
+        rectangle (the ``k + l`` of §4.1.2)."""
+        return self.w + self.h
+
+    @property
+    def x2(self) -> float:
+        return self.x + self.w
+
+    @property
+    def y2(self) -> float:
+        return self.y + self.h
+
+    def contains_point(self, px: float, py: float, atol: float = _ATOL) -> bool:
+        return (
+            self.x - atol <= px <= self.x2 + atol
+            and self.y - atol <= py <= self.y2 + atol
+        )
+
+    def overlaps(self, other: "Rectangle", atol: float = _ATOL) -> bool:
+        """Positive-area intersection (shared edges don't count)."""
+        ix = min(self.x2, other.x2) - max(self.x, other.x)
+        iy = min(self.y2, other.y2) - max(self.y, other.y)
+        return ix > atol and iy > atol
+
+    def scaled(self, factor: float) -> "Rectangle":
+        """Scale the unit-square geometry to an ``N × N`` domain."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return Rectangle(
+            x=self.x * factor,
+            y=self.y * factor,
+            w=self.w * factor,
+            h=self.h * factor,
+            owner=self.owner,
+        )
+
+    def row_range(self, n: int) -> tuple[int, int]:
+        """Integer row interval covered when the unit square maps to an
+        ``n × n`` grid: ``[floor(y*n), ceil(y2*n))`` clipped to ``n``."""
+        lo = int(np.floor(self.y * n + _ATOL))
+        hi = int(np.ceil(self.y2 * n - _ATOL))
+        return max(0, lo), min(n, hi)
+
+    def col_range(self, n: int) -> tuple[int, int]:
+        """Integer column interval, analogous to :meth:`row_range`."""
+        lo = int(np.floor(self.x * n + _ATOL))
+        hi = int(np.ceil(self.x2 * n - _ATOL))
+        return max(0, lo), min(n, hi)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A set of rectangles tiling a ``side × side`` square domain."""
+
+    rectangles: tuple[Rectangle, ...]
+    side: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rectangles", tuple(self.rectangles))
+        if self.side <= 0:
+            raise ValueError(f"side must be positive, got {self.side}")
+
+    def __len__(self) -> int:
+        return len(self.rectangles)
+
+    def __iter__(self):
+        return iter(self.rectangles)
+
+    def __getitem__(self, i: int) -> Rectangle:
+        return self.rectangles[i]
+
+    @property
+    def areas(self) -> np.ndarray:
+        return np.array([r.area for r in self.rectangles])
+
+    @property
+    def sum_half_perimeters(self) -> float:
+        """The PERI-SUM objective :math:`\\hat C = \\sum_i (w_i + h_i)`."""
+        return float(sum(r.half_perimeter for r in self.rectangles))
+
+    @property
+    def max_half_perimeter(self) -> float:
+        """The PERI-MAX objective :math:`\\max_i (w_i + h_i)`."""
+        return float(max(r.half_perimeter for r in self.rectangles))
+
+    def by_owner(self) -> dict[int, Rectangle]:
+        """Map owner (processor index) → rectangle."""
+        out = {}
+        for r in self.rectangles:
+            if r.owner in out:
+                raise ValueError(f"duplicate owner {r.owner}")
+            out[r.owner] = r
+        return out
+
+    def scaled(self, factor: float) -> "Partition":
+        """Scale to an ``(side*factor)``-sized domain (e.g. ``N × N``)."""
+        return Partition(
+            tuple(r.scaled(factor) for r in self.rectangles),
+            side=self.side * factor,
+        )
+
+    def validate(
+        self,
+        expected_areas: Sequence[float] | None = None,
+        atol: float = 1e-7,
+    ) -> None:
+        """Assert the partition is exact: raises ``ValueError`` if not.
+
+        Checks: rectangles inside the domain, pairwise interior-disjoint,
+        total area equals the domain, and (optionally) each rectangle's
+        area matches ``expected_areas`` by owner index.
+        """
+        total_area = self.side * self.side
+        for r in self.rectangles:
+            if (
+                r.x < -atol
+                or r.y < -atol
+                or r.x2 > self.side + atol
+                or r.y2 > self.side + atol
+            ):
+                raise ValueError(f"rectangle {r} exceeds the domain")
+        # Pairwise overlap is O(p^2) but p <= a few hundred here.
+        rects = self.rectangles
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                if rects[i].overlaps(rects[j], atol=atol):
+                    raise ValueError(
+                        f"rectangles {i} and {j} overlap: "
+                        f"{rects[i]} vs {rects[j]}"
+                    )
+        covered = float(self.areas.sum())
+        if abs(covered - total_area) > atol * max(1.0, total_area):
+            raise ValueError(
+                f"partition covers area {covered}, expected {total_area}"
+            )
+        if expected_areas is not None:
+            expected = np.asarray(expected_areas, dtype=float)
+            got = np.empty_like(expected)
+            for r in self.rectangles:
+                if not 0 <= r.owner < expected.size:
+                    raise ValueError(f"owner {r.owner} out of range")
+                got[r.owner] = r.area
+            if not np.allclose(got, expected, atol=atol, rtol=1e-6):
+                raise ValueError(
+                    f"areas {got} do not match prescription {expected}"
+                )
+
+
+def stack_column(
+    x: float, width: float, areas: Iterable[float], owners: Iterable[int],
+    side: float = 1.0,
+) -> List[Rectangle]:
+    """Stack rectangles of the given areas into one full-height column.
+
+    Column spans ``[x, x+width] × [0, side]``; each rectangle has the
+    column's width and height ``area/width``.  Heights are normalised so
+    they exactly fill the column (guards against float drift).
+    """
+    areas = list(areas)
+    owners = list(owners)
+    if len(areas) != len(owners):
+        raise ValueError("areas and owners must have equal length")
+    if width <= 0:
+        raise ValueError(f"column width must be positive, got {width}")
+    heights = np.array(areas, dtype=float) / width
+    total = float(heights.sum())
+    if total <= 0:
+        raise ValueError("column must have positive total area")
+    heights *= side / total
+    rects = []
+    y = 0.0
+    for h, owner in zip(heights, owners):
+        rects.append(Rectangle(x=x, y=y, w=width, h=float(h), owner=owner))
+        y += float(h)
+    # Snap the last rectangle to the domain edge.
+    last = rects[-1]
+    rects[-1] = Rectangle(
+        x=last.x, y=last.y, w=last.w, h=side - last.y, owner=last.owner
+    )
+    return rects

@@ -1,0 +1,81 @@
+"""Recursive-bisection partitioner — the classic alternative baseline.
+
+Berger–Bokhari-style divide and conquer: split the processor set into
+two groups of (approximately) equal total area, cut the rectangle along
+its longer side proportionally, recurse.  Unlike the column-based DP it
+has no constant-factor guarantee for PERI-SUM, but — not being confined
+to column layouts — it is empirically competitive (both land within a
+few % of the lower bound on random instances; see
+`benchmarks/bench_ablation_partitioners.py`).  The library ships it as
+the comparison point practical systems actually use.
+
+The two-group split minimises the imbalance of a *contiguous prefix* of
+the areas sorted descending — a classic LPT-flavoured heuristic that
+keeps big rectangles intact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.partition.rectangle import Partition, Rectangle
+from repro.util.validation import check_probability_vector
+
+
+def _split_indices(order: List[int], areas: np.ndarray) -> tuple[List[int], List[int]]:
+    """Split ``order`` (sorted by descending area) into a prefix/suffix
+    whose area totals are as balanced as possible."""
+    totals = np.cumsum([areas[i] for i in order])
+    grand = totals[-1]
+    # choose the prefix length minimising |prefix - grand/2|, at least 1
+    # and at most len-1 so both sides are non-empty
+    best_k, best_gap = 1, float("inf")
+    for k in range(1, len(order)):
+        gap = abs(totals[k - 1] - grand / 2)
+        if gap < best_gap:
+            best_k, best_gap = k, gap
+    return order[:best_k], order[best_k:]
+
+
+def _recurse(
+    x: float,
+    y: float,
+    w: float,
+    h: float,
+    order: List[int],
+    areas: np.ndarray,
+    out: List[Rectangle],
+) -> None:
+    if len(order) == 1:
+        out.append(Rectangle(x=x, y=y, w=w, h=h, owner=order[0]))
+        return
+    left, right = _split_indices(order, areas)
+    frac = float(sum(areas[i] for i in left)) / float(
+        sum(areas[i] for i in order)
+    )
+    if w >= h:
+        # cut vertically: left group gets the left slab
+        w_left = w * frac
+        _recurse(x, y, w_left, h, left, areas, out)
+        _recurse(x + w_left, y, w - w_left, h, right, areas, out)
+    else:
+        h_bottom = h * frac
+        _recurse(x, y, w, h_bottom, left, areas, out)
+        _recurse(x, y + h_bottom, w, h - h_bottom, right, areas, out)
+
+
+def recursive_bisection_partition(areas: Sequence[float]) -> Partition:
+    """Partition the unit square by recursive proportional bisection.
+
+    Areas are exact by construction (each cut is proportional); the
+    objective value is whatever the cuts produce — no guarantee.
+    """
+    a = check_probability_vector(areas, "areas")
+    order = sorted(range(a.size), key=lambda i: -a[i])
+    out: List[Rectangle] = []
+    _recurse(0.0, 0.0, 1.0, 1.0, order, a, out)
+    part = Partition(tuple(out), side=1.0)
+    part.validate(expected_areas=a)
+    return part

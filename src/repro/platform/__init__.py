@@ -1,0 +1,62 @@
+"""Heterogeneous master–worker star platform substrate.
+
+The paper's model (§1.2): a master :math:`P_0` and workers
+:math:`P_1 \\dots P_p`.  Worker :math:`P_i` has incoming bandwidth
+:math:`1/c_i` (so sending ``X`` data units takes :math:`c_i X`) and
+processing speed :math:`s_i = 1/w_i` (so ``X`` units of *work* take
+:math:`w_i X`).  Communications may all proceed in parallel
+(:class:`ParallelLinks`, the paper's default), sequentially from the
+master (:class:`OnePort`), or share the master's uplink
+(:class:`BoundedMultiport`).
+"""
+
+from repro.platform.processor import Processor
+from repro.platform.star import StarPlatform
+from repro.platform.tree import TreeNode, TreePlatform
+from repro.platform.graph import (
+    make_cluster_graph,
+    random_cluster,
+    best_spanning_tree,
+    widest_paths_tree,
+    to_tree_platform,
+    schedule_on_graph,
+)
+from repro.platform.comm_models import (
+    CommunicationModel,
+    ParallelLinks,
+    OnePort,
+    BoundedMultiport,
+)
+from repro.platform.generators import (
+    SpeedModel,
+    homogeneous_speeds,
+    uniform_speeds,
+    lognormal_speeds,
+    half_fast_speeds,
+    make_speeds,
+    SPEED_MODELS,
+)
+
+__all__ = [
+    "Processor",
+    "StarPlatform",
+    "TreeNode",
+    "TreePlatform",
+    "make_cluster_graph",
+    "random_cluster",
+    "best_spanning_tree",
+    "widest_paths_tree",
+    "to_tree_platform",
+    "schedule_on_graph",
+    "CommunicationModel",
+    "ParallelLinks",
+    "OnePort",
+    "BoundedMultiport",
+    "SpeedModel",
+    "homogeneous_speeds",
+    "uniform_speeds",
+    "lognormal_speeds",
+    "half_fast_speeds",
+    "make_speeds",
+    "SPEED_MODELS",
+]

@@ -1,0 +1,161 @@
+"""Communication models for the master's outgoing links.
+
+The paper (§1.2) uses the simplest model — all master→worker transfers in
+parallel, each limited only by the worker's incoming bandwidth — "in order
+to concentrate on the difficulty introduced by the non-linearity of the
+cost".  We also implement the classical one-port model (the master sends
+to one worker at a time) because the classical DLT literature the paper
+contrasts with ([9], [31]–[35]) lives in that model, and a bounded
+multiport model as a documented extension.
+
+Each model answers one question: given per-worker message sizes and the
+order in which the master serves workers, when does each worker finish
+receiving its data?
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+class CommunicationModel(ABC):
+    """Strategy object computing per-worker receive-completion times."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def receive_end_times(
+        self,
+        comm_times: np.ndarray,
+        amounts: np.ndarray,
+        order: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """Completion time of each worker's transfer.
+
+        Parameters
+        ----------
+        comm_times:
+            Array :math:`c_i` — seconds per data unit on each link.
+        amounts:
+            Data units sent to each worker (same length).
+        order:
+            Service order (permutation of indices).  Only meaningful for
+            sequentialised models; ``None`` means index order.
+        """
+
+    @staticmethod
+    def _validated(comm_times, amounts) -> tuple[np.ndarray, np.ndarray]:
+        c = np.asarray(comm_times, dtype=float)
+        n = np.asarray(amounts, dtype=float)
+        if c.shape != n.shape:
+            raise ValueError(
+                f"comm_times shape {c.shape} != amounts shape {n.shape}"
+            )
+        if np.any(n < 0):
+            raise ValueError("amounts must be non-negative")
+        if np.any(c <= 0):
+            raise ValueError("comm_times must be strictly positive")
+        return c, n
+
+
+@dataclass(frozen=True)
+class ParallelLinks(CommunicationModel):
+    """All transfers start at time 0 and proceed concurrently.
+
+    Worker *i* finishes receiving at :math:`c_i \\cdot n_i`.  This is the
+    paper's model: the master's uplink is never the bottleneck.
+    """
+
+    name: str = "parallel-links"
+
+    def receive_end_times(self, comm_times, amounts, order=None) -> np.ndarray:
+        c, n = self._validated(comm_times, amounts)
+        return c * n
+
+
+@dataclass(frozen=True)
+class OnePort(CommunicationModel):
+    """The master serves workers one at a time, in ``order``.
+
+    Worker at position *j* in the order starts receiving only after all
+    earlier transfers complete; it finishes at
+    :math:`\\sum_{j' \\le j} c_{\\sigma(j')} n_{\\sigma(j')}`.
+    """
+
+    name: str = "one-port"
+
+    def receive_end_times(self, comm_times, amounts, order=None) -> np.ndarray:
+        c, n = self._validated(comm_times, amounts)
+        p = c.size
+        if order is None:
+            order = np.arange(p)
+        order = np.asarray(order, dtype=int)
+        if sorted(order.tolist()) != list(range(p)):
+            raise ValueError(f"order must be a permutation of 0..{p - 1}")
+        ends = np.empty(p, dtype=float)
+        t = 0.0
+        for idx in order:
+            t += c[idx] * n[idx]
+            ends[idx] = t
+        return ends
+
+
+@dataclass(frozen=True)
+class BoundedMultiport(CommunicationModel):
+    """Parallel links sharing the master's finite uplink bandwidth.
+
+    Transfers all start at 0; each link *i* would finish at
+    :math:`c_i n_i` in isolation, but the aggregate outgoing rate is
+    capped at ``master_bandwidth``.  We use the standard fluid
+    approximation: if the sum of requested rates exceeds the cap, all
+    rates are scaled down proportionally (progressive filling would give
+    the same completion time for the common case of simultaneous starts
+    with proportional fair share; we keep the simple proportional model
+    and document it).
+    """
+
+    master_bandwidth: float = 1.0
+    name: str = "bounded-multiport"
+
+    def __post_init__(self) -> None:
+        check_positive(self.master_bandwidth, "master_bandwidth")
+
+    def receive_end_times(self, comm_times, amounts, order=None) -> np.ndarray:
+        c, n = self._validated(comm_times, amounts)
+        isolated = c * n
+        active = n > 0
+        if not np.any(active):
+            return isolated
+        requested_rate = float(np.sum(1.0 / c[active]))
+        if requested_rate <= self.master_bandwidth:
+            return isolated
+        scale = requested_rate / self.master_bandwidth
+        out = isolated.copy()
+        out[active] = isolated[active] * scale
+        return out
+
+
+def makespan_of_order(
+    comm_times: np.ndarray,
+    compute_times_after_recv: np.ndarray,
+    amounts: np.ndarray,
+    model: CommunicationModel,
+    order: Sequence[int] | None = None,
+) -> float:
+    """Makespan when each worker computes right after its transfer ends.
+
+    ``compute_times_after_recv[i]`` is the *total* compute wall time of
+    worker *i* once its data has arrived (the caller fixes the cost
+    model — linear or not — this function only deals with timing).
+    """
+    ends = model.receive_end_times(comm_times, amounts, order=order)
+    compute = np.asarray(compute_times_after_recv, dtype=float)
+    if compute.shape != ends.shape:
+        raise ValueError("compute_times_after_recv shape mismatch")
+    return float(np.max(ends + compute)) if ends.size else 0.0

@@ -1,0 +1,88 @@
+"""Random speed profiles used by the paper's evaluation (§4.3).
+
+Figure 4 generates processing speeds under three policies:
+
+* **homogeneous** — all speeds equal (Figure 4a),
+* **uniform** — i.i.d. uniform on ``[1, 100]`` (Figure 4b),
+* **lognormal** — i.i.d. log-normal with ``µ = 0, σ = 1`` (Figure 4c).
+
+We add the **half-fast** bimodal profile from §4.1.3's closing example
+(half the workers at speed 1, half at speed ``k``), which drives the
+:math:`\\rho \\ge (1+k)/(1+\\sqrt{k})` bound experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validation import check_integer, check_positive
+
+SpeedModel = Callable[[int, np.random.Generator], np.ndarray]
+
+
+def homogeneous_speeds(
+    p: int, rng: SeedLike = None, speed: float = 1.0
+) -> np.ndarray:
+    """All ``p`` workers at the same ``speed`` (Figure 4a profile)."""
+    check_integer(p, "p", minimum=1)
+    check_positive(speed, "speed")
+    return np.full(p, float(speed))
+
+
+def uniform_speeds(
+    p: int, rng: SeedLike = None, low: float = 1.0, high: float = 100.0
+) -> np.ndarray:
+    """I.i.d. speeds uniform on ``[low, high]`` (Figure 4b profile)."""
+    check_integer(p, "p", minimum=1)
+    if not (0 < low < high):
+        raise ValueError(f"need 0 < low < high, got low={low}, high={high}")
+    return make_rng(rng).uniform(low, high, size=p)
+
+
+def lognormal_speeds(
+    p: int, rng: SeedLike = None, mu: float = 0.0, sigma: float = 1.0
+) -> np.ndarray:
+    """I.i.d. log-normal speeds, ``µ=0, σ=1`` by default (Figure 4c)."""
+    check_integer(p, "p", minimum=1)
+    check_positive(sigma, "sigma")
+    return make_rng(rng).lognormal(mean=mu, sigma=sigma, size=p)
+
+
+def half_fast_speeds(
+    p: int, rng: SeedLike = None, k: float = 4.0, slow: float = 1.0
+) -> np.ndarray:
+    """Half the workers at ``slow``, half at ``k * slow`` (§4.1.3 example).
+
+    For odd ``p`` the extra worker is slow.  Returned sorted ascending,
+    matching the paper's convention :math:`s_1 \\le \\dots \\le s_p`.
+    """
+    check_integer(p, "p", minimum=1)
+    check_positive(k, "k")
+    check_positive(slow, "slow")
+    n_fast = p // 2
+    n_slow = p - n_fast
+    return np.concatenate(
+        [np.full(n_slow, float(slow)), np.full(n_fast, float(slow * k))]
+    )
+
+
+SPEED_MODELS: Dict[str, SpeedModel] = {
+    "homogeneous": lambda p, rng: homogeneous_speeds(p, rng),
+    "uniform": lambda p, rng: uniform_speeds(p, rng),
+    "lognormal": lambda p, rng: lognormal_speeds(p, rng),
+    "half-fast": lambda p, rng: half_fast_speeds(p, rng),
+}
+
+
+def make_speeds(model: str, p: int, rng: SeedLike = None) -> np.ndarray:
+    """Dispatch by model name; names mirror the Figure 4 captions."""
+    try:
+        fn = SPEED_MODELS[model]
+    except KeyError:
+        raise ValueError(
+            f"unknown speed model {model!r}; available: {sorted(SPEED_MODELS)}"
+        ) from None
+    return fn(p, make_rng(rng))

@@ -1,0 +1,190 @@
+"""Arbitrary network platforms, reduced to trees for scheduling.
+
+Real clusters are graphs, not stars; the classical DLT playbook (and
+the natural extension of this paper's model) handles them by extracting
+a spanning tree rooted at the master and scheduling on that tree.  This
+module represents a platform as a :mod:`networkx` graph — nodes carry
+compute ``speed``, edges carry ``bandwidth`` — and provides:
+
+* :func:`best_spanning_tree` — the maximum-bandwidth spanning tree
+  (maximises the minimum-bandwidth edge on every path, via the maximum
+  spanning tree on bandwidths, a classical bottleneck-optimality
+  property);
+* :func:`widest_paths_tree` — the shortest-path tree under the
+  widest-path (max-min bandwidth) metric, an alternative extraction;
+* :func:`to_tree_platform` — convert a rooted spanning tree into a
+  :class:`repro.platform.tree.TreePlatform` ready for
+  :func:`repro.dlt.tree_solver.solve_tree`.
+
+Link capacities along a path are *not* aggregated (store-and-forward,
+one hop at a time), matching the tree solver's model.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+import networkx as nx
+
+from repro.platform.tree import TreeNode, TreePlatform
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validation import check_positive
+
+
+def make_cluster_graph(
+    speeds: Mapping[Hashable, float],
+    links: Iterable[tuple[Hashable, Hashable, float]],
+) -> nx.Graph:
+    """Build a platform graph from node speeds and weighted links.
+
+    ``links`` are ``(u, v, bandwidth)`` triples; the graph is validated
+    (positive attributes, all endpoints known).
+    """
+    g = nx.Graph()
+    for node, speed in speeds.items():
+        check_positive(speed, f"speed[{node!r}]")
+        g.add_node(node, speed=float(speed))
+    for u, v, bw in links:
+        if u not in g or v not in g:
+            raise ValueError(f"link ({u!r}, {v!r}) references unknown node")
+        check_positive(bw, f"bandwidth[{u!r}-{v!r}]")
+        g.add_edge(u, v, bandwidth=float(bw))
+    return g
+
+
+def random_cluster(
+    n: int,
+    rng: SeedLike = None,
+    edge_prob: float = 0.3,
+    speed_range: tuple[float, float] = (1.0, 10.0),
+    bandwidth_range: tuple[float, float] = (1.0, 10.0),
+) -> nx.Graph:
+    """A random connected cluster (G(n, p) + a connecting spanning path)."""
+    if n < 1:
+        raise ValueError("need at least one node")
+    gen = make_rng(rng)
+    g = nx.Graph()
+    for i in range(n):
+        g.add_node(i, speed=float(gen.uniform(*speed_range)))
+    # guarantee connectivity with a random path, then sprinkle edges
+    order = gen.permutation(n)
+    for a, b in zip(order, order[1:]):
+        g.add_edge(int(a), int(b), bandwidth=float(gen.uniform(*bandwidth_range)))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if not g.has_edge(i, j) and gen.random() < edge_prob:
+                g.add_edge(i, j, bandwidth=float(gen.uniform(*bandwidth_range)))
+    return g
+
+
+def _check_platform_graph(g: nx.Graph, root: Hashable) -> None:
+    if root not in g:
+        raise ValueError(f"root {root!r} not in the graph")
+    if not nx.is_connected(g):
+        raise ValueError("platform graph must be connected")
+    for node, data in g.nodes(data=True):
+        if "speed" not in data:
+            raise ValueError(f"node {node!r} has no 'speed' attribute")
+    for u, v, data in g.edges(data=True):
+        if "bandwidth" not in data:
+            raise ValueError(f"edge ({u!r}, {v!r}) has no 'bandwidth'")
+
+
+def best_spanning_tree(g: nx.Graph, root: Hashable) -> nx.Graph:
+    """Maximum-bandwidth spanning tree (bottleneck-optimal paths).
+
+    The maximum spanning tree under edge weight = bandwidth maximises,
+    for every node, the minimum bandwidth along its path to the root —
+    the right objective when every hop is a potential relay bottleneck.
+    """
+    _check_platform_graph(g, root)
+    return nx.maximum_spanning_tree(g, weight="bandwidth")
+
+
+def widest_paths_tree(g: nx.Graph, root: Hashable) -> nx.Graph:
+    """Widest-path (max-min bandwidth) tree via modified Dijkstra.
+
+    Differs from :func:`best_spanning_tree` only in tie-breaking — both
+    are bottleneck-optimal — but exercises per-destination path
+    extraction, useful when the tree must also bound hop counts.
+    """
+    _check_platform_graph(g, root)
+    width = {node: 0.0 for node in g}
+    width[root] = float("inf")
+    parent: dict = {}
+    visited = set()
+    import heapq
+
+    heap = [(-width[root], root)]
+    while heap:
+        neg_w, u = heapq.heappop(heap)
+        if u in visited:
+            continue
+        visited.add(u)
+        for v, data in g[u].items():
+            w = min(-neg_w, data["bandwidth"])
+            if w > width[v]:
+                width[v] = w
+                parent[v] = u
+                heapq.heappush(heap, (-w, v))
+    tree = nx.Graph()
+    for node, data in g.nodes(data=True):
+        tree.add_node(node, **data)
+    for v, u in parent.items():
+        tree.add_edge(u, v, bandwidth=g[u][v]["bandwidth"])
+    return tree
+
+
+def to_tree_platform(
+    tree: nx.Graph, root: Hashable, master_computes: bool = True
+) -> TreePlatform:
+    """Convert a rooted spanning tree into a :class:`TreePlatform`.
+
+    Node names become the stringified graph node labels.  When
+    ``master_computes`` is False the root's speed is made negligible,
+    matching the paper's non-computing master.
+    """
+    _check_platform_graph(tree, root)
+    if not nx.is_tree(tree):
+        raise ValueError("expected a tree (use best_spanning_tree first)")
+    root_speed = tree.nodes[root]["speed"] if master_computes else 1e-12
+    root_node = TreeNode(speed=float(root_speed), name=str(root))
+
+    def grow(gnode: Hashable, tnode: TreeNode, parent: Hashable | None) -> None:
+        for nb in sorted(tree[gnode], key=str):
+            if nb == parent:
+                continue
+            child = tnode.add_child(
+                speed=float(tree.nodes[nb]["speed"]),
+                bandwidth=float(tree[gnode][nb]["bandwidth"]),
+                name=str(nb),
+            )
+            grow(nb, child, gnode)
+
+    grow(root, root_node, None)
+    return TreePlatform(root_node)
+
+
+def schedule_on_graph(
+    g: nx.Graph,
+    root: Hashable,
+    N: float,
+    alpha: float = 1.0,
+    extraction: str = "max-spanning",
+    master_computes: bool = True,
+):
+    """End-to-end: graph → spanning tree → tree DLT schedule.
+
+    ``extraction`` ∈ {"max-spanning", "widest-paths"}.  Returns
+    ``(TreePlatform, TreeAllocation)``.
+    """
+    from repro.dlt.tree_solver import solve_tree
+
+    if extraction == "max-spanning":
+        tree = best_spanning_tree(g, root)
+    elif extraction == "widest-paths":
+        tree = widest_paths_tree(g, root)
+    else:
+        raise ValueError(f"unknown extraction {extraction!r}")
+    platform = to_tree_platform(tree, root, master_computes=master_computes)
+    return platform, solve_tree(platform, N, alpha=alpha)

@@ -1,0 +1,59 @@
+"""A single worker of the star platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Processor:
+    """One worker :math:`P_i` of a master–worker star.
+
+    Parameters
+    ----------
+    speed:
+        Processing speed :math:`s_i` in work units per time unit; the
+        paper's cycle time is :math:`w_i = 1/s_i`.
+    bandwidth:
+        Incoming bandwidth in data units per time unit; the paper's
+        per-unit communication time is :math:`c_i = 1/\\text{bandwidth}`.
+    name:
+        Optional label used in traces; defaults to ``P?`` until the
+        processor joins a platform.
+    """
+
+    speed: float
+    bandwidth: float = 1.0
+    name: str = field(default="P?", compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.speed, "speed")
+        check_positive(self.bandwidth, "bandwidth")
+
+    @property
+    def cycle_time(self) -> float:
+        """Time :math:`w_i` to process one unit of work."""
+        return 1.0 / self.speed
+
+    @property
+    def comm_time(self) -> float:
+        """Time :math:`c_i` to receive one unit of data from the master."""
+        return 1.0 / self.bandwidth
+
+    def compute_time(self, work: float) -> float:
+        """Wall time to execute ``work`` units of computation."""
+        if work < 0:
+            raise ValueError(f"work must be non-negative, got {work}")
+        return work * self.cycle_time
+
+    def receive_time(self, data: float) -> float:
+        """Wall time to receive ``data`` units over this worker's link."""
+        if data < 0:
+            raise ValueError(f"data must be non-negative, got {data}")
+        return data * self.comm_time
+
+    def renamed(self, name: str) -> "Processor":
+        """A copy of this processor carrying ``name`` (used by platforms)."""
+        return Processor(speed=self.speed, bandwidth=self.bandwidth, name=name)

@@ -1,0 +1,175 @@
+"""The star (master–worker) platform aggregate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.platform.comm_models import CommunicationModel, ParallelLinks
+from repro.platform.processor import Processor
+from repro.util.validation import check_positive_array
+
+
+@dataclass(frozen=True)
+class StarPlatform:
+    """A master plus ``p`` heterogeneous workers.
+
+    The master holds all input data and is not itself a compute resource
+    (the paper's model); workers are indexed ``0 .. p-1`` in Python even
+    though the paper writes :math:`P_1 \\dots P_p`.
+
+    Vectorised views (``speeds``, ``cycle_times``, ``comm_times``,
+    ``normalized_speeds``) are the arrays every solver in the library
+    consumes; they are computed once and cached.
+    """
+
+    processors: tuple[Processor, ...]
+    comm_model: CommunicationModel = field(default_factory=ParallelLinks)
+
+    def __post_init__(self) -> None:
+        if len(self.processors) == 0:
+            raise ValueError("a platform needs at least one worker")
+        named = tuple(
+            proc if proc.name != "P?" else proc.renamed(f"P{i + 1}")
+            for i, proc in enumerate(self.processors)
+        )
+        object.__setattr__(self, "processors", named)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_speeds(
+        cls,
+        speeds: Sequence[float],
+        bandwidths: Sequence[float] | float = 1.0,
+        comm_model: CommunicationModel | None = None,
+    ) -> "StarPlatform":
+        """Build a platform from raw speed (and bandwidth) vectors."""
+        speeds = check_positive_array(speeds, "speeds")
+        if np.isscalar(bandwidths):
+            bandwidths = np.full(speeds.size, float(bandwidths))
+        bandwidths = check_positive_array(bandwidths, "bandwidths")
+        if bandwidths.size != speeds.size:
+            raise ValueError(
+                f"{speeds.size} speeds but {bandwidths.size} bandwidths"
+            )
+        procs = tuple(
+            Processor(speed=float(s), bandwidth=float(b))
+            for s, b in zip(speeds, bandwidths)
+        )
+        return cls(procs, comm_model=comm_model or ParallelLinks())
+
+    @classmethod
+    def homogeneous(
+        cls,
+        p: int,
+        speed: float = 1.0,
+        bandwidth: float = 1.0,
+        comm_model: CommunicationModel | None = None,
+    ) -> "StarPlatform":
+        """``p`` identical workers — the §2 analysis platform."""
+        if p < 1:
+            raise ValueError(f"p must be >= 1, got {p}")
+        return cls.from_speeds(
+            np.full(p, float(speed)),
+            np.full(p, float(bandwidth)),
+            comm_model=comm_model,
+        )
+
+    # -- basic views ----------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of workers ``p``."""
+        return len(self.processors)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[Processor]:
+        return iter(self.processors)
+
+    def __getitem__(self, i: int) -> Processor:
+        return self.processors[i]
+
+    @property
+    def speeds(self) -> np.ndarray:
+        """Speed vector :math:`s_i` (work units per time unit)."""
+        return np.array([proc.speed for proc in self.processors])
+
+    @property
+    def cycle_times(self) -> np.ndarray:
+        """Cycle-time vector :math:`w_i = 1/s_i`."""
+        return 1.0 / self.speeds
+
+    @property
+    def bandwidths(self) -> np.ndarray:
+        """Incoming bandwidth of each worker."""
+        return np.array([proc.bandwidth for proc in self.processors])
+
+    @property
+    def comm_times(self) -> np.ndarray:
+        """Per-unit communication time :math:`c_i`."""
+        return 1.0 / self.bandwidths
+
+    @property
+    def normalized_speeds(self) -> np.ndarray:
+        """:math:`x_i = s_i / \\sum_k s_k` — sums to one (§4.1)."""
+        s = self.speeds
+        return s / s.sum()
+
+    @property
+    def total_speed(self) -> float:
+        """Aggregate speed :math:`\\sum_i s_i`."""
+        return float(self.speeds.sum())
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when all workers share one speed and one bandwidth."""
+        s, b = self.speeds, self.bandwidths
+        return bool(np.all(s == s[0]) and np.all(b == b[0]))
+
+    # -- transforms -------------------------------------------------------
+
+    def sorted_by_speed(self, descending: bool = False) -> "StarPlatform":
+        """A copy with workers re-indexed by speed (paper sorts ascending)."""
+        order = np.argsort(self.speeds, kind="stable")
+        if descending:
+            order = order[::-1]
+        procs = tuple(
+            Processor(self.processors[i].speed, self.processors[i].bandwidth)
+            for i in order
+        )
+        return StarPlatform(procs, comm_model=self.comm_model)
+
+    def with_comm_model(self, comm_model: CommunicationModel) -> "StarPlatform":
+        """A copy using a different communication model."""
+        return StarPlatform(self.processors, comm_model=comm_model)
+
+    def subset(self, indices: Iterable[int]) -> "StarPlatform":
+        """The sub-platform of the given worker indices (re-named)."""
+        idx = list(indices)
+        if not idx:
+            raise ValueError("subset needs at least one index")
+        procs = tuple(
+            Processor(self.processors[i].speed, self.processors[i].bandwidth)
+            for i in idx
+        )
+        return StarPlatform(procs, comm_model=self.comm_model)
+
+    # -- convenience -----------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-worker summary."""
+        lines = [
+            f"StarPlatform(p={self.size}, comm={self.comm_model.name})"
+        ]
+        for proc in self.processors:
+            lines.append(
+                f"  {proc.name}: speed={proc.speed:.4g} "
+                f"(w={proc.cycle_time:.4g}), bw={proc.bandwidth:.4g} "
+                f"(c={proc.comm_time:.4g})"
+            )
+        return "\n".join(lines)

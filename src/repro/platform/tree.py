@@ -1,0 +1,180 @@
+"""Multi-level tree platforms — the generalisation of the star.
+
+The non-linear DLT literature the paper critiques works on "single
+level tree networks" ([33], [34]); a star is exactly that.  This module
+provides the general rooted tree: every node carries a processor
+(compute speed) and a link to its parent (bandwidth); the master sits
+at the root and also computes unless given speed ``None``.
+
+The companion solver (:mod:`repro.dlt.tree_solver`) schedules divisible
+loads on these trees with store-and-forward relaying, and the tests
+confirm that a depth-1 tree reproduces the star results exactly — the
+library's internal consistency check between the two platform models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.util.validation import check_positive
+
+
+@dataclass
+class TreeNode:
+    """One node of the tree platform.
+
+    ``speed`` in work units/time; ``bandwidth`` is the incoming link
+    from the parent (ignored for the root).  Children are added via
+    :meth:`add_child` so parent pointers stay consistent.
+    """
+
+    speed: float
+    bandwidth: float = 1.0
+    name: str = "node"
+    children: List["TreeNode"] = field(default_factory=list)
+    parent: Optional["TreeNode"] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.speed, "speed")
+        check_positive(self.bandwidth, "bandwidth")
+
+    @property
+    def cycle_time(self) -> float:
+        return 1.0 / self.speed
+
+    @property
+    def comm_time(self) -> float:
+        """Seconds per data unit on the link from the parent."""
+        return 1.0 / self.bandwidth
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def add_child(
+        self, speed: float, bandwidth: float = 1.0, name: str | None = None
+    ) -> "TreeNode":
+        """Attach and return a new child node."""
+        child = TreeNode(
+            speed=speed,
+            bandwidth=bandwidth,
+            name=name or f"{self.name}.{len(self.children) + 1}",
+        )
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def iter_subtree(self) -> Iterator["TreeNode"]:
+        """Pre-order traversal of this node's subtree."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    @property
+    def subtree_size(self) -> int:
+        return sum(1 for _ in self.iter_subtree())
+
+    @property
+    def depth(self) -> int:
+        """Edges from the root to this node."""
+        d, node = 0, self
+        while node.parent is not None:
+            d += 1
+            node = node.parent
+        return d
+
+    @property
+    def height(self) -> int:
+        """Edges on the longest downward path from this node."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(c.height for c in self.children)
+
+    @property
+    def total_speed(self) -> float:
+        """Aggregate compute speed of the subtree."""
+        return sum(n.speed for n in self.iter_subtree())
+
+
+class TreePlatform:
+    """A rooted tree of processors with per-link bandwidths."""
+
+    def __init__(self, root: TreeNode) -> None:
+        if root.parent is not None:
+            raise ValueError("the platform root must have no parent")
+        self.root = root
+
+    @classmethod
+    def star(
+        cls,
+        speeds: Sequence[float],
+        bandwidths: Sequence[float] | float = 1.0,
+        master_speed: float = 1e-12,
+    ) -> "TreePlatform":
+        """A depth-1 tree ≡ the paper's star (master barely computes).
+
+        ``master_speed`` defaults to negligible so comparisons against
+        :class:`repro.platform.star.StarPlatform` (whose master does not
+        compute) line up; pass a real speed for a computing master.
+        """
+        root = TreeNode(speed=master_speed, name="master")
+        if not hasattr(bandwidths, "__len__"):
+            bandwidths = [float(bandwidths)] * len(speeds)
+        if len(bandwidths) != len(speeds):
+            raise ValueError("speeds and bandwidths must have equal length")
+        for i, (s, b) in enumerate(zip(speeds, bandwidths)):
+            root.add_child(speed=float(s), bandwidth=float(b), name=f"P{i + 1}")
+        return cls(root)
+
+    @classmethod
+    def balanced(
+        cls,
+        depth: int,
+        fanout: int,
+        speed: float = 1.0,
+        bandwidth: float = 1.0,
+    ) -> "TreePlatform":
+        """A homogeneous complete ``fanout``-ary tree of given depth."""
+        if depth < 0 or fanout < 1:
+            raise ValueError("need depth >= 0 and fanout >= 1")
+        root = TreeNode(speed=speed, bandwidth=bandwidth, name="n")
+
+        def grow(node: TreeNode, remaining: int) -> None:
+            if remaining == 0:
+                return
+            for _ in range(fanout):
+                grow(node.add_child(speed=speed, bandwidth=bandwidth), remaining - 1)
+
+        grow(root, depth)
+        return cls(root)
+
+    @property
+    def size(self) -> int:
+        return self.root.subtree_size
+
+    @property
+    def height(self) -> int:
+        return self.root.height
+
+    def nodes(self) -> List[TreeNode]:
+        return list(self.root.iter_subtree())
+
+    def leaves(self) -> List[TreeNode]:
+        return [n for n in self.nodes() if n.is_leaf]
+
+    @property
+    def total_speed(self) -> float:
+        return self.root.total_speed
+
+    def describe(self) -> str:
+        lines = [f"TreePlatform(size={self.size}, height={self.height})"]
+        for node in self.root.iter_subtree():
+            pad = "  " * (node.depth + 1)
+            link = "" if node.is_root else f", link bw={node.bandwidth:.3g}"
+            lines.append(f"{pad}{node.name}: speed={node.speed:.3g}{link}")
+        return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Discrete-event simulation substrate.
+
+The paper's evaluation is simulation-based; this package provides the
+execution machinery:
+
+* :mod:`repro.simulate.engine` — a generic event-queue simulator;
+* :mod:`repro.simulate.master_worker` — replay a DLT allocation on a
+  star platform (used to *validate* the closed forms in
+  :mod:`repro.dlt` rather than trust them);
+* :mod:`repro.simulate.demand_driven` — the MapReduce execution model:
+  a bag of equal tasks, workers pull the next task when free (used by
+  the Homogeneous-Blocks strategies of §4);
+* :mod:`repro.simulate.trace` — execution traces and a text Gantt view.
+"""
+
+from repro.simulate.engine import Event, Simulator
+from repro.simulate.master_worker import simulate_allocation, WorkerTimeline
+from repro.simulate.demand_driven import (
+    Task,
+    DemandDrivenResult,
+    run_demand_driven,
+    uniform_tasks,
+)
+from repro.simulate.trace import Trace, TraceRecord, render_gantt
+from repro.simulate.affinity import (
+    GridScheduleResult,
+    run_grid_demand_driven,
+    affinity_savings,
+)
+from repro.simulate.failures import (
+    FailureEvent,
+    FaultyRunResult,
+    run_with_failures,
+    random_failures,
+)
+
+__all__ = [
+    "GridScheduleResult",
+    "run_grid_demand_driven",
+    "affinity_savings",
+    "FailureEvent",
+    "FaultyRunResult",
+    "run_with_failures",
+    "random_failures",
+    "Event",
+    "Simulator",
+    "simulate_allocation",
+    "WorkerTimeline",
+    "Task",
+    "DemandDrivenResult",
+    "run_demand_driven",
+    "uniform_tasks",
+    "Trace",
+    "TraceRecord",
+    "render_gantt",
+]

@@ -1,0 +1,110 @@
+"""A small but real discrete-event simulation engine.
+
+Events carry a callback; the simulator pops them in (time, sequence)
+order so simultaneous events run in scheduling order (deterministic).
+Handlers may schedule further events.  This is intentionally minimal —
+the library's simulations are compute/communication timelines, not
+process-interaction models — but it is a genuine engine with an event
+log, stop conditions and time-travel protection, and the master–worker
+and demand-driven simulations are built on it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+Handler = Callable[["Simulator"], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled occurrence: fires ``handler`` at ``time``.
+
+    Ordering is (time, seq); ``seq`` is a monotone tie-breaker assigned
+    by the simulator, so FIFO among simultaneous events.
+    """
+
+    time: float
+    seq: int
+    kind: str = field(compare=False, default="event")
+    handler: Optional[Handler] = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event-queue simulator with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._counter = itertools.count()
+        self.now: float = 0.0
+        #: (time, kind) tuples of every fired event, for assertions
+        self.log: List[tuple[float, str]] = []
+        self._running = False
+
+    def schedule(
+        self, delay: float, handler: Handler, kind: str = "event"
+    ) -> Event:
+        """Schedule ``handler`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, handler, kind=kind)
+
+    def schedule_at(
+        self, time: float, handler: Handler, kind: str = "event"
+    ) -> Event:
+        """Schedule ``handler`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time} before current time {self.now}"
+            )
+        ev = Event(time=time, seq=next(self._counter), kind=kind, handler=handler)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired (and not cancelled) events."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            self.log.append((ev.time, ev.kind))
+            if ev.handler is not None:
+                ev.handler(self)
+            return True
+        return False
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event queue (optionally stopping at time ``until``).
+
+        Returns the final simulation time.
+        """
+        if self._running:
+            raise RuntimeError("simulator is not re-entrant")
+        self._running = True
+        try:
+            while self._queue:
+                nxt = self._queue[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and nxt.time > until:
+                    self.now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        return self.now

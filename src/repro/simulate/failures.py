@@ -1,0 +1,273 @@
+"""Failure injection and speculative re-execution (§1.1's Hadoop traits).
+
+The paper credits MapReduce with "its inherent capability of handling
+hardware failures and processing capabilities heterogeneity ... relying
+on on-demand allocations and a detection of nodes that perform poorly
+(in order to re-assign tasks that slow down the process)".  This module
+adds both mechanisms to the demand-driven scheduler so the library can
+measure their cost:
+
+* **fail-stop workers** — a worker dies at a given time; tasks it had
+  completed survive (results were shipped back), its in-flight task is
+  re-queued, and it takes no further tasks;
+* **stragglers + speculation** — a worker may run a task at a slowdown
+  factor; when all pending tasks are assigned and a task's expected
+  completion lags, a free worker launches a speculative duplicate
+  (Hadoop's backup tasks [23]); the earlier finisher wins.
+
+Both are deterministic given the injected schedule, so tests can assert
+exact outcomes; randomised injection uses the library's seeded RNG.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.platform.star import StarPlatform
+from repro.simulate.demand_driven import Task
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validation import check_nonnegative
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """Worker ``worker`` fail-stops at time ``time``."""
+
+    worker: int
+    time: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative(self.time, "time")
+
+
+@dataclass
+class FaultyRunResult:
+    """Outcome of a demand-driven run under failures/speculation."""
+
+    #: per-task index of the worker whose copy completed first
+    completed_by: List[int]
+    #: completion time of each task
+    completion_times: np.ndarray
+    #: per-worker count of executions (including lost + speculative)
+    executions: np.ndarray
+    #: tasks whose first execution was lost to a failure
+    reexecuted: List[int]
+    #: tasks that were speculatively duplicated
+    speculated: List[int]
+    makespan: float
+    #: per-worker data shipped, counting every (re-)execution's input
+    data_shipped: np.ndarray
+
+    @property
+    def wasted_executions(self) -> int:
+        """Executions that did not produce the winning result."""
+        return int(self.executions.sum()) - len(self.completed_by)
+
+
+def run_with_failures(
+    platform: StarPlatform,
+    tasks: Sequence[Task],
+    failures: Sequence[FailureEvent] = (),
+    slowdown: Sequence[float] | None = None,
+    speculate: bool = False,
+    speculation_threshold: float = 1.5,
+) -> FaultyRunResult:
+    """Demand-driven execution with fail-stop workers and speculation.
+
+    Parameters
+    ----------
+    failures:
+        Fail-stop events.  A worker's in-flight task at death is lost
+        and re-queued; completed tasks stand.
+    slowdown:
+        Per-worker multiplicative slowdown on task durations (≥ 1;
+        models the "nodes that perform poorly" of §1.1).  Default: none.
+    speculate:
+        Enable backup tasks: once the queue is empty, any free worker
+        duplicates the running task whose remaining time is largest,
+        provided the backup is expected to finish
+        ``speculation_threshold``× sooner than the original.
+
+    Notes
+    -----
+    Time advances event-by-event (task completions and failures); the
+    scheduler is the same greedy earliest-free-worker rule as
+    :func:`repro.simulate.demand_driven.run_demand_driven`, so with no
+    failures and no slowdown the outcome matches it exactly (tested).
+    """
+    p = platform.size
+    w = platform.cycle_times.copy()
+    if slowdown is not None:
+        slowdown = np.asarray(slowdown, dtype=float)
+        if slowdown.shape != (p,):
+            raise ValueError(f"need {p} slowdown factors")
+        if np.any(slowdown < 1.0):
+            raise ValueError("slowdown factors must be >= 1")
+        w = w * slowdown
+
+    death: Dict[int, float] = {}
+    for ev in failures:
+        if not 0 <= ev.worker < p:
+            raise ValueError(f"failure for unknown worker {ev.worker}")
+        death[ev.worker] = min(ev.time, death.get(ev.worker, np.inf))
+
+    n_tasks = len(tasks)
+    completed_by: List[Optional[int]] = [None] * n_tasks
+    completion = np.full(n_tasks, np.inf)
+    executions = np.zeros(p, dtype=int)
+    data_shipped = np.zeros(p)
+    reexecuted: List[int] = []
+    speculated: List[int] = []
+
+    queue: List[int] = list(range(n_tasks))
+    #: worker -> (task, start, end) of the in-flight execution
+    running: Dict[int, tuple[int, float, float]] = {}
+    free: List[int] = list(range(p))
+    now = 0.0
+
+    def duration(i: int, t_idx: int) -> float:
+        return tasks[t_idx].work * w[i]
+
+    def assign(i: int, t_idx: int, start: float) -> None:
+        executions[i] += 1
+        data_shipped[i] += tasks[t_idx].data
+        running[i] = (t_idx, start, start + duration(i, t_idx))
+
+    # Event loop: next event = earliest task end or worker death.
+    while True:
+        # hand out queued work to free, alive workers
+        free.sort()
+        still_free = []
+        for i in free:
+            if death.get(i, np.inf) <= now:
+                continue
+            if queue:
+                assign(i, queue.pop(0), now)
+            elif speculate:
+                candidate = _pick_speculation(
+                    running, completed_by, now, w, tasks, i,
+                    speculation_threshold,
+                )
+                if candidate is not None:
+                    if candidate not in speculated:
+                        speculated.append(candidate)
+                    assign(i, candidate, now)
+                else:
+                    still_free.append(i)
+            else:
+                still_free.append(i)
+        free = still_free
+
+        if not running:
+            break
+
+        # Next event: the earliest task completion, or the earliest
+        # death that interrupts a running task before it completes.
+        next_end = min(end for (_, _, end) in running.values())
+        next_death = min(
+            (
+                death[i]
+                for i, (_, _, end) in running.items()
+                if i in death and now <= death[i] < end
+            ),
+            default=np.inf,
+        )
+        now = min(next_end, next_death)
+
+        finished_workers = []
+        for i, (t_idx, _start, end) in list(running.items()):
+            dies_now = i in death and death[i] <= now and death[i] < end
+            if dies_now:
+                # worker dies mid-task: requeue unless the task is done
+                # elsewhere, already queued, or another copy is running
+                del running[i]
+                if (
+                    completed_by[t_idx] is None
+                    and t_idx not in queue
+                    and not any(r[0] == t_idx for r in running.values())
+                ):
+                    queue.insert(0, t_idx)
+                    reexecuted.append(t_idx)
+                continue
+            if end <= now + 1e-15:
+                del running[i]
+                finished_workers.append(i)
+                if completed_by[t_idx] is None:
+                    completed_by[t_idx] = i
+                    completion[t_idx] = end
+        free.extend(finished_workers)
+
+    unfinished = [t for t, owner in enumerate(completed_by) if owner is None]
+    if unfinished:
+        raise RuntimeError(
+            f"platform died before completing tasks {unfinished[:5]}..."
+            if len(unfinished) > 5
+            else f"platform died before completing tasks {unfinished}"
+        )
+    return FaultyRunResult(
+        completed_by=[int(i) for i in completed_by],  # type: ignore[arg-type]
+        completion_times=completion,
+        executions=executions,
+        reexecuted=reexecuted,
+        speculated=speculated,
+        makespan=float(completion.max()) if n_tasks else 0.0,
+        data_shipped=data_shipped,
+    )
+
+
+def _pick_speculation(
+    running: Dict[int, tuple[int, float, float]],
+    completed_by: List[Optional[int]],
+    now: float,
+    w: np.ndarray,
+    tasks: Sequence[Task],
+    candidate_worker: int,
+    threshold: float,
+) -> Optional[int]:
+    """Choose the running task worth duplicating on ``candidate_worker``.
+
+    Pick the unfinished task with the latest expected end; duplicate it
+    only if the backup would finish ``threshold``× sooner than waiting.
+    """
+    copies: Dict[int, int] = {}
+    for (t_idx, _s, _e) in running.values():
+        copies[t_idx] = copies.get(t_idx, 0) + 1
+    best_t, best_end = None, -np.inf
+    for (t_idx, _start, end) in running.values():
+        # one backup per task, like Hadoop's speculative execution
+        if copies[t_idx] > 1:
+            continue
+        if completed_by[t_idx] is None and end > best_end:
+            best_t, best_end = t_idx, end
+    if best_t is None:
+        return None
+    backup_end = now + tasks[best_t].work * w[candidate_worker]
+    remaining = best_end - now
+    if remaining <= 0:
+        return None
+    if (best_end - now) >= threshold * (backup_end - now):
+        return best_t
+    return None
+
+
+def random_failures(
+    platform: StarPlatform,
+    horizon: float,
+    rate: float,
+    rng: SeedLike = None,
+) -> List[FailureEvent]:
+    """Sample fail-stop events: each worker dies before ``horizon`` with
+    probability ``rate``, at a uniform time."""
+    if not 0 <= rate <= 1:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    check_nonnegative(horizon, "horizon")
+    gen = make_rng(rng)
+    events = []
+    for i in range(platform.size):
+        if gen.random() < rate:
+            events.append(FailureEvent(worker=i, time=float(gen.uniform(0, horizon))))
+    return events

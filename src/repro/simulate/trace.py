@@ -1,0 +1,99 @@
+"""Execution traces and a text Gantt renderer.
+
+A :class:`Trace` is a list of ``(worker, kind, start, end)`` intervals;
+:func:`render_gantt` draws them as rows of characters, one row per
+worker — enough to eyeball a schedule in a terminal and to regression-
+test schedule *shapes* (tests compare rendered strings for tiny
+platforms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+#: glyph per activity kind in the Gantt view
+_GLYPHS = {"recv": "=", "compute": "#", "idle": ".", "send": ">"}
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One activity interval of one worker."""
+
+    worker: str
+    kind: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"interval ends before it starts: [{self.start}, {self.end}]"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """An append-only collection of :class:`TraceRecord`."""
+
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def add(self, worker: str, kind: str, start: float, end: float) -> None:
+        self.records.append(TraceRecord(worker, kind, start, end))
+
+    @property
+    def makespan(self) -> float:
+        return max((r.end for r in self.records), default=0.0)
+
+    def by_worker(self) -> Dict[str, List[TraceRecord]]:
+        out: Dict[str, List[TraceRecord]] = {}
+        for r in self.records:
+            out.setdefault(r.worker, []).append(r)
+        for recs in out.values():
+            recs.sort(key=lambda r: (r.start, r.end))
+        return out
+
+    def busy_time(self, worker: str, kinds: Iterable[str] = ("compute",)) -> float:
+        """Total time ``worker`` spent in the given activity kinds."""
+        kinds = set(kinds)
+        return sum(
+            r.duration
+            for r in self.records
+            if r.worker == worker and r.kind in kinds
+        )
+
+
+def render_gantt(trace: Trace, width: int = 60) -> str:
+    """Render a trace as an ASCII Gantt chart.
+
+    ``=`` receive, ``#`` compute, ``.`` idle.  Rows are labelled by
+    worker and sorted by name; the time axis is scaled to ``width``
+    columns.  Overlapping records of one worker overwrite left-to-right
+    (later kinds win), which is fine for the well-formed schedules the
+    simulators emit.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    span = trace.makespan
+    rows = trace.by_worker()
+    if not rows or span <= 0:
+        return "(empty trace)"
+    scale = width / span
+    lines = []
+    label_w = max(len(name) for name in rows)
+    for name in sorted(rows):
+        buf = [_GLYPHS["idle"]] * width
+        for rec in rows[name]:
+            a = int(rec.start * scale)
+            b = max(a + 1, int(round(rec.end * scale)))
+            glyph = _GLYPHS.get(rec.kind, "?")
+            for i in range(a, min(b, width)):
+                buf[i] = glyph
+        lines.append(f"{name.rjust(label_w)} |{''.join(buf)}|")
+    axis = " " * label_w + f" 0{' ' * (width - 2 - len(f'{span:.3g}'))}{span:.3g}"
+    lines.append(axis)
+    return "\n".join(lines)

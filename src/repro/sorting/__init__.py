@@ -1,0 +1,47 @@
+"""Executable parallel sample sort (§3) with simulated timing.
+
+The paper's Section 3 argues sorting is *almost* a divisible load: after
+a cheap preprocessing phase (sample-based bucketing), the expensive
+:math:`N \\log N` phase splits perfectly across workers.  This package
+implements the real algorithm — it sorts actual NumPy arrays — while
+also charging every phase to the paper's cost model, for both
+homogeneous (§3.1) and heterogeneous (§3.2) platforms.
+"""
+
+from repro.sorting.splitters import (
+    choose_splitters,
+    heterogeneous_splitter_positions,
+    bucketize,
+)
+from repro.sorting.sample_sort import (
+    SampleSortResult,
+    sample_sort,
+    sequential_sort_work,
+)
+from repro.sorting.analysis import (
+    max_bucket_statistics,
+    BucketStats,
+    empirical_b4_violation_rate,
+)
+from repro.sorting.dlt_schedule import (
+    BucketSchedule,
+    evaluate_order,
+    largest_delivery_first,
+    one_port_penalty,
+)
+
+__all__ = [
+    "BucketSchedule",
+    "evaluate_order",
+    "largest_delivery_first",
+    "one_port_penalty",
+    "choose_splitters",
+    "heterogeneous_splitter_positions",
+    "bucketize",
+    "SampleSortResult",
+    "sample_sort",
+    "sequential_sort_work",
+    "max_bucket_statistics",
+    "BucketStats",
+    "empirical_b4_violation_rate",
+]

@@ -1,0 +1,116 @@
+"""Statistical analysis of bucket sizes — Theorem B.4 empirically (§3.1).
+
+The paper leans on Blelloch et al.'s Theorem B.4: with oversampling
+:math:`s = \\log^2 N`, the largest bucket exceeds
+:math:`\\frac{N}{p}(1 + (1/\\log N)^{1/3})` with probability at most
+:math:`N^{-1/3}`.  These helpers run repeated bucketings and measure the
+max-bucket distribution so tests (and EXPERIMENTS.md) can confirm the
+concentration the argument needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.almost_linear import (
+    recommended_oversampling,
+    theorem_b4_max_bucket_bound,
+)
+from repro.sorting.splitters import bucketize, choose_splitters
+from repro.util.rng import SeedLike, make_rng, spawn_rngs
+from repro.util.validation import check_integer
+
+
+@dataclass(frozen=True)
+class BucketStats:
+    """Max-bucket distribution over repeated random bucketings."""
+
+    N: int
+    p: int
+    s: int
+    trials: int
+    max_sizes: np.ndarray
+    #: the Theorem-B.4 threshold (N/p)(1 + (1/log N)^(1/3))
+    b4_bound: float
+
+    @property
+    def mean_max(self) -> float:
+        return float(self.max_sizes.mean())
+
+    @property
+    def worst_max(self) -> int:
+        return int(self.max_sizes.max())
+
+    @property
+    def expected_bucket(self) -> float:
+        return self.N / self.p
+
+    @property
+    def mean_overflow(self) -> float:
+        """Mean of ``MaxSize / (N/p) - 1`` — the observed imbalance."""
+        return float(self.max_sizes.mean() / self.expected_bucket - 1.0)
+
+    @property
+    def violation_rate(self) -> float:
+        """Empirical ``P[MaxSize > b4_bound]``; Theorem B.4 says
+        this is at most :math:`N^{-1/3}`."""
+        return float(np.mean(self.max_sizes > self.b4_bound))
+
+
+def max_bucket_statistics(
+    N: int,
+    p: int,
+    trials: int = 50,
+    s: int | None = None,
+    rng: SeedLike = 0,
+    distribution: str = "uniform",
+) -> BucketStats:
+    """Sample ``trials`` random inputs; record each trial's max bucket.
+
+    ``distribution`` ∈ {"uniform", "normal", "sorted", "zipf-ish"}: the
+    paper stresses that sample sort's behaviour is *input-independent*
+    (all randomness comes from the sample), and tests verify the stats
+    barely move across input distributions.
+    """
+    check_integer(N, "N", minimum=2)
+    check_integer(p, "p", minimum=1)
+    check_integer(trials, "trials", minimum=1)
+    if s is None:
+        s = recommended_oversampling(N)
+    rngs = spawn_rngs(rng, trials)
+    maxes = np.empty(trials, dtype=int)
+    for t, trial_rng in enumerate(rngs):
+        keys = _make_input(N, distribution, trial_rng)
+        splitters = choose_splitters(keys, p, s, rng=trial_rng)
+        buckets = bucketize(keys, splitters)
+        maxes[t] = max(b.size for b in buckets)
+    return BucketStats(
+        N=N,
+        p=p,
+        s=int(s),
+        trials=trials,
+        max_sizes=maxes,
+        b4_bound=theorem_b4_max_bucket_bound(N, p),
+    )
+
+
+def empirical_b4_violation_rate(
+    N: int, p: int, trials: int = 50, rng: SeedLike = 0
+) -> float:
+    """Shortcut: the violation rate at the paper's parameters."""
+    return max_bucket_statistics(N, p, trials=trials, rng=rng).violation_rate
+
+
+def _make_input(N: int, distribution: str, rng: np.random.Generator) -> np.ndarray:
+    if distribution == "uniform":
+        return rng.random(N)
+    if distribution == "normal":
+        return rng.normal(size=N)
+    if distribution == "sorted":
+        return np.sort(rng.random(N))
+    if distribution == "zipf-ish":
+        # heavy duplicates: many repeated small integers
+        return rng.zipf(2.0, size=N).astype(float)
+    raise ValueError(f"unknown input distribution {distribution!r}")

@@ -1,0 +1,133 @@
+"""One-port bucket distribution for sample sort — §3's closing remark.
+
+§3.1 ends: "in the case of sorting, optimizing the data distribution
+phase to slave processors under more complicated communication models
+than the one considered in this paper, is meaningful."  This module does
+that optimisation for the one-port model: after Steps 1–2 the master
+holds ``p`` buckets and must ship them *sequentially*; worker *i* then
+sorts locally.  The makespan of the phase is
+
+.. math:: T(\\sigma) = \\max_j \\Big( \\sum_{j' \\le j}
+          c_{\\sigma(j')} n_{\\sigma(j')}
+          + w_{\\sigma(j)}\\, n_{\\sigma(j)} \\log_2 n_{\\sigma(j)} \\Big).
+
+This is 1 machine-scheduling with delivery times (1 | | Lmax in reverse):
+serving buckets in **non-increasing local-sort time** is optimal — the
+classical Largest-Delivery-Time rule, proved by the standard exchange
+argument (swapping two adjacent buckets where the smaller-delivery one
+goes first never increases the max).  Tests certify the rule against
+brute force on random instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.almost_linear import sorting_work
+from repro.platform.star import StarPlatform
+
+
+@dataclass(frozen=True)
+class BucketSchedule:
+    """A one-port bucket-shipping schedule and its timeline."""
+
+    order: tuple[int, ...]
+    send_start: np.ndarray
+    send_end: np.ndarray
+    finish: np.ndarray
+    makespan: float
+
+
+def evaluate_order(
+    platform: StarPlatform, bucket_sizes: Sequence[int], order: Sequence[int]
+) -> BucketSchedule:
+    """Timeline of shipping buckets in ``order`` then sorting locally."""
+    sizes = np.asarray(bucket_sizes, dtype=float)
+    p = platform.size
+    if sizes.shape != (p,):
+        raise ValueError(f"need {p} bucket sizes, got {sizes.shape}")
+    if np.any(sizes < 0):
+        raise ValueError("bucket sizes must be non-negative")
+    order = np.asarray(order, dtype=int)
+    if sorted(order.tolist()) != list(range(p)):
+        raise ValueError(f"order must be a permutation of 0..{p - 1}")
+    c = platform.comm_times
+    w = platform.cycle_times
+    send_start = np.zeros(p)
+    send_end = np.zeros(p)
+    finish = np.zeros(p)
+    t = 0.0
+    for idx in order:
+        send_start[idx] = t
+        t += c[idx] * sizes[idx]
+        send_end[idx] = t
+        local = w[idx] * (sorting_work(sizes[idx]) if sizes[idx] > 1 else 0.0)
+        finish[idx] = t + local
+    return BucketSchedule(
+        order=tuple(int(i) for i in order),
+        send_start=send_start,
+        send_end=send_end,
+        finish=finish,
+        makespan=float(finish.max()) if p else 0.0,
+    )
+
+
+def largest_delivery_first(
+    platform: StarPlatform, bucket_sizes: Sequence[int]
+) -> BucketSchedule:
+    """Optimal one-port order: non-increasing local-sort ("delivery") time.
+
+    Classical LDT rule for single-machine scheduling with delivery
+    times; optimal here because send times are order-independent in
+    their prefix sums and only the delivery tail differs.
+    """
+    sizes = np.asarray(bucket_sizes, dtype=float)
+    w = platform.cycle_times
+    delivery = np.array(
+        [w[i] * (sorting_work(s) if s > 1 else 0.0) for i, s in enumerate(sizes)]
+    )
+    order = np.argsort(-delivery, kind="stable")
+    return evaluate_order(platform, bucket_sizes, order)
+
+
+def brute_force_best_order(
+    platform: StarPlatform, bucket_sizes: Sequence[int]
+) -> BucketSchedule:
+    """Exhaustive optimum over all ``p!`` orders (tests only)."""
+    p = platform.size
+    if p > 8:
+        raise ValueError("brute force limited to p <= 8")
+    best: BucketSchedule | None = None
+    for order in permutations(range(p)):
+        sched = evaluate_order(platform, bucket_sizes, order)
+        if best is None or sched.makespan < best.makespan - 1e-15:
+            best = sched
+    assert best is not None
+    return best
+
+
+def one_port_penalty(
+    platform: StarPlatform, bucket_sizes: Sequence[int]
+) -> float:
+    """Relative makespan increase of one-port over parallel links.
+
+    Parallel links: every bucket ships at time 0 → makespan
+    ``max(c_i n_i + delivery_i)``.  Returns ``(T_1port − T_par) / T_par``
+    with the optimal one-port order — quantifying how much the §1.2
+    simplification hides for the sorting workload.
+    """
+    sizes = np.asarray(bucket_sizes, dtype=float)
+    c = platform.comm_times
+    w = platform.cycle_times
+    delivery = np.array(
+        [w[i] * (sorting_work(s) if s > 1 else 0.0) for i, s in enumerate(sizes)]
+    )
+    t_par = float(np.max(c * sizes + delivery))
+    t_one = largest_delivery_first(platform, sizes).makespan
+    if t_par == 0:
+        return 0.0
+    return (t_one - t_par) / t_par

@@ -1,0 +1,101 @@
+"""Splitter selection and bucketing — Steps 1–2 of sample sort (§3.1).
+
+Step 1 picks ``s * p`` random keys (oversampling ratio ``s``), sorts
+them, and selects ``p - 1`` splitters at regular ranks, partitioning the
+key space into ``p`` buckets of near-equal expected size.  §3.2
+generalises to heterogeneous workers: splitter ranks are placed at the
+*cumulative speed fractions*, so bucket *i*'s expected size is
+proportional to worker *i*'s speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validation import check_integer
+
+
+def homogeneous_splitter_positions(p: int, s: int) -> np.ndarray:
+    """Sample ranks of the splitters for equal buckets: ``s, 2s, …, (p-1)s``.
+
+    Indices into the *sorted* sample of size ``s*p`` (0-based, so rank
+    ``j*s`` maps to index ``j*s - 1``... we use the paper's rank ``j*s``
+    directly as a 0-based index, which selects the key with ``j*s``
+    smaller samples — the standard convention).
+    """
+    check_integer(p, "p", minimum=1)
+    check_integer(s, "s", minimum=1)
+    return np.arange(1, p) * s
+
+
+def heterogeneous_splitter_positions(speeds: np.ndarray, s: int) -> np.ndarray:
+    """Sample ranks proportional to cumulative speed fractions (§3.2).
+
+    With sample size ``s*p``, the boundary after worker *i* sits at rank
+    ``round(cumfrac_i * s * p)`` where ``cumfrac_i = Σ_{k<=i} s_k / Σ s_k``
+    — worker *i*'s bucket then has expected size ``N * x_i``.  (The
+    paper's formula expresses the same cumulative-(1/w) placement.)
+    """
+    speeds = np.asarray(speeds, dtype=float)
+    if speeds.ndim != 1 or speeds.size == 0 or np.any(speeds <= 0):
+        raise ValueError("speeds must be a non-empty positive 1-D array")
+    check_integer(s, "s", minimum=1)
+    p = speeds.size
+    cumfrac = np.cumsum(speeds) / speeds.sum()
+    sample_size = s * p
+    ranks = np.round(cumfrac[:-1] * sample_size).astype(int)
+    return np.clip(ranks, 1, sample_size - 1)
+
+
+def choose_splitters(
+    keys: np.ndarray,
+    p: int,
+    s: int,
+    rng: SeedLike = None,
+    speeds: np.ndarray | None = None,
+) -> np.ndarray:
+    """Steps 1 of sample sort: sample, sort, select ``p - 1`` splitters.
+
+    ``speeds`` switches between homogeneous (None) and heterogeneous
+    placement.  Sampling is with replacement when the sample would
+    exceed the input (tiny-N corner), without replacement otherwise —
+    matching the randomized analysis the paper cites.
+    """
+    keys = np.asarray(keys)
+    check_integer(p, "p", minimum=1)
+    check_integer(s, "s", minimum=1)
+    if p == 1:
+        return keys[:0].astype(keys.dtype, copy=False)
+    rng = make_rng(rng)
+    sample_size = s * p
+    if sample_size <= keys.size:
+        idx = rng.choice(keys.size, size=sample_size, replace=False)
+    else:
+        idx = rng.integers(0, keys.size, size=sample_size)
+    sample = np.sort(keys[idx], kind="stable")
+    if speeds is None:
+        positions = homogeneous_splitter_positions(p, s)
+    else:
+        if len(speeds) != p:
+            raise ValueError(f"expected {p} speeds, got {len(speeds)}")
+        positions = heterogeneous_splitter_positions(np.asarray(speeds), s)
+    return sample[positions]
+
+
+def bucketize(keys: np.ndarray, splitters: np.ndarray) -> list[np.ndarray]:
+    """Step 2: route each key to its bucket by binary search.
+
+    Bucket *i* receives keys in ``(splitters[i-1], splitters[i]]``
+    boundaries-wise (``searchsorted`` left side), preserving input order
+    within a bucket.  Cost charged by the caller: ``N log2 p``.
+    """
+    keys = np.asarray(keys)
+    splitters = np.asarray(splitters)
+    if splitters.size == 0:
+        return [keys.copy()]
+    if np.any(np.diff(splitters) < 0):
+        raise ValueError("splitters must be sorted")
+    bucket_ids = np.searchsorted(splitters, keys, side="left")
+    p = splitters.size + 1
+    return [keys[bucket_ids == b] for b in range(p)]

@@ -1,0 +1,28 @@
+"""Shared utilities: seeded RNG management, ASCII tables, validation.
+
+These helpers are deliberately dependency-light so every other subpackage
+can import them without cycles.
+"""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import format_table, format_series
+from repro.util.ascii_plot import ascii_chart, figure4_chart
+from repro.util.validation import (
+    check_positive,
+    check_positive_array,
+    check_probability_vector,
+    check_in_range,
+)
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "ascii_chart",
+    "figure4_chart",
+    "format_table",
+    "format_series",
+    "check_positive",
+    "check_positive_array",
+    "check_probability_vector",
+    "check_in_range",
+]

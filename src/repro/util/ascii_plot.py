@@ -1,0 +1,112 @@
+"""Terminal line charts — Figure 4 without matplotlib.
+
+Offline reproduction means no plotting stack; these renderers draw
+multi-series line charts with unicode-free ASCII so the figure panels
+can be *seen*, not just tabulated.  Each series gets a glyph; points
+are plotted on a character grid with a labelled y-axis and the x values
+along the bottom.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    y_label: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render named series against shared x values as an ASCII chart.
+
+    ``log_y`` switches the y axis to log10 — useful for Figure 4(b/c)
+    where ``hom/k`` dwarfs ``het``.  Returns the chart as a string.
+    """
+    if width < 20 or height < 5:
+        raise ValueError("chart needs width >= 20 and height >= 5")
+    x = np.asarray(x_values, dtype=float)
+    if x.size == 0:
+        return "(empty chart)"
+    names = list(series)
+    if len(names) > len(_GLYPHS):
+        raise ValueError(f"at most {len(_GLYPHS)} series supported")
+    ys = {}
+    for name in names:
+        arr = np.asarray(series[name], dtype=float)
+        if arr.shape != x.shape:
+            raise ValueError(f"series {name!r} length mismatch")
+        if log_y:
+            if np.any(arr <= 0):
+                raise ValueError("log_y requires positive values")
+            arr = np.log10(arr)
+        ys[name] = arr
+
+    all_y = np.concatenate(list(ys.values()))
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for gi, name in enumerate(names):
+        glyph = _GLYPHS[gi]
+        for xv, yv in zip(x, ys[name]):
+            col = int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yv - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+
+    def fmt_y(v: float) -> str:
+        real = 10**v if log_y else v
+        return f"{real:.3g}"
+
+    label_w = max(len(fmt_y(y_max)), len(fmt_y(y_min))) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = fmt_y(y_max)
+        elif r == height - 1:
+            label = fmt_y(y_min)
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_w)} |{''.join(row)}|")
+    axis = " " * label_w + " +" + "-" * width + "+"
+    lines.append(axis)
+    x_line = (
+        " " * label_w
+        + "  "
+        + f"{x_min:.3g}".ljust(width - len(f"{x_max:.3g}"))
+        + f"{x_max:.3g}"
+    )
+    lines.append(x_line)
+    legend = "  ".join(
+        f"{_GLYPHS[i]}={name}" for i, name in enumerate(names)
+    )
+    suffix = f"   [{y_label}]" if y_label else ""
+    lines.append(" " * label_w + "  " + legend + suffix)
+    return "\n".join(lines)
+
+
+def figure4_chart(result, log_y: bool = True) -> str:
+    """Draw a :class:`repro.experiments.figure4.Figure4Result` panel."""
+    return ascii_chart(
+        list(result.processors),
+        {name: result.means[name] for name in ("het", "hom", "hom/k")},
+        title=(
+            f"Figure 4 ({result.speed_model}): ratio to lower bound "
+            f"({result.trials} trials/point{', log y' if log_y else ''})"
+        ),
+        y_label="ratio to LB",
+        log_y=log_y,
+    )

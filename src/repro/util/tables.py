@@ -1,0 +1,91 @@
+"""Plain-text table rendering for experiment output.
+
+The paper reports its evaluation as figures; since this reproduction is an
+offline library, every experiment renders the same series as an ASCII
+table (one row per x-axis point, one column per strategy).  Benchmarks and
+examples share these renderers so their output is uniform and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _fmt_cell(value, floatfmt: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    floatfmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are formatted with ``floatfmt``; ``None`` renders as ``-``.
+    Column widths adapt to content.  Returns the table as a single string
+    (callers print it).
+    """
+    str_rows = [[_fmt_cell(v, floatfmt) for v in row] for row in rows]
+    headers = [str(h) for h in headers]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ValueError(
+                f"row has {len(r)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    sep = "  ".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(sep)
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[Number],
+    series: Mapping[str, Sequence[Number]],
+    floatfmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render named y-series against a shared x axis.
+
+    This matches the structure of the paper's Figure 4: x = number of
+    processors, one series per strategy (ratio to the lower bound).
+    """
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points, "
+                f"expected {len(x_values)}"
+            )
+    headers = [x_name] + names
+    rows = [
+        [x] + [series[name][i] for name in names] for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, floatfmt=floatfmt, title=title)
+
+
+def format_mean_std(mean: float, std: float, floatfmt: str = ".3f") -> str:
+    """Render ``mean ± std`` compactly, as used in experiment summaries."""
+    return f"{format(mean, floatfmt)}±{format(std, floatfmt)}"

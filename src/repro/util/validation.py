@@ -1,0 +1,76 @@
+"""Argument validation helpers with uniform error messages.
+
+All public constructors in the library validate eagerly (fail-fast), so
+that a bad platform description or area vector is reported at build time
+rather than as a silent NaN deep inside a sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``; returns the value for chaining."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return float(value)
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Require ``value >= 0``; returns the value for chaining."""
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be non-negative and finite, got {value!r}")
+    return float(value)
+
+
+def check_positive_array(values: Sequence[float], name: str) -> np.ndarray:
+    """Require a non-empty 1-D array of strictly positive finite floats."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    if np.any(arr <= 0):
+        raise ValueError(f"{name} must be strictly positive everywhere")
+    return arr
+
+
+def check_probability_vector(
+    values: Sequence[float], name: str, atol: float = 1e-9
+) -> np.ndarray:
+    """Require non-negative entries summing to 1 (within ``atol``)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"{name} must be a non-empty 1-D vector")
+    if np.any(arr < -atol) or not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must be non-negative and finite")
+    total = float(arr.sum())
+    if abs(total - 1.0) > atol:
+        raise ValueError(f"{name} must sum to 1, sums to {total}")
+    return arr
+
+
+def check_in_range(
+    value: float, name: str, low: float, high: float, inclusive: bool = True
+) -> float:
+    """Require ``low <= value <= high`` (or strict when not inclusive)."""
+    ok = low <= value <= high if inclusive else low < value < high
+    if not ok:
+        op = "<=" if inclusive else "<"
+        raise ValueError(f"{name} must satisfy {low} {op} {name} {op} {high}, got {value}")
+    return float(value)
+
+
+def check_integer(value, name: str, minimum: int | None = None) -> int:
+    """Require an integer (rejecting bools), optionally with a lower bound."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value

@@ -1,0 +1,82 @@
+"""Tests for repro.blocks.footprint — Figure 2's accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks.footprint import (
+    assignment_footprints,
+    block_footprint_volume,
+    demand_driven_grid_assignment,
+    naive_block_volume,
+)
+
+cells_strategy = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)),
+    min_size=1,
+    max_size=30,
+    unique=True,
+)
+
+
+class TestVolumes:
+    def test_naive(self):
+        assert naive_block_volume(5, 2.0) == 20.0
+
+    def test_footprint_counts_distinct_rows_cols(self):
+        cells = [(0, 0), (0, 1), (1, 0)]
+        # rows {0,1}, cols {0,1} → (2+2)*d
+        assert block_footprint_volume(cells, 3.0) == pytest.approx(12.0)
+
+    def test_duplicate_cells_counted_once(self):
+        assert block_footprint_volume([(0, 0), (0, 0)], 1.0) == 2.0
+
+    @given(cells=cells_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_footprint_never_exceeds_naive(self, cells):
+        """Each block adds at most one row and one column — invariant."""
+        d = 1.5
+        naive = naive_block_volume(len(cells), d)
+        fp = block_footprint_volume(cells, d)
+        assert fp <= naive + 1e-12
+
+    def test_single_row_reuse_maximal(self):
+        """k blocks in one row: footprint (1+k)d vs naive 2kd."""
+        k, d = 8, 1.0
+        cells = [(0, c) for c in range(k)]
+        assert block_footprint_volume(cells, d) == pytest.approx((1 + k) * d)
+
+
+class TestAssignmentFootprints:
+    def test_structure_and_savings(self):
+        out = assignment_footprints({0: [(0, 0), (0, 1)], 1: [(1, 1)]}, 2.0)
+        assert out[0]["naive"] == 8.0
+        assert out[0]["footprint"] == 6.0
+        assert out[0]["savings"] == 2.0
+        assert out[1]["savings"] == 0.0
+
+
+class TestGridAssignment:
+    def test_counts_respected(self):
+        asg = demand_driven_grid_assignment([2, 1], grid=2)
+        assert len(asg[0]) == 2 and len(asg[1]) == 1
+
+    def test_round_robin_interleaves(self):
+        asg = demand_driven_grid_assignment([2, 2], grid=2)
+        # deal order: w0, w1, w0, w1 over row-major cells
+        assert asg[0] == [(0, 0), (1, 0)]
+        assert asg[1] == [(0, 1), (1, 1)]
+
+    def test_cells_unique_across_workers(self):
+        asg = demand_driven_grid_assignment([3, 3, 3], grid=3)
+        all_cells = [c for cells in asg.values() for c in cells]
+        assert len(set(all_cells)) == 9
+
+    def test_overfull_rejected(self):
+        with pytest.raises(ValueError):
+            demand_driven_grid_assignment([5], grid=2)
+
+    def test_unsupported_order_rejected(self):
+        with pytest.raises(ValueError):
+            demand_driven_grid_assignment([1], grid=2, order="shuffled")

@@ -1,0 +1,62 @@
+"""Tests for repro.blocks.heterogeneous — the Comm_het strategy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks.heterogeneous import HeterogeneousBlocksStrategy
+from repro.core.bounds import comm_het_upper_bound, lower_bound_comm
+from repro.platform.star import StarPlatform
+
+speeds_lists = st.lists(
+    st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=16
+)
+
+
+class TestPlan:
+    @given(speeds=speeds_lists, N=st.floats(min_value=10.0, max_value=1e5))
+    @settings(max_examples=50, deadline=None)
+    def test_volume_between_lb_and_guarantee(self, speeds, N):
+        """LB <= Comm_het <= (7/4) LB — the §4.1.2 sandwich."""
+        plat = StarPlatform.from_speeds(speeds)
+        plan = HeterogeneousBlocksStrategy().plan(plat, N)
+        lb = lower_bound_comm(N, speeds)
+        assert lb - 1e-6 <= plan.comm_volume
+        assert plan.comm_volume <= comm_het_upper_bound(N, speeds) + 1e-6
+
+    def test_perfect_balance_by_construction(self):
+        plat = StarPlatform.from_speeds([1.0, 2.0, 7.0])
+        plan = HeterogeneousBlocksStrategy().plan(plat, 1000.0)
+        assert plan.imbalance == pytest.approx(0.0, abs=1e-9)
+        assert np.allclose(plan.finish_times, plan.finish_times[0])
+
+    def test_partition_areas_match_speeds(self):
+        speeds = [1.0, 3.0, 6.0]
+        plat = StarPlatform.from_speeds(speeds)
+        plan = HeterogeneousBlocksStrategy().plan(plat, 100.0)
+        part = plan.detail["partition"]
+        owners = part.by_owner()
+        x = np.asarray(speeds) / np.sum(speeds)
+        for i in range(3):
+            assert owners[i].area == pytest.approx(x[i])
+
+    def test_scaled_partition_provided(self):
+        plat = StarPlatform.from_speeds([1.0, 1.0])
+        plan = HeterogeneousBlocksStrategy().plan(plat, 50.0)
+        scaled = plan.detail["scaled_partition"]
+        assert scaled.side == pytest.approx(50.0)
+        assert plan.comm_volume == pytest.approx(scaled.sum_half_perimeters)
+
+    def test_observed_quality_matches_paper(self):
+        """§4.3: within ~2% of LB for realistic 100-processor platforms."""
+        rng = np.random.default_rng(5)
+        speeds = rng.uniform(1, 100, 100)
+        plat = StarPlatform.from_speeds(speeds)
+        plan = HeterogeneousBlocksStrategy().plan(plat, 10_000.0)
+        assert plan.ratio_to_lower_bound < 1.02
+
+    def test_homogeneous_nearly_optimal(self):
+        plat = StarPlatform.homogeneous(16)
+        plan = HeterogeneousBlocksStrategy().plan(plat, 1600.0)
+        assert plan.ratio_to_lower_bound == pytest.approx(1.0, abs=1e-9)

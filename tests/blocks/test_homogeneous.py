@@ -1,0 +1,88 @@
+"""Tests for repro.blocks.homogeneous — the Comm_hom strategy."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.homogeneous import HomogeneousBlocksStrategy
+from repro.core.bounds import comm_hom_ideal, lower_bound_comm
+from repro.platform.star import StarPlatform
+
+
+class TestBlockGeometry:
+    def test_block_side_formula(self):
+        """D = sqrt(x1) N."""
+        plat = StarPlatform.from_speeds([1.0, 3.0])
+        side = HomogeneousBlocksStrategy().block_side(plat, 100.0)
+        assert side == pytest.approx(np.sqrt(0.25) * 100.0)
+
+    def test_subdivision_shrinks_side(self):
+        plat = StarPlatform.from_speeds([1.0, 3.0])
+        d1 = HomogeneousBlocksStrategy(1).block_side(plat, 100.0)
+        d4 = HomogeneousBlocksStrategy(4).block_side(plat, 100.0)
+        assert d4 == pytest.approx(d1 / 4)
+
+    def test_n_blocks_one_per_slowest_share(self):
+        """B = 1/x1 when integral: speeds [1,1,2] → x1=1/4 → 4 blocks."""
+        plat = StarPlatform.from_speeds([1.0, 1.0, 2.0])
+        assert HomogeneousBlocksStrategy().n_blocks(plat, 100.0) == 4
+
+    def test_subdivision_validated(self):
+        with pytest.raises(ValueError):
+            HomogeneousBlocksStrategy(0)
+
+
+class TestPlan:
+    def test_homogeneous_platform_hits_lower_bound(self):
+        """Figure 4a: one square per worker, ratio exactly 1."""
+        plat = StarPlatform.homogeneous(25)
+        plan = HomogeneousBlocksStrategy().plan(plat, 1000.0)
+        assert plan.ratio_to_lower_bound == pytest.approx(1.0)
+        assert plan.imbalance == pytest.approx(0.0, abs=1e-12)
+
+    def test_comm_volume_matches_ideal_when_integral(self):
+        plat = StarPlatform.from_speeds([1.0, 1.0, 2.0])
+        plan = HomogeneousBlocksStrategy().plan(plat, 100.0)
+        assert plan.comm_volume == pytest.approx(comm_hom_ideal(100.0, plat.speeds))
+
+    def test_counts_proportional_to_speed(self):
+        plat = StarPlatform.from_speeds([1.0, 4.0])
+        plan = HomogeneousBlocksStrategy().plan(plat, 1000.0)
+        counts = plan.detail["counts"]
+        assert counts.sum() == plan.detail["n_blocks"]
+        assert counts[1] == pytest.approx(4 * counts[0], abs=1)
+
+    def test_heterogeneous_ratio_above_one(self):
+        plat = StarPlatform.from_speeds([1.0, 10.0, 100.0])
+        plan = HomogeneousBlocksStrategy().plan(plat, 1000.0)
+        assert plan.ratio_to_lower_bound > 1.5
+
+    def test_fast_path_consistent_with_heap(self):
+        """Same plan either side of the fast-path threshold."""
+        plat = StarPlatform.from_speeds([1.0, 2.0, 3.0])
+        strat = HomogeneousBlocksStrategy()
+        plan_heap = strat.plan(plat, 50.0)
+        # force fast path by monkeying the threshold
+        strat_fast = HomogeneousBlocksStrategy()
+        object.__setattr__(strat_fast, "_FAST_PATH_THRESHOLD", 0)
+        plan_fast = strat_fast.plan(plat, 50.0)
+        assert plan_fast.comm_volume == pytest.approx(plan_heap.comm_volume)
+        assert np.allclose(
+            np.sort(plan_fast.finish_times), np.sort(plan_heap.finish_times)
+        )
+
+    def test_ideal_volume_static(self):
+        plat = StarPlatform.from_speeds([2.0, 8.0])
+        assert HomogeneousBlocksStrategy.ideal_volume(plat, 10.0) == pytest.approx(
+            comm_hom_ideal(10.0, plat.speeds)
+        )
+
+    def test_volume_grows_linearly_in_subdivision(self):
+        plat = StarPlatform.from_speeds([1.0, 3.0])
+        v1 = HomogeneousBlocksStrategy(1).plan(plat, 400.0).comm_volume
+        v2 = HomogeneousBlocksStrategy(2).plan(plat, 400.0).comm_volume
+        assert v2 == pytest.approx(2 * v1, rel=0.01)
+
+    def test_strategy_label(self):
+        plat = StarPlatform.homogeneous(4)
+        assert HomogeneousBlocksStrategy(1).plan(plat, 100.0).strategy == "hom"
+        assert "k=3" in HomogeneousBlocksStrategy(3).plan(plat, 100.0).strategy

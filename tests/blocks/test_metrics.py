@@ -1,0 +1,48 @@
+"""Tests for repro.blocks.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.metrics import StrategyResult, load_imbalance
+
+
+class TestLoadImbalance:
+    def test_balanced(self):
+        assert load_imbalance(np.array([2.0, 2.0, 2.0])) == 0.0
+
+    def test_formula(self):
+        assert load_imbalance(np.array([1.0, 3.0])) == pytest.approx(2.0)
+
+    def test_starved_worker_inf(self):
+        assert load_imbalance(np.array([0.0, 1.0])) == float("inf")
+
+    def test_all_idle_zero(self):
+        assert load_imbalance(np.array([0.0, 0.0])) == 0.0
+
+    def test_single_worker_zero(self):
+        assert load_imbalance(np.array([5.0])) == 0.0
+
+
+class TestStrategyResult:
+    def _result(self):
+        return StrategyResult(
+            strategy="test",
+            N=100.0,
+            speeds=np.array([1.0, 1.0, 1.0, 1.0]),
+            comm_volume=500.0,
+            finish_times=np.array([1.0, 1.0, 1.0, 1.1]),
+            imbalance=0.1,
+        )
+
+    def test_lower_bound_and_ratio(self):
+        res = self._result()
+        # LB = 2*100*4*sqrt(1/4) = 400
+        assert res.lower_bound == pytest.approx(400.0)
+        assert res.ratio_to_lower_bound == pytest.approx(1.25)
+
+    def test_makespan(self):
+        assert self._result().makespan == pytest.approx(1.1)
+
+    def test_summary_contains_key_numbers(self):
+        text = self._result().summary()
+        assert "test" in text and "1.25" in text

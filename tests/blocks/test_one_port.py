@@ -1,0 +1,69 @@
+"""Tests for repro.blocks.one_port."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks.one_port import (
+    brute_force_one_port_plan,
+    plan_het_one_port,
+)
+from repro.platform.star import StarPlatform
+
+
+class TestPlanHetOnePort:
+    def test_sends_serialised(self, heterogeneous_platform):
+        plan = plan_het_one_port(heterogeneous_platform, 1000.0)
+        ends = np.sort(plan.send_end)
+        assert np.all(np.diff(ends) >= -1e-12)
+
+    def test_jackson_order_largest_compute_first(self):
+        plat = StarPlatform.from_speeds([1.0, 1.0, 8.0])
+        plan = plan_het_one_port(plat, 900.0)
+        # the fastest worker owns the biggest rectangle → most compute?
+        # compute_i = area_i * w_i = x_i*N^2/s_i = N^2/(Σs) — equal!
+        # With equal computes Jackson's order is degenerate; just check
+        # it is a valid permutation.
+        assert sorted(plan.order) == [0, 1, 2]
+
+    @given(
+        speeds=st.lists(
+            st.floats(min_value=0.5, max_value=20.0), min_size=2, max_size=6
+        ),
+        bandwidths=st.lists(
+            st.floats(min_value=0.5, max_value=20.0), min_size=2, max_size=6
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_jackson_matches_brute_force(self, speeds, bandwidths):
+        p = min(len(speeds), len(bandwidths))
+        plat = StarPlatform.from_speeds(speeds[:p], bandwidths[:p])
+        jackson = plan_het_one_port(plat, 500.0, order="jackson")
+        best = brute_force_one_port_plan(plat, 500.0)
+        assert jackson.makespan == pytest.approx(best.makespan, rel=1e-9)
+
+    def test_smallest_first_no_better(self, heterogeneous_platform):
+        good = plan_het_one_port(heterogeneous_platform, 1000.0, order="jackson")
+        bad = plan_het_one_port(
+            heterogeneous_platform, 1000.0, order="smallest-first"
+        )
+        assert bad.makespan >= good.makespan - 1e-9
+
+    def test_unknown_order_rejected(self, heterogeneous_platform):
+        with pytest.raises(ValueError):
+            plan_het_one_port(heterogeneous_platform, 100.0, order="rand")
+
+    def test_one_port_never_beats_parallel_links(self, heterogeneous_platform):
+        plan = plan_het_one_port(heterogeneous_platform, 1000.0)
+        assert plan.makespan >= plan.parallel_links_makespan - 1e-9
+
+    def test_note_equal_compute_property(self):
+        """Perfect balance means every worker computes x_i N² / s_i =
+        N²/Σs — identical; the one-port ordering question is then purely
+        about send sizes.  Verified here because it is the §4.1
+        load-balancing constraint in disguise."""
+        plat = StarPlatform.from_speeds([1.0, 2.0, 5.0])
+        plan = plan_het_one_port(plat, 600.0)
+        compute = plan.finish - plan.send_end
+        assert np.allclose(compute, compute[0], rtol=1e-9)

@@ -1,0 +1,55 @@
+"""Tests for repro.blocks.refined — the Comm_hom/k loop."""
+
+import pytest
+
+from repro.blocks.refined import RefinedHomogeneousStrategy
+from repro.blocks.homogeneous import HomogeneousBlocksStrategy
+from repro.platform.star import StarPlatform
+
+
+class TestRefinement:
+    def test_homogeneous_stops_at_k1(self):
+        """Figure 4a text: hom/k does not increase the chunk count."""
+        plat = StarPlatform.homogeneous(16)
+        plan = RefinedHomogeneousStrategy().plan(plat, 1600.0)
+        assert plan.detail["subdivision"] == 1
+        assert plan.detail["converged"]
+        assert plan.ratio_to_lower_bound == pytest.approx(1.0)
+
+    def test_meets_imbalance_target(self):
+        plat = StarPlatform.from_speeds([1.0, 1.7, 3.3, 9.1])
+        plan = RefinedHomogeneousStrategy(imbalance_target=0.01).plan(plat, 5000.0)
+        assert plan.detail["converged"]
+        assert plan.imbalance <= 0.01
+
+    def test_costs_more_than_plain_hom(self):
+        plat = StarPlatform.from_speeds([1.0, 1.7, 3.3, 9.1])
+        hom = HomogeneousBlocksStrategy().plan(plat, 5000.0)
+        homk = RefinedHomogeneousStrategy().plan(plat, 5000.0)
+        if homk.detail["subdivision"] > 1:
+            assert homk.comm_volume > hom.comm_volume
+
+    def test_looser_target_needs_smaller_k(self):
+        plat = StarPlatform.from_speeds([1.0, 2.3, 4.9, 11.0])
+        tight = RefinedHomogeneousStrategy(imbalance_target=0.005).plan(plat, 4000.0)
+        loose = RefinedHomogeneousStrategy(imbalance_target=0.2).plan(plat, 4000.0)
+        assert loose.detail["subdivision"] <= tight.detail["subdivision"]
+
+    def test_unconvergeable_returns_best_seen(self):
+        # speed ratio 2.7: no k in 1..3 gives an exactly balanced split
+        plat = StarPlatform.from_speeds([1.0, 2.7])
+        plan = RefinedHomogeneousStrategy(
+            imbalance_target=1e-12, max_subdivision=3
+        ).plan(plat, 1000.0)
+        assert not plan.detail["converged"]
+        assert plan.comm_volume > 0
+
+    def test_strategy_label(self):
+        plat = StarPlatform.homogeneous(4)
+        assert RefinedHomogeneousStrategy().plan(plat, 100.0).strategy == "hom/k"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RefinedHomogeneousStrategy(imbalance_target=0.0)
+        with pytest.raises(ValueError):
+            RefinedHomogeneousStrategy(max_subdivision=0)

@@ -1,0 +1,119 @@
+"""Tests for repro.core.almost_linear — the §3 cost accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.almost_linear import (
+    heterogeneous_bucket_fractions,
+    recommended_oversampling,
+    sample_sort_cost_breakdown,
+    sorting_partial_work,
+    sorting_residual_fraction,
+    sorting_work,
+    theorem_b4_epsilon,
+    theorem_b4_max_bucket_bound,
+)
+
+
+class TestSortingWork:
+    def test_value(self):
+        assert sorting_work(8.0) == pytest.approx(24.0)
+
+    def test_degenerate(self):
+        assert sorting_work(1.0) == 0.0
+
+    def test_partial_identity(self):
+        """p (N/p) log(N/p) = N log N - N log p — §3.1 verbatim."""
+        N, p = 2.0**20, 16
+        assert sorting_partial_work(N, p) == pytest.approx(
+            sorting_work(N) - N * np.log2(p)
+        )
+
+
+class TestResidue:
+    def test_formula(self):
+        assert sorting_residual_fraction(2**10, 2**2) == pytest.approx(0.2)
+
+    def test_vanishes_in_N(self):
+        vals = [sorting_residual_fraction(2**e, 16) for e in (8, 12, 16, 24)]
+        assert vals == sorted(vals, reverse=True)
+        assert vals[-1] < 0.2
+
+    def test_grows_in_p(self):
+        assert sorting_residual_fraction(2**16, 64) > sorting_residual_fraction(
+            2**16, 4
+        )
+
+    @given(
+        e=st.integers(min_value=4, max_value=40),
+        q=st.integers(min_value=0, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_exact_for_powers_of_two(self, e, q):
+        assert sorting_residual_fraction(2**e, 2**q) == pytest.approx(q / e)
+
+    def test_contrast_with_section2(self):
+        """Sorting's residue falls in N; N^alpha's residue doesn't."""
+        from repro.core.nonlinear import residual_fraction
+
+        sort_small = sorting_residual_fraction(2**30, 64)
+        assert sort_small < 0.25
+        # quadratic load on 64 workers leaves >98% regardless of N
+        assert residual_fraction(64, 2.0) > 0.98
+
+
+class TestOversampling:
+    def test_paper_value(self):
+        assert recommended_oversampling(2**16) == 256  # (log2 2^16)^2
+
+    def test_tiny_N(self):
+        assert recommended_oversampling(2) == 1
+
+    def test_b4_epsilon_decreasing(self):
+        eps = [theorem_b4_epsilon(10.0**k) for k in (2, 4, 8)]
+        assert eps == sorted(eps, reverse=True)
+
+    def test_b4_bound_above_mean(self):
+        assert theorem_b4_max_bucket_bound(10_000, 10) > 1000
+
+
+class TestBreakdown:
+    def test_consistency(self):
+        costs = sample_sort_cost_breakdown(2**16, 16)
+        assert costs.s == 256
+        assert costs.step2_bucketing == pytest.approx(2**16 * 4)
+        assert costs.makespan_estimate == pytest.approx(
+            costs.step1_sample_sort
+            + costs.step2_bucketing
+            + costs.step3_expected_local_sort
+        )
+        assert costs.step3_whp_bound >= costs.step3_expected_local_sort
+
+    def test_speedup_below_p_above_one(self):
+        costs = sample_sort_cost_breakdown(2**20, 8)
+        assert 1.0 < costs.speedup_estimate < 8.0
+
+    def test_preprocessing_fraction_shrinks_with_N(self):
+        small = sample_sort_cost_breakdown(2**12, 8).preprocessing_fraction
+        large = sample_sort_cost_breakdown(2**24, 8).preprocessing_fraction
+        assert large < small
+
+    def test_single_worker_degenerates(self):
+        costs = sample_sort_cost_breakdown(1024, 1)
+        assert costs.step2_bucketing == 0.0
+
+
+class TestHeterogeneousFractions:
+    def test_proportional(self):
+        f = heterogeneous_bucket_fractions(np.array([1.0, 3.0]))
+        assert np.allclose(f, [0.25, 0.75])
+
+    def test_sum_to_one(self):
+        f = heterogeneous_bucket_fractions(np.array([2.0, 5.0, 3.0]))
+        assert f.sum() == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            heterogeneous_bucket_fractions(np.array([1.0, 0.0]))

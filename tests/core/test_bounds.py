@@ -1,0 +1,116 @@
+"""Tests for repro.core.bounds — the §4 closed forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    comm_het_upper_bound,
+    comm_hom_ideal,
+    half_fast_rho_bound,
+    half_fast_rho_simple,
+    lower_bound_comm,
+    normalized_speeds,
+    peri_sum_lower_bound,
+    ratio_to_lower_bound,
+    rho_lower_bound,
+    PERI_SUM_GUARANTEE,
+)
+
+speeds_lists = st.lists(
+    st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestLowerBound:
+    def test_homogeneous_closed_form(self):
+        """LB = 2N sqrt(p) when all speeds are equal."""
+        N, p = 100.0, 16
+        assert lower_bound_comm(N, np.ones(p)) == pytest.approx(2 * N * np.sqrt(p))
+
+    def test_single_worker(self):
+        assert lower_bound_comm(50.0, [3.0]) == pytest.approx(100.0)
+
+    @given(speeds=speeds_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_lb_at_least_two_N(self, speeds):
+        """Σ√x_i >= 1 since x sums to 1 and sqrt is concave."""
+        assert lower_bound_comm(1.0, speeds) >= 2.0 - 1e-9
+
+    @given(speeds=speeds_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_scale_invariance(self, speeds):
+        """Only relative speeds matter."""
+        a = lower_bound_comm(10.0, np.asarray(speeds))
+        b = lower_bound_comm(10.0, 7.0 * np.asarray(speeds))
+        assert a == pytest.approx(b)
+
+
+class TestClosedFormVolumes:
+    def test_hom_homogeneous(self):
+        """Comm_hom = 2N√p on homogeneous platforms = LB."""
+        N, p = 100.0, 9
+        assert comm_hom_ideal(N, np.ones(p)) == pytest.approx(
+            lower_bound_comm(N, np.ones(p))
+        )
+
+    @given(speeds=speeds_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_hom_at_least_lb(self, speeds):
+        assert comm_hom_ideal(10.0, speeds) >= lower_bound_comm(10.0, speeds) - 1e-9
+
+    @given(speeds=speeds_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_het_bound_is_7_4_of_lb(self, speeds):
+        assert comm_het_upper_bound(10.0, speeds) == pytest.approx(
+            PERI_SUM_GUARANTEE * lower_bound_comm(10.0, speeds)
+        )
+
+
+class TestRho:
+    def test_homogeneous_gives_4_7(self):
+        assert rho_lower_bound(np.ones(10)) == pytest.approx(4.0 / 7.0)
+
+    def test_grows_with_heterogeneity(self):
+        mild = rho_lower_bound(np.array([1.0, 2.0]))
+        wild = rho_lower_bound(np.array([1.0, 100.0]))
+        assert wild > mild
+
+    def test_consistency_with_closed_forms(self):
+        """rho bound = (4/7) Comm_hom_ideal / (7N/2 Σ√x) identity."""
+        speeds = np.array([1.0, 4.0, 9.0])
+        expected = comm_hom_ideal(1.0, speeds) / comm_het_upper_bound(1.0, speeds)
+        assert rho_lower_bound(speeds) == pytest.approx(expected)
+
+    def test_half_fast_exact(self):
+        assert half_fast_rho_bound(4.0) == pytest.approx(5.0 / 3.0)
+
+    @given(k=st.floats(min_value=1.0, max_value=1e4))
+    @settings(max_examples=60, deadline=None)
+    def test_half_fast_dominates_simple(self, k):
+        """(1+k)/(1+√k) >= √k - 1, the paper's chain."""
+        assert half_fast_rho_bound(k) >= half_fast_rho_simple(k) - 1e-9
+
+    def test_half_fast_unbounded(self):
+        assert half_fast_rho_bound(10_000.0) > 90.0
+
+
+class TestHelpers:
+    def test_normalized_speeds(self):
+        x = normalized_speeds([1.0, 3.0])
+        assert np.allclose(x, [0.25, 0.75])
+
+    def test_ratio_to_lower_bound(self):
+        speeds = [1.0, 1.0]
+        lb = lower_bound_comm(10.0, speeds)
+        assert ratio_to_lower_bound(2 * lb, 10.0, speeds) == pytest.approx(2.0)
+
+    def test_ratio_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ratio_to_lower_bound(-1.0, 10.0, [1.0])
+
+    def test_peri_sum_lb_unit_square(self):
+        assert peri_sum_lower_bound([0.25, 0.25, 0.25, 0.25]) == pytest.approx(4.0)

@@ -1,0 +1,135 @@
+"""Tests for repro.core.cost_models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_models import (
+    AffineCost,
+    CallableCost,
+    LinearCost,
+    NLogNCost,
+    PowerLawCost,
+)
+
+pos_floats = st.floats(min_value=0.01, max_value=1e6, allow_nan=False)
+
+
+class TestLinearCost:
+    def test_work(self):
+        assert LinearCost(rate=2.0).work(5.0) == 10.0
+
+    def test_is_linear(self):
+        assert LinearCost().is_linear
+
+    def test_split_loss_zero(self):
+        assert LinearCost().split_loss(100.0, 7) == pytest.approx(0.0)
+
+    def test_inverse_closed_form(self):
+        assert LinearCost(rate=4.0).inverse(8.0) == pytest.approx(2.0)
+
+    def test_vectorised(self):
+        out = LinearCost().work(np.array([1.0, 2.0]))
+        assert np.array_equal(out, [1.0, 2.0])
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            LinearCost(rate=0.0)
+
+
+class TestPowerLawCost:
+    def test_quadratic(self):
+        assert PowerLawCost(alpha=2.0).work(3.0) == 9.0
+
+    def test_split_loss_positive_for_superlinear(self):
+        """The "no free lunch": splitting destroys super-linear work."""
+        loss = PowerLawCost(alpha=2.0).split_loss(100.0, 10)
+        # work(100) - 10*work(10) = 10000 - 1000 = 9000
+        assert loss == pytest.approx(9000.0)
+
+    def test_split_loss_zero_when_alpha_one(self):
+        assert PowerLawCost(alpha=1.0).split_loss(50.0, 5) == pytest.approx(0.0)
+
+    def test_split_loss_negative_for_sublinear(self):
+        assert PowerLawCost(alpha=0.5).split_loss(100.0, 4) < 0
+
+    def test_inverse(self):
+        assert PowerLawCost(alpha=3.0).inverse(27.0) == pytest.approx(3.0)
+
+    def test_is_linear_only_at_one(self):
+        assert PowerLawCost(alpha=1.0).is_linear
+        assert not PowerLawCost(alpha=2.0).is_linear
+
+    @given(n=pos_floats, alpha=st.floats(min_value=1.0, max_value=4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_superadditive(self, n, alpha):
+        """work(a) + work(b) <= work(a + b) for alpha >= 1."""
+        cost = PowerLawCost(alpha=alpha)
+        a, b = 0.3 * n, 0.7 * n
+        assert cost.work(a) + cost.work(b) <= cost.work(n) * (1 + 1e-9)
+
+
+class TestNLogNCost:
+    def test_zero_below_one(self):
+        assert NLogNCost().work(0.5) == 0.0
+        assert NLogNCost().work(1.0) == 0.0
+
+    def test_value(self):
+        assert NLogNCost().work(8.0) == pytest.approx(24.0)  # 8*log2(8)
+
+    def test_vectorised(self):
+        out = NLogNCost().work(np.array([2.0, 4.0]))
+        assert np.allclose(out, [2.0, 8.0])
+
+    def test_residue_matches_paper(self):
+        """p * work(N/p) = N log N - N log p (the §3 identity)."""
+        N, p = 2.0**16, 8
+        cost = NLogNCost()
+        partial = p * cost.work(N / p)
+        assert partial == pytest.approx(N * np.log2(N) - N * np.log2(p))
+
+    def test_inverse_bisection(self):
+        cost = NLogNCost()
+        n = cost.inverse(24.0)
+        assert n == pytest.approx(8.0, rel=1e-6)
+
+
+class TestAffineCost:
+    def test_latency_added(self):
+        assert AffineCost(rate=1.0, latency=5.0).work(2.0) == 7.0
+
+    def test_zero_input_free(self):
+        assert AffineCost(rate=1.0, latency=5.0).work(np.array([0.0]))[0] == 0.0
+
+    def test_linear_iff_no_latency(self):
+        assert AffineCost(latency=0.0).is_linear
+        assert not AffineCost(latency=1.0).is_linear
+
+
+class TestCallableCost:
+    def test_wraps_function(self):
+        cost = CallableCost(fn=lambda n: n**1.5, name="n15")
+        assert cost.work(4.0) == pytest.approx(8.0)
+        assert cost.name == "n15"
+
+    def test_linear_flag(self):
+        assert CallableCost(fn=lambda n: n, linear=True).is_linear
+
+
+class TestInverseGeneric:
+    def test_inverse_zero(self):
+        assert PowerLawCost(alpha=2.0).inverse(0.0) == 0.0
+
+    def test_inverse_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LinearCost().inverse(-1.0)
+
+    @given(target=pos_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_roundtrip_nlogn(self, target):
+        cost = NLogNCost()
+        n = cost.inverse(target)
+        assert cost.work(max(n, 1.0000001)) == pytest.approx(
+            max(target, 0.0), rel=1e-4, abs=1e-4
+        ) or n <= 1.0

@@ -1,0 +1,108 @@
+"""Tests for repro.core.nonlinear — the §2 formulas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nonlinear import (
+    dlt_phase_report,
+    linear_contrast,
+    partial_work,
+    partial_work_fraction,
+    residual_fraction,
+    rounds_to_finish,
+    speedup_single_round,
+    total_work,
+)
+
+
+class TestFormulas:
+    def test_total_work(self):
+        assert total_work(10.0, 2.0) == 100.0
+
+    def test_partial_work_matches_paper(self):
+        """W_partial = N^alpha / P^(alpha-1)."""
+        N, P, alpha = 100.0, 10, 2.0
+        assert partial_work(N, P, alpha) == pytest.approx(N**alpha / P ** (alpha - 1))
+
+    def test_fraction_p_to_one_minus_alpha(self):
+        assert partial_work_fraction(10, 2.0) == pytest.approx(0.1)
+        assert partial_work_fraction(10, 3.0) == pytest.approx(0.01)
+
+    def test_linear_covers_everything(self):
+        assert partial_work_fraction(1000, 1.0) == 1.0
+        assert residual_fraction(1000, 1.0) == 0.0
+
+    def test_residual_tends_to_one(self):
+        fracs = [residual_fraction(P, 2.0) for P in (2, 10, 100, 10000)]
+        assert fracs == sorted(fracs)
+        assert fracs[-1] >= 0.9999
+
+    @given(
+        P=st.integers(min_value=1, max_value=10_000),
+        alpha=st.floats(min_value=1.0, max_value=5.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_fraction_in_unit_interval(self, P, alpha):
+        f = partial_work_fraction(P, alpha)
+        assert 0 < f <= 1
+        assert residual_fraction(P, alpha) == pytest.approx(1 - f)
+
+    def test_fraction_independent_of_N(self):
+        """The headline property: only P and alpha matter."""
+        for N in (10.0, 1e3, 1e6):
+            assert partial_work(N, 8, 2.0) / total_work(N, 2.0) == pytest.approx(
+                partial_work_fraction(8, 2.0)
+            )
+
+
+class TestSpeedupAndRounds:
+    def test_speedup_single_round(self):
+        assert speedup_single_round(4, 2.0) == 16.0
+
+    def test_rounds_linear_is_one(self):
+        assert rounds_to_finish(100, 1.0) == 1
+
+    def test_rounds_grow_with_P_for_quadratic(self):
+        r_small = rounds_to_finish(4, 2.0)
+        r_large = rounds_to_finish(64, 2.0)
+        assert r_large > r_small
+
+    def test_rounds_scale_like_P_for_quadratic(self):
+        """r ≈ P ln(1/(1-c)) for alpha=2, large P."""
+        P = 512
+        r = rounds_to_finish(P, 2.0, coverage=0.99)
+        expected = P * np.log(100)
+        assert r == pytest.approx(expected, rel=0.05)
+
+    def test_bad_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            rounds_to_finish(4, 2.0, coverage=1.0)
+
+
+class TestReport:
+    def test_report_consistency(self):
+        rep = dlt_phase_report(N=1000.0, P=10, alpha=2.0, c=1.0, w=2.0)
+        assert rep.chunk == 100.0
+        assert rep.round_makespan == pytest.approx(100.0 + 100.0**2 * 2.0)
+        assert rep.covered_fraction == pytest.approx(0.1)
+        assert rep.residual_fraction == pytest.approx(0.9)
+        assert rep.partial_work + rep.residual_fraction * rep.total_work == (
+            pytest.approx(rep.total_work)
+        )
+
+    def test_summary_mentions_percentages(self):
+        rep = dlt_phase_report(N=100.0, P=4, alpha=2.0)
+        assert "P=4" in rep.summary()
+        assert "%" in rep.summary()
+
+    def test_linear_contrast_full_coverage(self):
+        """Linear round does all the work at (N/P)(c+w)."""
+        assert linear_contrast(100.0, 4, c=1.0, w=1.0) == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dlt_phase_report(N=-1.0, P=4, alpha=2.0)
+        with pytest.raises(TypeError):
+            dlt_phase_report(N=1.0, P=4.5, alpha=2.0)

@@ -1,0 +1,54 @@
+"""Tests for repro.core.strategies — the façade API."""
+
+import pytest
+
+from repro.core.strategies import compare_strategies, plan_outer_product
+from repro.platform.star import StarPlatform
+
+
+class TestPlanOuterProduct:
+    @pytest.mark.parametrize("name", ["hom", "hom/k", "het"])
+    def test_all_strategies_run(self, heterogeneous_platform, name):
+        plan = plan_outer_product(heterogeneous_platform, 1000.0, strategy=name)
+        assert plan.comm_volume > 0
+        assert plan.ratio_to_lower_bound >= 1.0 - 1e-9
+
+    def test_unknown_strategy_rejected(self, heterogeneous_platform):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            plan_outer_product(heterogeneous_platform, 100.0, strategy="magic")
+
+    def test_default_is_het(self, heterogeneous_platform):
+        plan = plan_outer_product(heterogeneous_platform, 1000.0)
+        assert plan.strategy == "het"
+
+    def test_imbalance_target_threaded_through(self, heterogeneous_platform):
+        plan = plan_outer_product(
+            heterogeneous_platform, 1000.0, strategy="hom/k", imbalance_target=0.5
+        )
+        assert plan.imbalance <= 0.5 or not plan.detail["converged"]
+
+
+class TestCompareStrategies:
+    def test_contains_all_three(self, heterogeneous_platform):
+        cmp = compare_strategies(heterogeneous_platform, 1000.0)
+        assert set(cmp.plans) == {"hom", "hom/k", "het"}
+
+    def test_het_never_loses_by_much(self, heterogeneous_platform):
+        """het is within the 7/4 guarantee; hom generally above it."""
+        cmp = compare_strategies(heterogeneous_platform, 1000.0)
+        assert cmp.ratios["het"] <= 7.0 / 4.0 + 1e-9
+
+    def test_rho_at_least_one_when_heterogeneous(self, half_fast_platform):
+        cmp = compare_strategies(half_fast_platform, 2000.0)
+        assert cmp.rho > 1.0
+
+    def test_summary_mentions_rho(self, heterogeneous_platform):
+        text = compare_strategies(heterogeneous_platform, 500.0).summary()
+        assert "rho" in text
+        assert "het" in text
+
+    def test_homogeneous_all_near_lb(self):
+        platform = StarPlatform.homogeneous(16)
+        cmp = compare_strategies(platform, 1600.0)
+        for name, ratio in cmp.ratios.items():
+            assert ratio == pytest.approx(1.0, abs=0.06), name

@@ -1,0 +1,87 @@
+"""Tests for repro.dlt.multi_round."""
+
+import numpy as np
+import pytest
+
+from repro.dlt.multi_round import (
+    best_round_count,
+    multi_round_nonlinear_coverage,
+    solve_multi_round,
+)
+from repro.dlt.single_round import solve_linear_parallel
+from repro.platform.star import StarPlatform
+
+
+class TestSchedule:
+    def test_one_round_equals_single_round(self, heterogeneous_platform):
+        single = solve_linear_parallel(heterogeneous_platform, 100.0)
+        multi = solve_multi_round(heterogeneous_platform, 100.0, rounds=1)
+        assert multi.makespan == pytest.approx(single.makespan)
+        assert np.allclose(multi.amounts[:, 0], single.amounts)
+
+    def test_conservation(self, heterogeneous_platform):
+        sched = solve_multi_round(heterogeneous_platform, 120.0, rounds=4)
+        assert sched.total == pytest.approx(120.0)
+
+    def test_more_rounds_pipeline_better_without_latency(self):
+        plat = StarPlatform.from_speeds([1.0, 2.0], bandwidths=[0.5, 0.5])
+        t1 = solve_multi_round(plat, 100.0, rounds=1).makespan
+        t4 = solve_multi_round(plat, 100.0, rounds=4).makespan
+        t16 = solve_multi_round(plat, 100.0, rounds=16).makespan
+        assert t16 <= t4 <= t1
+
+    def test_timeline_monotone(self):
+        plat = StarPlatform.from_speeds([1.0, 3.0])
+        sched = solve_multi_round(plat, 90.0, rounds=3)
+        assert np.all(np.diff(sched.receive_end, axis=1) > 0)
+        assert np.all(np.diff(sched.compute_end, axis=1) > 0)
+        assert np.all(sched.compute_end >= sched.receive_end)
+
+    def test_worker_finish_view(self):
+        plat = StarPlatform.homogeneous(3)
+        sched = solve_multi_round(plat, 30.0, rounds=2)
+        assert np.array_equal(sched.worker_finish(), sched.compute_end[:, -1])
+
+    def test_validation(self):
+        plat = StarPlatform.homogeneous(2)
+        with pytest.raises(ValueError):
+            solve_multi_round(plat, 10.0, rounds=0)
+        with pytest.raises(ValueError):
+            solve_multi_round(plat, 10.0, rounds=2, comm_latency=-1.0)
+
+
+class TestBestRoundCount:
+    def test_latency_creates_interior_optimum(self):
+        plat = StarPlatform.from_speeds([1.0, 1.0], bandwidths=[0.2, 0.2])
+        r_free, _ = best_round_count(plat, 200.0, comm_latency=0.0, max_rounds=32)
+        r_lat, _ = best_round_count(plat, 200.0, comm_latency=5.0, max_rounds=32)
+        assert r_free >= r_lat
+        assert r_lat < 32  # latency stops the "more rounds" greed
+
+    def test_returns_achievable_makespan(self):
+        plat = StarPlatform.homogeneous(2)
+        r, t = best_round_count(plat, 100.0, comm_latency=1.0, max_rounds=8)
+        assert t == pytest.approx(
+            solve_multi_round(plat, 100.0, r, comm_latency=1.0).makespan
+        )
+
+
+class TestNonlinearCoverage:
+    def test_more_rounds_cover_less_superlinear_work(self):
+        """§2 extended: finer chunks destroy more N^alpha work."""
+        plat = StarPlatform.homogeneous(4)
+        c1 = multi_round_nonlinear_coverage(plat, 100.0, alpha=2.0, rounds=1)
+        c4 = multi_round_nonlinear_coverage(plat, 100.0, alpha=2.0, rounds=4)
+        assert c4 < c1
+
+    def test_homogeneous_closed_form(self):
+        """(P R)^(1-alpha) for equal splits."""
+        plat = StarPlatform.homogeneous(5)
+        cov = multi_round_nonlinear_coverage(plat, 1000.0, alpha=2.0, rounds=3)
+        assert cov == pytest.approx((5 * 3) ** (1 - 2.0), rel=1e-9)
+
+    def test_linear_unaffected_by_rounds(self):
+        plat = StarPlatform.homogeneous(4)
+        assert multi_round_nonlinear_coverage(
+            plat, 100.0, alpha=1.0, rounds=7
+        ) == pytest.approx(1.0)

@@ -1,0 +1,105 @@
+"""Tests for repro.dlt.nonlinear_solver — the criticized formulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nonlinear import partial_work_fraction
+from repro.dlt.nonlinear_solver import (
+    homogeneous_covered_fraction,
+    solve_nonlinear_one_port,
+    solve_nonlinear_parallel,
+)
+from repro.platform.star import StarPlatform
+
+speeds_lists = st.lists(
+    st.floats(min_value=0.2, max_value=50.0), min_size=1, max_size=8
+)
+
+
+class TestParallel:
+    def test_homogeneous_equal_split(self):
+        plat = StarPlatform.homogeneous(5)
+        alloc = solve_nonlinear_parallel(plat, 100.0, alpha=2.0)
+        assert np.allclose(alloc.amounts, 20.0, rtol=1e-6)
+
+    def test_homogeneous_fraction_matches_section2(self):
+        """The solver's coverage equals P^(1-alpha) exactly on
+        homogeneous stars — §2's formula is the solver's optimum."""
+        for P in (2, 8, 32):
+            plat = StarPlatform.homogeneous(P)
+            alloc = solve_nonlinear_parallel(plat, 1000.0, alpha=2.0)
+            assert alloc.covered_fraction == pytest.approx(
+                partial_work_fraction(P, 2.0), rel=1e-6
+            )
+            assert homogeneous_covered_fraction(P, 2.0) == partial_work_fraction(
+                P, 2.0
+            )
+
+    @given(
+        speeds=speeds_lists,
+        alpha=st.floats(min_value=1.1, max_value=3.0),
+        N=st.floats(min_value=10.0, max_value=1e4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_equal_finish_and_conservation(self, speeds, alpha, N):
+        plat = StarPlatform.from_speeds(speeds)
+        alloc = solve_nonlinear_parallel(plat, N, alpha=alpha)
+        assert alloc.total == pytest.approx(N, rel=1e-9)
+        assert np.all(alloc.amounts > 0)
+        assert np.allclose(alloc.finish, alloc.makespan, rtol=1e-5)
+
+    def test_heterogeneous_fraction_still_vanishes(self):
+        """The paper's point: heterogeneity-aware optimisation doesn't
+        change the order of the covered fraction."""
+        rngs = np.random.default_rng(0)
+        for P in (10, 100):
+            speeds = rngs.uniform(1, 100, P)
+            plat = StarPlatform.from_speeds(speeds)
+            alloc = solve_nonlinear_parallel(plat, 1000.0, alpha=2.0)
+            # within a constant factor of the homogeneous 1/P
+            assert alloc.covered_fraction < 10.0 / P
+
+    def test_alpha_one_matches_linear_solver(self):
+        from repro.dlt.single_round import solve_linear_parallel
+
+        plat = StarPlatform.from_speeds([1.0, 3.0], bandwidths=[2.0, 1.0])
+        nl = solve_nonlinear_parallel(plat, 100.0, alpha=1.0)
+        lin = solve_linear_parallel(plat, 100.0)
+        assert np.allclose(nl.amounts, lin.amounts, rtol=1e-6)
+        assert nl.makespan == pytest.approx(lin.makespan, rel=1e-6)
+
+    def test_bad_inputs(self):
+        plat = StarPlatform.homogeneous(2)
+        with pytest.raises(ValueError):
+            solve_nonlinear_parallel(plat, -1.0)
+        with pytest.raises(ValueError):
+            solve_nonlinear_parallel(plat, 10.0, alpha=0.0)
+
+
+class TestOnePort:
+    def test_conservation_and_equal_finish(self):
+        plat = StarPlatform.from_speeds([1.0, 2.0, 4.0])
+        alloc = solve_nonlinear_one_port(plat, 300.0, alpha=2.0)
+        assert alloc.total == pytest.approx(300.0, rel=1e-9)
+        assert np.allclose(alloc.finish, alloc.makespan, rtol=1e-4)
+
+    def test_one_port_never_beats_parallel(self):
+        plat = StarPlatform.from_speeds([1.0, 2.0, 4.0])
+        par = solve_nonlinear_parallel(plat, 100.0, alpha=2.0)
+        onep = solve_nonlinear_one_port(plat, 100.0, alpha=2.0)
+        assert onep.makespan >= par.makespan - 1e-9
+
+    def test_order_validation(self):
+        plat = StarPlatform.homogeneous(2)
+        with pytest.raises(ValueError):
+            solve_nonlinear_one_port(plat, 10.0, order=[1, 1])
+
+    def test_coverage_property(self):
+        plat = StarPlatform.homogeneous(16)
+        alloc = solve_nonlinear_one_port(plat, 1000.0, alpha=2.0)
+        # one-port distributes slightly unevenly, but coverage stays
+        # O(1/P) — the §2 futility is model-independent
+        assert alloc.covered_fraction < 0.15
+        assert alloc.residual_fraction > 0.85

@@ -1,0 +1,61 @@
+"""Tests for repro.dlt.ordering."""
+
+import numpy as np
+import pytest
+
+from repro.dlt.ordering import (
+    bandwidth_order,
+    best_one_port_order,
+    brute_force_one_port_order,
+    order_gap,
+)
+from repro.dlt.single_round import solve_linear_one_port
+from repro.platform.star import StarPlatform
+
+
+class TestBandwidthOrder:
+    def test_sorts_by_comm_time(self):
+        plat = StarPlatform.from_speeds([1, 1, 1], bandwidths=[1.0, 4.0, 2.0])
+        assert bandwidth_order(plat).tolist() == [1, 2, 0]
+
+    def test_heuristic_matches_brute_force(self):
+        """The classical optimality of bandwidth ordering, certified."""
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            p = int(rng.integers(2, 6))
+            plat = StarPlatform.from_speeds(
+                rng.uniform(0.5, 5.0, p), rng.uniform(0.5, 5.0, p)
+            )
+            heur = solve_linear_one_port(plat, 100.0, order=bandwidth_order(plat))
+            best = brute_force_one_port_order(plat, 100.0)
+            assert heur.makespan == pytest.approx(best.makespan, rel=1e-9)
+
+
+class TestBestOrder:
+    def test_small_platform_uses_brute_force(self):
+        plat = StarPlatform.from_speeds([1, 2], bandwidths=[1, 3])
+        alloc = best_one_port_order(plat, 50.0)
+        assert alloc.total == pytest.approx(50.0)
+
+    def test_large_platform_uses_heuristic(self):
+        plat = StarPlatform.from_speeds(np.arange(1.0, 13.0))
+        alloc = best_one_port_order(plat, 50.0, exhaustive_limit=4)
+        assert alloc.order == tuple(bandwidth_order(plat))
+
+    def test_brute_force_guardrail(self):
+        plat = StarPlatform.homogeneous(10)
+        with pytest.raises(ValueError, match="infeasible"):
+            brute_force_one_port_order(plat, 1.0)
+
+
+class TestOrderGap:
+    def test_optimal_order_has_zero_gap(self):
+        plat = StarPlatform.from_speeds([1, 2, 3], bandwidths=[3, 2, 1])
+        best = best_one_port_order(plat, 100.0)
+        assert order_gap(plat, 100.0, best.order) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bad_order_has_positive_gap(self):
+        plat = StarPlatform.from_speeds([1, 1], bandwidths=[10.0, 0.1])
+        # serving the slow link first wastes port time
+        gap = order_gap(plat, 100.0, order=[1, 0])
+        assert gap >= 0.0

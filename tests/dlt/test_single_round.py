@@ -1,0 +1,110 @@
+"""Tests for repro.dlt.single_round — the classical closed forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dlt.single_round import (
+    equal_split,
+    solve_linear_one_port,
+    solve_linear_parallel,
+)
+from repro.platform.star import StarPlatform
+
+platform_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=50.0),  # speed
+        st.floats(min_value=0.1, max_value=50.0),  # bandwidth
+    ),
+    min_size=1,
+    max_size=10,
+).map(
+    lambda rows: StarPlatform.from_speeds(
+        [r[0] for r in rows], [r[1] for r in rows]
+    )
+)
+
+
+class TestParallelLinks:
+    def test_closed_form_makespan(self):
+        plat = StarPlatform.from_speeds([1.0, 1.0], bandwidths=[1.0, 1.0])
+        alloc = solve_linear_parallel(plat, 100.0)
+        # c=w=1 ⇒ T = N / (p / 2) = 100
+        assert alloc.makespan == pytest.approx(100.0)
+        assert np.allclose(alloc.amounts, [50.0, 50.0])
+
+    @given(platform=platform_strategy, N=st.floats(min_value=1.0, max_value=1e5))
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_and_simultaneous_finish(self, platform, N):
+        alloc = solve_linear_parallel(platform, N)
+        assert alloc.total == pytest.approx(N, rel=1e-9)
+        # optimality structure for linear loads: all finish together
+        assert np.allclose(alloc.finish, alloc.makespan, rtol=1e-9)
+        assert np.allclose(alloc.idle_times, 0.0, atol=1e-6 * alloc.makespan)
+
+    def test_faster_worker_gets_more(self):
+        plat = StarPlatform.from_speeds([1.0, 9.0])
+        alloc = solve_linear_parallel(plat, 100.0)
+        assert alloc.amounts[1] > alloc.amounts[0]
+
+    def test_bad_N(self):
+        with pytest.raises(ValueError):
+            solve_linear_parallel(StarPlatform.homogeneous(2), 0.0)
+
+
+class TestOnePort:
+    def test_closed_form_two_workers(self):
+        """Hand-checked instance: c=[1,1], w=[1,1], N=3.
+
+        Recurrence: raw1 = 1/2, raw2 = raw1 * 1/2 = 1/4 → amounts (2, 1),
+        T = 1*2 + 1*2 = 4? worker1: recv ends 2, compute ends 4;
+        worker2: recv ends 3, compute ends 4. Makespan 4.
+        """
+        plat = StarPlatform.from_speeds([1.0, 1.0])
+        alloc = solve_linear_one_port(plat, 3.0)
+        assert np.allclose(alloc.amounts, [2.0, 1.0])
+        assert alloc.makespan == pytest.approx(4.0)
+        assert np.allclose(alloc.finish, 4.0)
+
+    @given(platform=platform_strategy, N=st.floats(min_value=1.0, max_value=1e4))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, platform, N):
+        alloc = solve_linear_one_port(platform, N)
+        assert alloc.total == pytest.approx(N, rel=1e-9)
+        assert np.allclose(alloc.finish, alloc.makespan, rtol=1e-9)
+        # receive ends are non-decreasing along the service order
+        order = list(alloc.order)
+        recv = alloc.receive_end[order]
+        assert np.all(np.diff(recv) >= -1e-12)
+
+    def test_one_port_never_beats_parallel(self, heterogeneous_platform):
+        """Serialised communications can only hurt."""
+        N = 500.0
+        par = solve_linear_parallel(heterogeneous_platform, N)
+        onep = solve_linear_one_port(heterogeneous_platform, N)
+        assert onep.makespan >= par.makespan - 1e-9
+
+    def test_invalid_order_rejected(self):
+        plat = StarPlatform.homogeneous(3)
+        with pytest.raises(ValueError, match="permutation"):
+            solve_linear_one_port(plat, 10.0, order=[0, 1, 1])
+
+
+class TestEqualSplit:
+    def test_optimal_on_homogeneous(self):
+        plat = StarPlatform.homogeneous(4)
+        eq = equal_split(plat, 100.0)
+        opt = solve_linear_parallel(plat, 100.0)
+        assert eq.makespan == pytest.approx(opt.makespan)
+
+    def test_suboptimal_on_heterogeneous(self, heterogeneous_platform):
+        eq = equal_split(heterogeneous_platform, 100.0)
+        opt = solve_linear_parallel(heterogeneous_platform, 100.0)
+        assert eq.makespan > opt.makespan
+
+    def test_efficiency_metric(self):
+        plat = StarPlatform.homogeneous(4, speed=1.0, bandwidth=1e9)
+        alloc = solve_linear_parallel(plat, 100.0)
+        # with negligible comm, efficiency vs sequential time (= N*w) ≈ 1
+        assert alloc.efficiency(100.0) == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,51 @@
+"""Tests for the TreeAllocation result type and tree-solver edge cases."""
+
+import pytest
+
+from repro.dlt.tree_solver import equivalent_rate, solve_tree
+from repro.platform.tree import TreeNode, TreePlatform
+
+
+class TestTreeAllocation:
+    def test_amount_of_by_node(self):
+        plat = TreePlatform.star([1.0, 3.0])
+        alloc = solve_tree(plat, 40.0)
+        child = plat.root.children[1]
+        assert alloc.amount_of(child) == alloc.amounts[child.name]
+        assert alloc.amount_of(child) > alloc.amount_of(plat.root.children[0])
+
+    def test_covered_fraction_linear_is_one(self):
+        plat = TreePlatform.star([1.0, 2.0])
+        alloc = solve_tree(plat, 30.0)
+        assert alloc.covered_work_fraction(30.0) == pytest.approx(1.0, rel=1e-6)
+
+    def test_single_node_tree(self):
+        root = TreeNode(speed=2.0, name="only")
+        plat = TreePlatform(root)
+        alloc = solve_tree(plat, 10.0)
+        # lone computing root: T = N * w = 5
+        assert alloc.makespan == pytest.approx(5.0, rel=1e-9)
+        assert alloc.amounts["only"] == pytest.approx(10.0)
+
+    def test_equivalent_rate_single_node(self):
+        root = TreeNode(speed=3.0)
+        assert equivalent_rate(root) == pytest.approx(3.0)
+
+    def test_equivalent_rate_chain(self):
+        """Two-node chain: rho = s0 + s1/(1 + c1*s1)."""
+        root = TreeNode(speed=1.0, name="r")
+        root.add_child(speed=2.0, bandwidth=0.5)  # c = 2
+        expected = 1.0 + 2.0 / (1.0 + 2.0 * 2.0)
+        assert equivalent_rate(root) == pytest.approx(expected)
+
+    def test_makespan_scales_linearly_in_N(self):
+        plat = TreePlatform.balanced(depth=1, fanout=3)
+        t1 = solve_tree(plat, 10.0).makespan
+        t2 = solve_tree(plat, 20.0).makespan
+        assert t2 == pytest.approx(2.0 * t1, rel=1e-6)
+
+    def test_nonlinear_makespan_superlinear_in_N(self):
+        plat = TreePlatform.balanced(depth=1, fanout=3, bandwidth=100.0)
+        t1 = solve_tree(plat, 10.0, alpha=2.0).makespan
+        t2 = solve_tree(plat, 20.0, alpha=2.0).makespan
+        assert t2 > 2.0 * t1

@@ -1,0 +1,113 @@
+"""Tests for repro.dlt.tree_solver — DLT beyond the star."""
+
+import numpy as np
+import pytest
+
+from repro.dlt.single_round import solve_linear_parallel
+from repro.dlt.tree_solver import solve_tree
+from repro.platform.star import StarPlatform
+from repro.platform.tree import TreePlatform
+
+
+class TestLinearOnTrees:
+    def test_conservation(self):
+        plat = TreePlatform.balanced(depth=2, fanout=2)
+        alloc = solve_tree(plat, 100.0)
+        assert alloc.total == pytest.approx(100.0)
+        assert all(v >= -1e-12 for v in alloc.amounts.values())
+
+    def test_depth1_matches_star_closed_form(self):
+        """A star-shaped tree with a non-computing master reproduces the
+        §1.2 closed form — the consistency check between models."""
+        speeds = [1.0, 2.0, 4.0]
+        bandwidths = [1.0, 2.0, 1.0]
+        tree = TreePlatform.star(speeds, bandwidths)
+        star = StarPlatform.from_speeds(speeds, bandwidths)
+        tree_alloc = solve_tree(tree, 100.0)
+        star_alloc = solve_linear_parallel(star, 100.0)
+        assert tree_alloc.makespan == pytest.approx(
+            star_alloc.makespan, rel=1e-6
+        )
+        for i, node in enumerate(tree.root.children):
+            assert tree_alloc.amounts[node.name] == pytest.approx(
+                star_alloc.amounts[i], rel=1e-5
+            )
+
+    def test_computing_master_reduces_makespan(self):
+        speeds = [1.0, 1.0]
+        lazy = solve_tree(TreePlatform.star(speeds, master_speed=1e-12), 50.0)
+        busy = solve_tree(TreePlatform.star(speeds, master_speed=2.0), 50.0)
+        assert busy.makespan < lazy.makespan
+
+    def test_deeper_trees_pay_relay_latency(self):
+        """Same 4 workers: a chain of relays cannot beat the star."""
+        star = TreePlatform.star([1.0] * 4)
+        chain_root = TreePlatform.balanced(depth=0, fanout=1).root  # single node
+        # build a 4-node chain under a non-computing master
+        from repro.platform.tree import TreeNode
+
+        root = TreeNode(speed=1e-12, name="master")
+        node = root
+        for i in range(4):
+            node = node.add_child(speed=1.0, name=f"c{i}")
+        chain = TreePlatform(root)
+        t_star = solve_tree(star, 40.0).makespan
+        t_chain = solve_tree(chain, 40.0).makespan
+        assert t_chain >= t_star - 1e-9
+
+    def test_faster_links_help(self):
+        slow = TreePlatform.star([1.0, 1.0], bandwidths=0.5)
+        fast = TreePlatform.star([1.0, 1.0], bandwidths=5.0)
+        assert solve_tree(fast, 50.0).makespan < solve_tree(slow, 50.0).makespan
+
+    def test_receive_end_monotone_down_the_tree(self):
+        plat = TreePlatform.balanced(depth=2, fanout=2)
+        alloc = solve_tree(plat, 64.0)
+        for node in plat.nodes():
+            if node.parent is not None:
+                assert (
+                    alloc.receive_end[node.name]
+                    >= alloc.receive_end[node.parent.name] - 1e-9
+                )
+
+    def test_validation(self):
+        plat = TreePlatform.star([1.0])
+        with pytest.raises(ValueError):
+            solve_tree(plat, 0.0)
+        with pytest.raises(ValueError):
+            solve_tree(plat, 10.0, alpha=-1.0)
+
+
+class TestNonlinearOnTrees:
+    def test_conservation_alpha2(self):
+        plat = TreePlatform.balanced(depth=2, fanout=2)
+        alloc = solve_tree(plat, 50.0, alpha=2.0)
+        assert alloc.total == pytest.approx(50.0)
+
+    def test_no_free_lunch_extends_to_trees(self):
+        """§2 on trees: widening the tree does not fix the exponent —
+        the covered fraction still collapses as workers multiply.
+
+        Links are made fast so the effect measured is divisibility, not
+        bandwidth saturation (slow links starve leaves, which *also*
+        caps coverage but for a different reason).
+        """
+        fractions = []
+        for fanout in (2, 4, 8):
+            plat = TreePlatform.balanced(depth=2, fanout=fanout, bandwidth=1e4)
+            alloc = solve_tree(plat, 100.0, alpha=2.0)
+            fractions.append(alloc.covered_work_fraction(100.0))
+        assert fractions == sorted(fractions, reverse=True)
+        # fanout 8 → 73 workers: coverage near 1/73
+        assert fractions[-1] < 0.05
+        assert fractions[-1] == pytest.approx(1.0 / 73.0, rel=0.2)
+
+    def test_star_tree_nonlinear_matches_star_solver(self):
+        from repro.dlt.nonlinear_solver import solve_nonlinear_parallel
+
+        speeds = [1.0, 3.0]
+        tree = TreePlatform.star(speeds)
+        star = StarPlatform.from_speeds(speeds)
+        t_tree = solve_tree(tree, 60.0, alpha=2.0)
+        t_star = solve_nonlinear_parallel(star, 60.0, alpha=2.0)
+        assert t_tree.makespan == pytest.approx(t_star.makespan, rel=1e-4)

@@ -1,0 +1,79 @@
+"""Tests for the Figure-4 harness — the paper's headline experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure4 import (
+    run_figure4,
+    run_figure4_point,
+)
+
+
+class TestPoint:
+    def test_point_structure(self):
+        point = run_figure4_point(10, "uniform", np.random.default_rng(0))
+        assert set(point.ratios) == {"het", "hom", "hom/k"}
+        assert all(r >= 1.0 - 1e-9 for r in point.ratios.values())
+        assert point.imbalances["hom/k"] <= 0.01
+
+    def test_homogeneous_point_all_at_one(self):
+        point = run_figure4_point(25, "homogeneous", np.random.default_rng(0))
+        for name, r in point.ratios.items():
+            assert r == pytest.approx(1.0, abs=0.02), name
+
+    def test_hom_k_at_least_hom(self):
+        point = run_figure4_point(30, "lognormal", np.random.default_rng(1))
+        assert point.ratios["hom/k"] >= point.ratios["hom"] - 1e-9
+
+
+class TestPanels:
+    def test_figure4a_shape(self):
+        """Homogeneous: all strategies ≈ 1 (paper's Figure 4a)."""
+        res = run_figure4("homogeneous", processors=(10, 50), trials=3, seed=0)
+        for name in ("het", "hom", "hom/k"):
+            assert np.all(res.means[name] < 1.05), name
+
+    def test_figure4b_shape(self):
+        """Uniform speeds: het near 1, hom/k explodes (Figure 4b)."""
+        res = run_figure4("uniform", processors=(10, 60), trials=8, seed=1)
+        assert np.all(res.means["het"] < 1.10)
+        assert res.means["hom/k"][-1] > 10.0
+        assert res.final_ratio("hom/k") > res.final_ratio("hom") > res.final_ratio("het")
+
+    def test_figure4c_shape(self):
+        """Lognormal speeds: same qualitative picture (Figure 4c)."""
+        res = run_figure4("lognormal", processors=(10, 60), trials=8, seed=2)
+        assert np.all(res.means["het"] < 1.10)
+        assert res.means["hom/k"][-1] > 10.0
+
+    def test_het_ratio_improves_with_p(self):
+        """More processors → finer partition → closer to the bound."""
+        res = run_figure4("uniform", processors=(10, 100), trials=6, seed=3)
+        assert res.means["het"][-1] < res.means["het"][0]
+
+    def test_render_contains_all_columns(self):
+        res = run_figure4("uniform", processors=(10,), trials=2, seed=4)
+        text = res.render()
+        assert "het mean" in text and "hom/k std" in text
+        assert "uniform" in text
+
+    def test_reproducible(self):
+        a = run_figure4("uniform", processors=(10,), trials=3, seed=5)
+        b = run_figure4("uniform", processors=(10,), trials=3, seed=5)
+        assert np.array_equal(a.means["hom/k"], b.means["hom/k"])
+
+    def test_confidence_interval_width(self):
+        res = run_figure4("uniform", processors=(10, 40), trials=10, seed=6)
+        ci = res.ci_half_width("het")
+        assert ci.shape == (2,)
+        assert np.all(ci >= 0)
+        # het's ratio concentrates: CI well under the mean
+        assert np.all(ci < res.means["het"])
+
+    def test_ci_zero_for_deterministic_series(self):
+        res = run_figure4("homogeneous", processors=(16,), trials=5, seed=7)
+        assert res.ci_half_width("hom")[0] == pytest.approx(0.0)
+
+    def test_ci_degenerate_single_trial(self):
+        res = run_figure4("uniform", processors=(10,), trials=1, seed=8)
+        assert res.ci_half_width("het")[0] == 0.0

@@ -1,0 +1,47 @@
+"""Tests for repro.experiments.report and the footprint experiment."""
+
+import pytest
+
+from repro.experiments.footprint import run_footprint_experiment
+from repro.experiments.report import build_report
+
+
+class TestFootprintExperiment:
+    def test_rows_and_invariants(self):
+        result = run_footprint_experiment(
+            configs=(([1.0, 2.0, 4.0], 8), ([1.0, 1.0, 5.0, 9.0], 12))
+        )
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row.affinity_shipped <= row.plain_shipped + 1e-9
+            assert row.affinity_shipped == pytest.approx(row.union_footprint)
+            assert 0.0 <= row.saved_fraction < 1.0
+
+    def test_render(self):
+        text = run_footprint_experiment(
+            configs=(([1.0, 3.0], 6),)
+        ).render()
+        assert "affinity" in text and "footprint" in text
+
+
+class TestReport:
+    def test_small_report_builds(self):
+        report = build_report(trials=2, processors=(10, 20), charts=True)
+        text = report.text
+        assert "REPRODUCTION REPORT" in text
+        assert "SECTION 2" in text
+        assert "FIGURE 4 (uniform)" in text
+        assert "rho" in text
+        # charts included
+        assert "o=het" in text
+        assert set(report.figure4) == {"homogeneous", "uniform", "lognormal"}
+
+    def test_charts_can_be_disabled(self):
+        report = build_report(trials=2, processors=(10,), charts=False)
+        assert "o=het" not in report.text
+
+    def test_save(self, tmp_path):
+        report = build_report(trials=2, processors=(10,), charts=False)
+        path = tmp_path / "report.txt"
+        report.save(str(path))
+        assert path.read_text().startswith("REPRODUCTION REPORT")

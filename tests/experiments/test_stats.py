@@ -1,0 +1,110 @@
+"""Tests for repro.experiments.stats."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.stats import (
+    paired_speedup_summary,
+    significantly_greater,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.ci_low < 2.0 < s.ci_high
+
+    def test_ci_contains_truth_usually(self):
+        """Coverage sanity: ~95% of CIs contain the true mean."""
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.normal(5.0, 2.0, size=30)
+            s = summarize(sample, confidence=0.95)
+            if s.ci_low <= 5.0 <= s.ci_high:
+                hits += 1
+        assert hits / trials > 0.88
+
+    def test_single_observation_zero_width(self):
+        s = summarize([4.2])
+        assert s.half_width == 0.0
+        assert s.mean == 4.2
+
+    def test_constant_sample_zero_width(self):
+        s = summarize([3.0, 3.0, 3.0])
+        assert s.half_width == 0.0
+
+    def test_narrows_with_n(self):
+        rng = np.random.default_rng(1)
+        small = summarize(rng.normal(size=10))
+        large = summarize(rng.normal(size=1000))
+        assert large.half_width < small.half_width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=1.5)
+
+
+class TestSignificance:
+    def test_clear_separation_detected(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(10.0, 1.0, 50)
+        b = rng.normal(1.0, 1.0, 50)
+        sig, p = significantly_greater(a, b)
+        assert sig
+        assert p < 1e-6
+
+    def test_identical_distributions_not_significant(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0.0, 1.0, 50)
+        b = rng.normal(0.0, 1.0, 50)
+        sig, p = significantly_greater(a, b)
+        assert not sig
+
+    def test_wrong_direction_not_significant(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(0.0, 1.0, 50)
+        b = rng.normal(5.0, 1.0, 50)
+        sig, p = significantly_greater(a, b)
+        assert not sig
+        assert p > 0.5
+
+    def test_needs_two_observations(self):
+        with pytest.raises(ValueError):
+            significantly_greater([1.0], [1.0, 2.0])
+
+
+class TestPairedSpeedup:
+    def test_ratio_summary(self):
+        base = np.array([10.0, 12.0, 8.0])
+        improved = np.array([5.0, 6.0, 4.0])
+        s = paired_speedup_summary(base, improved)
+        assert s.mean == pytest.approx(2.0)
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            paired_speedup_summary([1.0, 2.0], [1.0])
+
+    def test_positive_denominator_required(self):
+        with pytest.raises(ValueError):
+            paired_speedup_summary([1.0], [0.0])
+
+    def test_figure4_ordering_is_significant(self):
+        """The het < hom/k ordering at p=40 is not seed luck."""
+        from repro.experiments.figure4 import run_figure4_point
+        from repro.util.rng import spawn_rngs
+
+        rngs = spawn_rngs(7, 12)
+        het, homk = [], []
+        for rng in rngs:
+            point = run_figure4_point(40, "uniform", rng)
+            het.append(point.ratios["het"])
+            homk.append(point.ratios["hom/k"])
+        sig, p = significantly_greater(homk, het)
+        assert sig and p < 1e-6

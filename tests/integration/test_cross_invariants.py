@@ -1,0 +1,103 @@
+"""Cross-module property tests: invariants that span the whole stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks.heterogeneous import HeterogeneousBlocksStrategy
+from repro.blocks.homogeneous import HomogeneousBlocksStrategy
+from repro.core.bounds import lower_bound_comm
+from repro.dlt.single_round import solve_linear_parallel
+from repro.dlt.tree_solver import solve_tree
+from repro.matmul.layouts import RectangleLayout
+from repro.matmul.numeric import partitioned_matmul
+from repro.matmul.outer_product_algo import simulate_outer_product_matmul
+from repro.partition.column_based import peri_sum_partition
+from repro.platform.star import StarPlatform
+from repro.platform.tree import TreePlatform
+
+speeds_lists = st.lists(
+    st.floats(min_value=0.2, max_value=50.0), min_size=1, max_size=12
+)
+
+
+class TestVolumeChain:
+    """LB <= het volume <= hom volume ordering across the stack."""
+
+    @given(speeds=speeds_lists, N=st.floats(min_value=50.0, max_value=1e4))
+    @settings(max_examples=40, deadline=None)
+    def test_het_between_lb_and_hom(self, speeds, N):
+        plat = StarPlatform.from_speeds(speeds)
+        lb = lower_bound_comm(N, speeds)
+        het = HeterogeneousBlocksStrategy().plan(plat, N).comm_volume
+        hom = HomogeneousBlocksStrategy().plan(plat, N).comm_volume
+        assert lb - 1e-6 <= het
+        # hom can beat het only by rounding slack on near-homogeneous
+        # platforms; never below the lower bound
+        assert hom >= lb - 1e-6
+        assert het <= 1.75 * lb + 1e-6
+
+    @given(speeds=speeds_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_partition_to_matmul_volume_consistency(self, speeds):
+        """Partition geometry and the exact matmul accounting agree."""
+        x = np.asarray(speeds) / np.sum(speeds)
+        part = peri_sum_partition(x)
+        n = 24
+        layout = RectangleLayout(part, n=n)
+        run = simulate_outer_product_matmul(layout)
+        cells = sum(
+            layout.rows_of(i).size + layout.cols_of(i).size
+            for i in range(len(speeds))
+        )
+        assert run.total_no_reuse == pytest.approx(n * cells)
+        # discretisation adds at most ~2 cells per rectangle side; it
+        # can undercount arbitrarily for sliver rectangles thinner than
+        # a cell (they own no cells), so only the upper bound is tight
+        geo = part.scaled(n).sum_half_perimeters
+        assert cells <= geo + 4 * len(speeds) + 1
+        # every row and column is owned by someone
+        assert cells >= 2 * n
+
+
+class TestNumericBackbone:
+    @given(speeds=speeds_lists, seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_any_speed_mix_multiplies_correctly(self, speeds, seed):
+        """speeds → partition → distributed multiply == A @ B."""
+        rng = np.random.default_rng(seed)
+        x = np.asarray(speeds) / np.sum(speeds)
+        part = peri_sum_partition(x)
+        n = 12
+        A, B = rng.normal(size=(n, n)), rng.normal(size=(n, n))
+        assert np.allclose(partitioned_matmul(A, B, part), A @ B)
+
+
+class TestPlatformModels:
+    @given(
+        speeds=st.lists(
+            st.floats(min_value=0.5, max_value=10.0), min_size=1, max_size=6
+        ),
+        bandwidths=st.lists(
+            st.floats(min_value=0.5, max_value=10.0), min_size=1, max_size=6
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_tree_and_star_solvers_agree_on_stars(self, speeds, bandwidths):
+        """Two independently implemented solvers, one platform."""
+        p = min(len(speeds), len(bandwidths))
+        star = StarPlatform.from_speeds(speeds[:p], bandwidths[:p])
+        tree = TreePlatform.star(speeds[:p], bandwidths[:p])
+        t_star = solve_linear_parallel(star, 100.0).makespan
+        t_tree = solve_tree(tree, 100.0).makespan
+        assert t_tree == pytest.approx(t_star, rel=1e-5)
+
+    @given(speeds=speeds_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_adding_a_worker_never_hurts_linear_dlt(self, speeds):
+        plat = StarPlatform.from_speeds(speeds)
+        bigger = StarPlatform.from_speeds(list(speeds) + [1.0])
+        t_small = solve_linear_parallel(plat, 100.0).makespan
+        t_big = solve_linear_parallel(bigger, 100.0).makespan
+        assert t_big <= t_small + 1e-9

@@ -1,0 +1,94 @@
+"""End-to-end flows a downstream user would run (quickstart-grade)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    StarPlatform,
+    compare_strategies,
+    peri_sum_partition,
+    plan_outer_product,
+    sample_sort,
+    solve_linear_parallel,
+    solve_nonlinear_parallel,
+)
+from repro.mapreduce import MapReduceEngine, word_count_job
+from repro.matmul import (
+    RectangleLayout,
+    outer_product_matmul,
+    partitioned_matmul,
+    simulate_outer_product_matmul,
+)
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_snippet(self):
+        """The README / module docstring example, verbatim."""
+        platform = StarPlatform.from_speeds([1, 2, 4, 8])
+        plan = plan_outer_product(platform, N=10_000, strategy="het")
+        assert "het" in plan.summary()
+        assert plan.ratio_to_lower_bound < 1.75
+
+
+class TestFullMatmulPipeline:
+    def test_speeds_to_verified_product(self):
+        """speeds → partition → layout → comm account → numeric check."""
+        rng = np.random.default_rng(0)
+        speeds = rng.uniform(1, 10, 5)
+        x = speeds / speeds.sum()
+        part = peri_sum_partition(x)
+
+        n = 20
+        layout = RectangleLayout(part, n=n)
+        run = simulate_outer_product_matmul(layout)
+        assert run.total_no_reuse == pytest.approx(
+            n * sum(layout.rows_of(i).size + layout.cols_of(i).size for i in range(5))
+        )
+
+        A, B = rng.normal(size=(n, n)), rng.normal(size=(n, n))
+        assert np.allclose(partitioned_matmul(A, B, part), A @ B)
+        assert np.allclose(outer_product_matmul(A, B, layout), A @ B)
+
+
+class TestFullSortingPipeline:
+    def test_dlt_then_sample_sort(self):
+        """A user sizing a sorting job: analytic residue, then the run."""
+        platform = StarPlatform.from_speeds([2.0, 2.0, 4.0])
+        keys = np.random.default_rng(1).random(120_000)
+        res = sample_sort(keys, platform, rng=2)
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+        assert res.speedup() > 1.0
+
+
+class TestFullDLTPipeline:
+    def test_linear_vs_nonlinear_story(self):
+        """The §2 narrative through the public API."""
+        platform = StarPlatform.homogeneous(64)
+        linear = solve_linear_parallel(platform, 10_000.0)
+        assert linear.total == pytest.approx(10_000.0)
+
+        nonlinear = solve_nonlinear_parallel(platform, 10_000.0, alpha=2.0)
+        assert nonlinear.covered_fraction == pytest.approx(1 / 64, rel=1e-5)
+
+
+class TestMapReducePipeline:
+    def test_word_count_end_to_end(self):
+        job, make_inputs = word_count_job(n_reducers=3)
+        out = MapReduceEngine().run(job, make_inputs(["to be or not to be"]))
+        assert out["to"] == 2 and out["be"] == 2 and out["or"] == 1
+
+
+class TestStrategyComparison:
+    def test_figure4_cell_through_facade(self):
+        platform = StarPlatform.from_speeds([1.0, 3.0, 9.0, 27.0])
+        cmp = compare_strategies(platform, 5000.0)
+        assert cmp.ratios["het"] < cmp.ratios["hom/k"]
+        assert cmp.rho > 1.0

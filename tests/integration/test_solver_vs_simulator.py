@@ -1,0 +1,84 @@
+"""Cross-validation: closed forms vs the discrete-event simulator.
+
+The library's defence against "the formula is wrong" and "the simulator
+is wrong" simultaneously: they are implemented independently and must
+agree on every random instance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_models import NLogNCost, PowerLawCost
+from repro.dlt.multi_round import solve_multi_round
+from repro.dlt.nonlinear_solver import solve_nonlinear_parallel
+from repro.dlt.single_round import solve_linear_one_port, solve_linear_parallel
+from repro.platform.comm_models import OnePort
+from repro.platform.star import StarPlatform
+from repro.simulate.master_worker import simulate_allocation
+
+platforms = st.lists(
+    st.tuples(
+        st.floats(min_value=0.2, max_value=20.0),
+        st.floats(min_value=0.2, max_value=20.0),
+    ),
+    min_size=1,
+    max_size=8,
+).map(
+    lambda rows: StarPlatform.from_speeds(
+        [r[0] for r in rows], [r[1] for r in rows]
+    )
+)
+
+
+class TestLinearAgreement:
+    @given(platform=platforms, N=st.floats(min_value=1.0, max_value=1e4))
+    @settings(max_examples=40, deadline=None)
+    def test_parallel_links(self, platform, N):
+        alloc = solve_linear_parallel(platform, N)
+        _, _, makespan = simulate_allocation(platform, alloc.amounts)
+        assert makespan == pytest.approx(alloc.makespan, rel=1e-9)
+
+    @given(platform=platforms, N=st.floats(min_value=1.0, max_value=1e4))
+    @settings(max_examples=40, deadline=None)
+    def test_one_port(self, platform, N):
+        platform = platform.with_comm_model(OnePort())
+        alloc = solve_linear_one_port(platform, N)
+        _, _, makespan = simulate_allocation(
+            platform, alloc.amounts, order=alloc.order
+        )
+        assert makespan == pytest.approx(alloc.makespan, rel=1e-9)
+
+
+class TestNonlinearAgreement:
+    @given(
+        platform=platforms,
+        alpha=st.floats(min_value=1.2, max_value=3.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_parallel_nonlinear(self, platform, alpha):
+        alloc = solve_nonlinear_parallel(platform, 100.0, alpha=alpha)
+        _, _, makespan = simulate_allocation(
+            platform, alloc.amounts, cost_model=PowerLawCost(alpha=alpha)
+        )
+        assert makespan == pytest.approx(alloc.makespan, rel=1e-6)
+
+
+class TestMultiRoundAgreement:
+    def test_round_totals_match_single_round_slices(self):
+        plat = StarPlatform.from_speeds([1.0, 2.0, 3.0])
+        sched = solve_multi_round(plat, 300.0, rounds=3)
+        single = solve_linear_parallel(plat, 100.0)
+        for r in range(3):
+            assert np.allclose(sched.amounts[:, r], single.amounts)
+
+    def test_sorting_cost_model_through_simulator(self):
+        """NLogN compute times flow through the replay correctly."""
+        plat = StarPlatform.homogeneous(2)
+        amounts = [8.0, 8.0]
+        timelines, _, makespan = simulate_allocation(
+            plat, amounts, cost_model=NLogNCost()
+        )
+        # recv 8 units at c=1 → t=8; compute 8*log2(8)=24 at w=1 → t=32
+        assert makespan == pytest.approx(32.0)

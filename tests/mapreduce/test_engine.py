@@ -1,0 +1,128 @@
+"""Tests for repro.mapreduce.engine."""
+
+from collections import Counter
+
+import pytest
+
+from repro.mapreduce.engine import (
+    MapReduceEngine,
+    MapReduceJob,
+    hash_partitioner,
+)
+
+
+def identity_job(n_reducers=2, combine=None):
+    return MapReduceJob(
+        map_fn=lambda rec: [(rec, 1)],
+        reduce_fn=lambda k, vs: [(k, sum(vs))],
+        n_reducers=n_reducers,
+        combine_fn=combine,
+    )
+
+
+class TestBasics:
+    def test_counts_match_counter(self):
+        data = list("abracadabra")
+        out = MapReduceEngine().run(identity_job(), data)
+        assert out == dict(Counter(data))
+
+    def test_metrics_record_counts(self):
+        engine = MapReduceEngine()
+        engine.run(identity_job(), list("aabb"))
+        m = engine.metrics
+        assert m.map_input_records == 4
+        assert m.map_output_records == 4
+        assert m.shuffle_records == 4
+        assert m.reduce_input_groups == 2
+        assert m.reduce_output_records == 2
+
+    def test_empty_input(self):
+        out, m = MapReduceEngine().run_with_metrics(identity_job(), [])
+        assert out == {}
+        assert m.shuffle_volume == 0.0
+
+    def test_n_reducers_validated(self):
+        with pytest.raises(ValueError):
+            identity_job(n_reducers=0)
+
+
+class TestCombiner:
+    def test_combiner_reduces_shuffle(self):
+        combine = lambda k, vs: [sum(vs)]  # noqa: E731
+        data = ["a"] * 100  # one map task per record → no intra-task dup
+        # put all records in one map task to see combining:
+        job = MapReduceJob(
+            map_fn=lambda rec: [("w", 1) for _ in range(10)],
+            reduce_fn=lambda k, vs: [(k, sum(vs))],
+            n_reducers=1,
+            combine_fn=combine,
+        )
+        out, m = MapReduceEngine().run_with_metrics(job, ["x", "y"])
+        assert out == {"w": 20}
+        assert m.map_output_records == 20
+        assert m.shuffle_records == 2  # one combined record per task
+        assert m.combine_savings == 18
+
+    def test_combiner_preserves_result(self):
+        data = list("mississippi")
+        plain = MapReduceEngine().run(identity_job(), data)
+        combined = MapReduceEngine().run(
+            identity_job(combine=lambda k, vs: [sum(vs)]), data
+        )
+        assert plain == combined
+
+
+class TestShuffleAccounting:
+    def test_size_of_prices_values(self):
+        job = MapReduceJob(
+            map_fn=lambda rec: [("k", rec)],
+            reduce_fn=lambda k, vs: [(k, sum(vs))],
+            n_reducers=1,
+            size_of=lambda v: float(v),
+        )
+        _, m = MapReduceEngine().run_with_metrics(job, [2.0, 3.0])
+        assert m.shuffle_volume == 5.0
+
+    def test_reducer_volumes_sum_to_total(self):
+        job = identity_job(n_reducers=4)
+        _, m = MapReduceEngine().run_with_metrics(job, list("abcdefgh"))
+        assert sum(m.reducer_volumes) == pytest.approx(m.shuffle_volume)
+
+    def test_reducer_imbalance_zero_when_single(self):
+        _, m = MapReduceEngine().run_with_metrics(identity_job(1), list("ab"))
+        assert m.reducer_imbalance == 0.0
+
+    def test_reducer_imbalance_inf_when_starved(self):
+        job = MapReduceJob(
+            map_fn=lambda rec: [(0, 1)],
+            reduce_fn=lambda k, vs: [(k, sum(vs))],
+            n_reducers=2,
+            partition_fn=lambda key, n: 0,
+        )
+        _, m = MapReduceEngine().run_with_metrics(job, [1, 2])
+        assert m.reducer_imbalance == float("inf")
+
+
+class TestPartitioner:
+    def test_hash_partitioner_stable(self):
+        assert hash_partitioner(("a", 1), 7) == hash_partitioner(("a", 1), 7)
+        assert 0 <= hash_partitioner("anything", 5) < 5
+
+    def test_bad_partitioner_caught(self):
+        job = MapReduceJob(
+            map_fn=lambda rec: [(rec, 1)],
+            reduce_fn=lambda k, vs: [(k, sum(vs))],
+            n_reducers=2,
+            partition_fn=lambda key, n: 99,
+        )
+        with pytest.raises(ValueError, match="reducer 99"):
+            MapReduceEngine().run(job, ["a"])
+
+    def test_duplicate_output_key_rejected(self):
+        job = MapReduceJob(
+            map_fn=lambda rec: [(rec, 1)],
+            reduce_fn=lambda k, vs: [("same", 1)],
+            n_reducers=1,
+        )
+        with pytest.raises(ValueError, match="duplicate output key"):
+            MapReduceEngine().run(job, ["a", "b"])

@@ -1,0 +1,86 @@
+"""Property tests: the MapReduce engine vs a trivial reference.
+
+The engine (map → combine → shuffle → reduce, metered) must compute the
+same result as the obvious sequential implementation for *any* job that
+is combiner-safe, and its meters must satisfy conservation laws.
+"""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+
+# records: small tuples of (key-ish int, value int)
+records_strategy = st.lists(
+    st.tuples(st.integers(0, 10), st.integers(-100, 100)),
+    min_size=0,
+    max_size=60,
+)
+
+
+def reference_groupsum(records):
+    groups = defaultdict(int)
+    for k, v in records:
+        groups[k] += v
+    return dict(groups)
+
+
+def make_sum_job(n_reducers, combine):
+    return MapReduceJob(
+        map_fn=lambda rec: [(rec[0], rec[1])],
+        reduce_fn=lambda k, vs: [(k, sum(vs))],
+        n_reducers=n_reducers,
+        combine_fn=(lambda k, vs: [sum(vs)]) if combine else None,
+    )
+
+
+class TestEngineProperties:
+    @given(
+        records=records_strategy,
+        n_reducers=st.integers(1, 6),
+        combine=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_reference(self, records, n_reducers, combine):
+        out = MapReduceEngine().run(make_sum_job(n_reducers, combine), records)
+        assert out == reference_groupsum(records)
+
+    @given(records=records_strategy, n_reducers=st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_meter_conservation(self, records, n_reducers):
+        _, m = MapReduceEngine().run_with_metrics(
+            make_sum_job(n_reducers, combine=False), records
+        )
+        assert m.map_input_records == len(records)
+        assert m.map_output_records == len(records)
+        assert m.shuffle_records == m.map_output_records  # no combiner
+        assert sum(m.reducer_volumes) == pytest.approx(m.shuffle_volume)
+        assert m.reduce_input_groups == len({k for k, _ in records})
+        assert m.reduce_output_records == m.reduce_input_groups
+
+    @given(records=records_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_combiner_never_increases_shuffle(self, records):
+        _, plain = MapReduceEngine().run_with_metrics(
+            make_sum_job(3, combine=False), records
+        )
+        _, combined = MapReduceEngine().run_with_metrics(
+            make_sum_job(3, combine=True), records
+        )
+        assert combined.shuffle_records <= plain.shuffle_records
+
+    @given(
+        records=records_strategy,
+        reducers_a=st.integers(1, 6),
+        reducers_b=st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_independent_of_reducer_count(
+        self, records, reducers_a, reducers_b
+    ):
+        a = MapReduceEngine().run(make_sum_job(reducers_a, False), records)
+        b = MapReduceEngine().run(make_sum_job(reducers_b, False), records)
+        assert a == b

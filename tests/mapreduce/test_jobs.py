@@ -1,0 +1,112 @@
+"""Tests for repro.mapreduce.jobs — the executable paper examples."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.jobs import (
+    assemble_block_output,
+    block_matmul_job,
+    naive_matmul_job,
+    outer_product_job,
+    word_count_job,
+)
+from repro.matmul.mapreduce_layouts import hama_block_volume
+from repro.partition.column_based import peri_sum_partition
+
+
+class TestWordCount:
+    LINES = ["the quick brown fox", "the lazy dog", "the fox"]
+
+    def test_counts(self):
+        job, make_inputs = word_count_job()
+        out = MapReduceEngine().run(job, make_inputs(self.LINES))
+        expected = Counter(w for line in self.LINES for w in line.split())
+        assert out == dict(expected)
+
+    def test_linear_shuffle_volume(self):
+        """Linear workload: shuffle ≈ input words (with combiner, less)."""
+        job, make_inputs = word_count_job(combine=False)
+        _, m = MapReduceEngine().run_with_metrics(job, make_inputs(self.LINES))
+        n_words = sum(len(line.split()) for line in self.LINES)
+        assert m.shuffle_records == n_words
+
+    def test_combiner_cuts_duplicates(self):
+        with_c, make_inputs = word_count_job(combine=True)
+        _, m = MapReduceEngine().run_with_metrics(
+            with_c, make_inputs(["a a a a b"])
+        )
+        assert m.shuffle_records == 2  # 'a' combined, 'b'
+
+
+class TestNaiveMatmul:
+    def test_correct_product(self):
+        rng = np.random.default_rng(0)
+        A, B = rng.normal(size=(6, 6)), rng.normal(size=(6, 6))
+        job, inputs = naive_matmul_job(A, B)
+        out = MapReduceEngine().run(job, inputs)
+        C = np.empty((6, 6))
+        for (i, j), v in out.items():
+            C[i, j] = v
+        assert np.allclose(C, A @ B)
+
+    def test_cubic_shuffle(self):
+        """The §1.1 pathology: N³ records cross the shuffle."""
+        n = 5
+        A = np.eye(n)
+        job, inputs = naive_matmul_job(A, A)
+        _, m = MapReduceEngine().run_with_metrics(job, inputs)
+        assert m.map_input_records == n**3
+        assert m.shuffle_records == n**3
+
+
+class TestBlockMatmul:
+    @pytest.mark.parametrize("q", [1, 2, 3])
+    def test_correct_product(self, q):
+        rng = np.random.default_rng(q)
+        n = 6
+        A, B = rng.normal(size=(n, n)), rng.normal(size=(n, n))
+        job, inputs = block_matmul_job(A, B, q)
+        out = MapReduceEngine().run(job, inputs)
+        C = assemble_block_output(out, n, q)
+        assert np.allclose(C, A @ B)
+
+    def test_shuffle_volume_matches_closed_form(self):
+        """Metered volume == 2 q N² (the hama_block_volume formula)."""
+        n, q = 12, 3
+        rng = np.random.default_rng(1)
+        A, B = rng.normal(size=(n, n)), rng.normal(size=(n, n))
+        job, inputs = block_matmul_job(A, B, q)
+        _, m = MapReduceEngine().run_with_metrics(job, inputs)
+        assert m.shuffle_volume == pytest.approx(hama_block_volume(n, q))
+
+    def test_divisibility_checked(self):
+        A = np.zeros((5, 5))
+        with pytest.raises(ValueError, match="divide"):
+            block_matmul_job(A, A, 2)
+
+
+class TestOuterProduct:
+    def test_correct_and_volume_is_half_perimeter(self):
+        n = 20
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=n), rng.normal(size=n)
+        part = peri_sum_partition([0.3, 0.3, 0.4])
+        job, inputs = outer_product_job(a, b, part)
+        out, m = MapReduceEngine().run_with_metrics(job, inputs)
+
+        # reassemble and compare with np.outer
+        full = np.full((n, n), np.nan)
+        for owner, (rows, cols, block) in out.items():
+            full[np.ix_(rows, cols)] = block
+        assert np.allclose(full, np.outer(a, b))
+
+        # the metered shuffle equals the scaled half-perimeter sum
+        expected = part.scaled(n).sum_half_perimeters
+        assert m.shuffle_volume == pytest.approx(expected, rel=0.15)
+
+    def test_vector_length_mismatch(self):
+        with pytest.raises(ValueError):
+            outer_product_job(np.zeros(3), np.zeros(4), peri_sum_partition([1.0]))

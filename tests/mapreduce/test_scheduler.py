@@ -1,0 +1,46 @@
+"""Tests for repro.mapreduce.scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.scheduler import schedule_map_tasks
+from repro.platform.star import StarPlatform
+
+
+class TestScheduleMapTasks:
+    def test_counts_sum_to_tasks(self, heterogeneous_platform):
+        sched = schedule_map_tasks(heterogeneous_platform, np.ones(50))
+        assert sched.counts.sum() == 50
+
+    def test_fast_workers_take_more(self):
+        plat = StarPlatform.from_speeds([1.0, 5.0])
+        sched = schedule_map_tasks(plat, np.ones(60))
+        assert sched.counts[1] == 50
+
+    def test_default_data_equals_work(self):
+        plat = StarPlatform.homogeneous(2)
+        sched = schedule_map_tasks(plat, [2.0, 3.0])
+        assert sched.total_data == pytest.approx(5.0)
+
+    def test_explicit_data_volumes(self):
+        plat = StarPlatform.homogeneous(2)
+        sched = schedule_map_tasks(plat, [1.0, 1.0], task_datas=[10.0, 20.0])
+        assert sched.total_data == pytest.approx(30.0)
+
+    def test_data_length_checked(self):
+        plat = StarPlatform.homogeneous(2)
+        with pytest.raises(ValueError):
+            schedule_map_tasks(plat, [1.0], task_datas=[1.0, 2.0])
+
+    def test_straggler_gap(self):
+        plat = StarPlatform.homogeneous(2)
+        sched = schedule_map_tasks(plat, [4.0, 1.0])
+        assert sched.straggler_gap == pytest.approx(3.0)
+        assert sched.makespan == pytest.approx(4.0)
+
+    def test_many_small_tasks_balance_well(self):
+        """The Hadoop premise: many tasks → good balance even when
+        heterogeneous (this is what Comm_hom/k exploits, at a comm cost)."""
+        plat = StarPlatform.from_speeds([1.0, 3.7, 9.2])
+        sched = schedule_map_tasks(plat, np.ones(5000))
+        assert sched.imbalance < 0.01

@@ -1,0 +1,52 @@
+"""Tests for repro.matmul.cube."""
+
+import pytest
+
+from repro.matmul.cube import Brick, ComputationCube
+
+
+class TestBrick:
+    def test_volumes(self):
+        b = Brick(0, 2, 0, 3, 0, 4)
+        assert b.work == 24
+        assert b.a_volume == 6
+        assert b.b_volume == 12
+        assert b.c_volume == 8
+        assert b.input_volume == 18
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Brick(2, 1, 0, 1, 0, 1)
+
+    def test_empty_brick_zero_work(self):
+        assert Brick(0, 0, 0, 5, 0, 5).work == 0
+
+
+class TestCube:
+    def test_global_volumes(self):
+        cube = ComputationCube(10)
+        assert cube.work == 1000
+        assert cube.input_size == 200
+        assert cube.output_size == 100
+
+    def test_full_brick_matches(self):
+        cube = ComputationCube(5)
+        assert cube.full_brick().work == cube.work
+
+    def test_alpha_is_three_halves_in_data_terms(self):
+        assert ComputationCube(64).nonlinearity_alpha == pytest.approx(1.5)
+
+    def test_column_slab(self):
+        cube = ComputationCube(8)
+        slab = cube.column_slab(2, 4)
+        assert slab.work == 8 * 2 * 8
+        assert slab.a_volume == 16
+
+    def test_slab_bounds_checked(self):
+        with pytest.raises(ValueError):
+            ComputationCube(4).column_slab(3, 6)
+
+    def test_slabs_tile_the_cube(self):
+        cube = ComputationCube(6)
+        total = sum(cube.column_slab(k, k + 1).work for k in range(6))
+        assert total == cube.work

@@ -1,0 +1,77 @@
+"""Tests for repro.matmul.layouts."""
+
+import numpy as np
+import pytest
+
+from repro.matmul.layouts import BlockCyclicLayout, RectangleLayout
+from repro.partition.column_based import peri_sum_partition
+from repro.partition.naive import grid_partition
+
+
+class TestRectangleLayout:
+    def test_total_ownership(self):
+        part = peri_sum_partition([0.3, 0.3, 0.4])
+        layout = RectangleLayout(part, n=12)
+        owners = layout.owner_matrix()
+        assert set(np.unique(owners)) <= {0, 1, 2}
+        assert np.all(owners >= 0)
+
+    def test_cell_counts_approximate_areas(self):
+        part = peri_sum_partition([0.25, 0.75])
+        layout = RectangleLayout(part, n=40)
+        owners = layout.owner_matrix()
+        frac = np.mean(owners == 1)
+        assert frac == pytest.approx(0.75, abs=0.05)
+
+    def test_rows_cols_of_grid(self):
+        part = grid_partition(4)  # 2x2
+        layout = RectangleLayout(part, n=8)
+        for proc in range(4):
+            assert layout.rows_of(proc).size == 4
+            assert layout.cols_of(proc).size == 4
+
+    def test_rectangle_cells_contiguous(self):
+        part = peri_sum_partition([0.5, 0.5])
+        layout = RectangleLayout(part, n=10)
+        for proc in range(2):
+            rows = layout.rows_of(proc)
+            assert np.array_equal(rows, np.arange(rows.min(), rows.max() + 1))
+
+    def test_owner_of_matches_matrix(self):
+        part = grid_partition(4)
+        layout = RectangleLayout(part, n=6)
+        owners = layout.owner_matrix()
+        for i in range(6):
+            for j in range(6):
+                assert layout.owner_of(i, j) == owners[i, j]
+
+
+class TestBlockCyclicLayout:
+    def test_cyclic_pattern(self):
+        layout = BlockCyclicLayout(n=4, p_rows=2, p_cols=2, block=1)
+        owners = layout.owner_matrix()
+        expected = np.array(
+            [[0, 1, 0, 1], [2, 3, 2, 3], [0, 1, 0, 1], [2, 3, 2, 3]]
+        )
+        assert np.array_equal(owners, expected)
+
+    def test_block_size_respected(self):
+        layout = BlockCyclicLayout(n=4, p_rows=2, p_cols=2, block=2)
+        owners = layout.owner_matrix()
+        assert np.all(owners[:2, :2] == 0)
+        assert np.all(owners[2:, 2:] == 3)
+
+    def test_rows_of_every_proc_touches_many_rows(self):
+        """Block-cyclic virtualisation: every processor row-set is ~n/p_rows."""
+        layout = BlockCyclicLayout(n=12, p_rows=3, p_cols=2, block=1)
+        for proc in range(6):
+            assert layout.rows_of(proc).size == 4
+            assert layout.cols_of(proc).size == 6
+
+    def test_out_of_bounds_rejected(self):
+        layout = BlockCyclicLayout(n=4, p_rows=2, p_cols=2)
+        with pytest.raises(IndexError):
+            layout.owner_of(4, 0)
+
+    def test_n_procs(self):
+        assert BlockCyclicLayout(n=4, p_rows=2, p_cols=3).n_procs == 6

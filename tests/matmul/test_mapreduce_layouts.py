@@ -1,0 +1,68 @@
+"""Tests for repro.matmul.mapreduce_layouts — the §1.1/§4 volume story."""
+
+import numpy as np
+import pytest
+
+from repro.matmul.mapreduce_layouts import (
+    best_hama_grid,
+    hama_block_volume,
+    matmul_lower_bound,
+    naive_mapreduce_volume,
+    partitioned_volume,
+)
+
+
+class TestClosedForms:
+    def test_naive_cubic(self):
+        assert naive_mapreduce_volume(10) == 2000.0
+
+    def test_hama_value(self):
+        assert hama_block_volume(10, 2) == 400.0
+
+    def test_best_grid(self):
+        assert best_hama_grid(16) == 4
+        assert best_hama_grid(17) == 4
+        assert best_hama_grid(1) == 1
+
+    def test_lower_bound_homogeneous(self):
+        """2N²√p when speeds are equal."""
+        assert matmul_lower_bound(10, np.ones(16)) == pytest.approx(800.0)
+
+
+class TestOrdering:
+    def test_naive_dwarfs_blocked_for_large_n(self):
+        N, q = 100, 4
+        assert naive_mapreduce_volume(N) > 10 * hama_block_volume(N, q)
+
+    def test_hama_optimal_on_homogeneous(self):
+        """With q = √p equal reducers, HAMA volume = the lower bound."""
+        p = 16
+        q = best_hama_grid(p)
+        N = 64
+        assert hama_block_volume(N, q) == pytest.approx(
+            matmul_lower_bound(N, np.ones(p))
+        )
+
+    def test_partitioned_beats_hama_on_heterogeneous(self):
+        """The paper's claim, in matmul form: heterogeneity-aware
+        partitioning ships less than the homogeneous grid whose block
+        count is driven by the *slowest* worker."""
+        rng = np.random.default_rng(0)
+        speeds = rng.uniform(1, 100, 36)
+        N = 60
+        part_vol = partitioned_volume(N, speeds)
+        lb = matmul_lower_bound(N, speeds)
+        assert part_vol <= 1.05 * lb
+        # the homogeneous-grid equivalent: one block per slowest share,
+        # i.e. the §4.1.1 Comm_hom scaled by N steps
+        from repro.core.bounds import comm_hom_ideal
+
+        hom_vol = N * comm_hom_ideal(N, speeds)
+        assert part_vol < hom_vol
+
+    def test_partitioned_volume_sandwich(self):
+        speeds = np.array([1.0, 2.0, 4.0])
+        N = 30
+        lb = matmul_lower_bound(N, speeds)
+        vol = partitioned_volume(N, speeds)
+        assert lb - 1e-9 <= vol <= 1.75 * lb + 1e-9

@@ -1,0 +1,79 @@
+"""Tests for repro.matmul.numeric — the algorithms really multiply."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matmul.layouts import BlockCyclicLayout, RectangleLayout
+from repro.matmul.numeric import (
+    mapreduce_matmul_reference,
+    outer_product_matmul,
+    partitioned_matmul,
+)
+from repro.partition.column_based import peri_sum_partition
+from repro.partition.naive import grid_partition
+
+
+def random_matrices(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, n)), rng.normal(size=(n, n))
+
+
+class TestPartitionedMatmul:
+    def test_grid_partition_exact(self):
+        A, B = random_matrices(12)
+        C = partitioned_matmul(A, B, grid_partition(4))
+        assert np.allclose(C, A @ B)
+
+    def test_heterogeneous_partition_exact(self):
+        A, B = random_matrices(20, seed=1)
+        part = peri_sum_partition([0.1, 0.2, 0.3, 0.4])
+        C = partitioned_matmul(A, B, part)
+        assert np.allclose(C, A @ B)
+
+    @given(
+        seed=st.integers(0, 1000),
+        p=st.integers(min_value=1, max_value=6),
+        n=st.integers(min_value=4, max_value=16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_partitions(self, seed, p, n):
+        rng = np.random.default_rng(seed)
+        areas = rng.dirichlet(np.ones(p))
+        A, B = random_matrices(n, seed=seed)
+        part = peri_sum_partition(areas)
+        assert np.allclose(partitioned_matmul(A, B, part), A @ B)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            partitioned_matmul(np.zeros((2, 3)), np.zeros((3, 3)), grid_partition(1))
+
+
+class TestOuterProductMatmul:
+    def test_rectangle_layout_exact(self):
+        A, B = random_matrices(10, seed=2)
+        layout = RectangleLayout(peri_sum_partition([0.5, 0.5]), n=10)
+        assert np.allclose(outer_product_matmul(A, B, layout), A @ B)
+
+    def test_block_cyclic_layout_exact(self):
+        A, B = random_matrices(8, seed=3)
+        layout = BlockCyclicLayout(n=8, p_rows=2, p_cols=2, block=2)
+        assert np.allclose(outer_product_matmul(A, B, layout), A @ B)
+
+    def test_order_mismatch_rejected(self):
+        A, B = random_matrices(6)
+        layout = BlockCyclicLayout(n=8, p_rows=2, p_cols=2)
+        with pytest.raises(ValueError):
+            outer_product_matmul(A, B, layout)
+
+
+class TestMapReduceReference:
+    def test_matches_numpy(self):
+        A, B = random_matrices(7, seed=4)
+        assert np.allclose(mapreduce_matmul_reference(A, B), A @ B)
+
+    def test_identity(self):
+        eye = np.eye(5)
+        M = np.arange(25.0).reshape(5, 5)
+        assert np.allclose(mapreduce_matmul_reference(eye, M), M)

@@ -1,0 +1,64 @@
+"""Tests for repro.matmul.outer_product_algo — Figure 3's accounting."""
+
+import numpy as np
+import pytest
+
+from repro.matmul.layouts import BlockCyclicLayout, RectangleLayout
+from repro.matmul.outer_product_algo import (
+    half_perimeter_volume,
+    simulate_outer_product_matmul,
+)
+from repro.partition.column_based import peri_sum_partition
+from repro.partition.naive import grid_partition
+
+
+class TestSimulation:
+    def test_no_reuse_equals_half_perimeter_closed_form(self):
+        part = peri_sum_partition([0.2, 0.3, 0.5])
+        layout = RectangleLayout(part, n=20)
+        run = simulate_outer_product_matmul(layout)
+        assert run.total_no_reuse == pytest.approx(half_perimeter_volume(layout))
+
+    def test_reuse_savings_counts_owned_cells_twice(self):
+        """Residency saves exactly 2 × N² total: every owned cell's A
+        entry and B entry are each skipped once over the N steps."""
+        part = grid_partition(4)
+        layout = RectangleLayout(part, n=8)
+        run = simulate_outer_product_matmul(layout)
+        assert run.reuse_savings == pytest.approx(2 * 8 * 8)
+
+    def test_received_positive_for_multi_proc(self):
+        layout = RectangleLayout(grid_partition(4), n=8)
+        run = simulate_outer_product_matmul(layout)
+        assert np.all(run.received > 0)
+
+    def test_single_processor_receives_nothing(self):
+        layout = RectangleLayout(grid_partition(1), n=6)
+        run = simulate_outer_product_matmul(layout)
+        assert run.total_received == 0.0
+
+    def test_volume_proportional_to_perimeter_sum(self):
+        """§4.2: comm ∝ N × Σ half-perimeters, so the rectangle layout
+        from PERI-SUM beats the 1D strip layout."""
+        from repro.partition.naive import strip_partition
+
+        n = 24
+        areas = [0.25] * 4
+        good = RectangleLayout(peri_sum_partition(areas), n=n)
+        bad = RectangleLayout(strip_partition(areas), n=n)
+        v_good = simulate_outer_product_matmul(good).total_no_reuse
+        v_bad = simulate_outer_product_matmul(bad).total_no_reuse
+        assert v_good < v_bad
+
+    def test_block_cyclic_volume_formula(self):
+        """q×q grid with 1-wide cyclic blocks: every proc needs n/q rows
+        and n/q cols per step → no-reuse volume = n * p * 2n/q = 2n²q."""
+        n, q = 12, 3
+        layout = BlockCyclicLayout(n=n, p_rows=q, p_cols=q, block=1)
+        run = simulate_outer_product_matmul(layout)
+        assert run.total_no_reuse == pytest.approx(2 * n * n * q)
+
+    def test_owned_cells_partition_the_matrix(self):
+        layout = RectangleLayout(peri_sum_partition([0.4, 0.6]), n=15)
+        run = simulate_outer_product_matmul(layout)
+        assert run.owned_cells.sum() == 15 * 15

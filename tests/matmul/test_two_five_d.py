@@ -1,0 +1,68 @@
+"""Tests for repro.matmul.two_five_d."""
+
+import numpy as np
+import pytest
+
+from repro.matmul.mapreduce_layouts import matmul_lower_bound
+from repro.matmul.two_five_d import (
+    crossover_with_heterogeneous_partitioning,
+    max_replication,
+    two_five_d_volume,
+    volume_vs_replication,
+)
+
+
+class TestVolumes:
+    def test_c1_matches_2d_lower_bound(self):
+        """c=1 degenerates to the 2D outer-product volume 2N²√p."""
+        N, p = 100, 16
+        vol = two_five_d_volume(N, p, c=1)
+        assert vol.total_volume == pytest.approx(
+            matmul_lower_bound(N, np.ones(p))
+        )
+
+    def test_sqrt_c_gain(self):
+        N, p = 100, 64
+        v1 = two_five_d_volume(N, p, 1)
+        v4 = two_five_d_volume(N, p, 4)
+        assert v4.total_volume == pytest.approx(v1.total_volume / 2.0)
+        assert v4.speeddown_vs_2d == pytest.approx(0.5)
+
+    def test_memory_scales_linearly_in_c(self):
+        N, p = 100, 64
+        assert two_five_d_volume(N, p, 4).memory_per_processor == pytest.approx(
+            4 * two_five_d_volume(N, p, 1).memory_per_processor
+        )
+
+    def test_c_cannot_exceed_p(self):
+        with pytest.raises(ValueError):
+            two_five_d_volume(10, 4, 8)
+
+
+class TestReplicationSweep:
+    def test_max_replication_cbrt(self):
+        assert max_replication(64) == 4
+        assert max_replication(27) == 3
+        assert max_replication(2) == 1
+
+    def test_sweep_monotone_decreasing_volume(self):
+        vols = volume_vs_replication(200, 64)
+        totals = [v.total_volume for v in vols]
+        assert totals == sorted(totals, reverse=True)
+        assert len(vols) == 4
+
+
+class TestCrossover:
+    def test_heterogeneous_2d_vs_homogeneous_25d(self):
+        """On a strongly heterogeneous platform, 2.5D's √c gain can be
+        offset by heterogeneity-aware 2D partitioning — the comparison
+        the paper gestures at in §4.2."""
+        rng = np.random.default_rng(0)
+        speeds = rng.uniform(1, 100, 64)
+        out1 = crossover_with_heterogeneous_partitioning(100, speeds, c=1)
+        # at c=1 the heterogeneous 2D volume (~LB for the speed mix) is
+        # below the homogeneous 2N²√p  — fewer "effective" squares
+        assert out1["het_2d_volume"] < out1["hom_25d_volume"] * 1.05
+        out4 = crossover_with_heterogeneous_partitioning(100, speeds, c=4)
+        # replication eventually wins on volume (at a memory cost)
+        assert out4["hom_25d_volume"] < out1["hom_25d_volume"]

@@ -1,0 +1,110 @@
+"""Tests for repro.partition.column_based — PERI-SUM DP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.column_based import (
+    column_groups,
+    peri_sum_cost,
+    peri_sum_partition,
+)
+from repro.partition.lower_bound import peri_sum_lower_bound
+
+areas_lists = st.lists(
+    st.floats(min_value=1e-3, max_value=1.0), min_size=1, max_size=20
+).map(lambda v: (np.asarray(v) / np.sum(v)))
+
+
+class TestColumnGroups:
+    def test_single_area_one_group(self):
+        assert column_groups([1.0]) == [[0]]
+
+    def test_groups_partition_indices(self):
+        areas = np.array([0.1, 0.2, 0.3, 0.4])
+        groups = column_groups(areas)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == [0, 1, 2, 3]
+
+    def test_equal_areas_square_grid(self):
+        """Four equal areas → 2 columns of 2 (the 2x2 grid)."""
+        groups = column_groups([0.25] * 4)
+        assert sorted(len(g) for g in groups) == [2, 2]
+
+    def test_nine_equal_areas_three_columns(self):
+        groups = column_groups([1.0 / 9] * 9)
+        assert sorted(len(g) for g in groups) == [3, 3, 3]
+
+    def test_groups_are_contiguous_in_sorted_order(self):
+        rng = np.random.default_rng(0)
+        areas = rng.dirichlet(np.ones(12))
+        groups = column_groups(areas)
+        order = np.argsort(areas, kind="stable").tolist()
+        flat = [i for g in groups for i in g]
+        assert flat == order
+
+
+class TestPeriSumPartition:
+    @given(areas=areas_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_partition_is_exact(self, areas):
+        """Validity + prescribed areas, property-tested."""
+        part = peri_sum_partition(areas)
+        part.validate(expected_areas=areas)  # raises on violation
+
+    @given(areas=areas_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_guarantee_holds(self, areas):
+        """C_hat <= 1 + (5/4) LB <= (7/4) LB — §4.1.2's guarantee."""
+        part = peri_sum_partition(areas)
+        lb = peri_sum_lower_bound(areas)
+        cost = part.sum_half_perimeters
+        assert cost >= lb - 1e-9
+        assert cost <= 1.0 + 1.25 * lb + 1e-9
+        assert cost <= 1.75 * lb + 1e-9
+
+    def test_perfect_square_case(self):
+        """p = k² equal areas: optimal grid, cost = 2√p = LB."""
+        p = 16
+        part = peri_sum_partition([1.0 / p] * p)
+        assert part.sum_half_perimeters == pytest.approx(2 * np.sqrt(p))
+
+    def test_single_processor(self):
+        part = peri_sum_partition([1.0])
+        assert part.sum_half_perimeters == pytest.approx(2.0)
+
+    def test_observed_quality_near_lb(self):
+        """§4.3: observed within ~2% of the bound for realistic speeds."""
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            speeds = rng.uniform(1, 100, 50)
+            areas = speeds / speeds.sum()
+            part = peri_sum_partition(areas)
+            ratio = part.sum_half_perimeters / peri_sum_lower_bound(areas)
+            assert ratio < 1.05
+
+    def test_owner_round_trip(self):
+        areas = np.array([0.5, 0.3, 0.2])
+        owners = peri_sum_partition(areas).by_owner()
+        for i, a in enumerate(areas):
+            assert owners[i].area == pytest.approx(a)
+
+    def test_rejects_non_normalized(self):
+        with pytest.raises(ValueError):
+            peri_sum_partition([0.5, 0.6])
+
+
+class TestPeriSumCost:
+    @given(areas=areas_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_cost_matches_geometry(self, areas):
+        """The DP-only cost equals the built partition's objective."""
+        cost = peri_sum_cost(areas)
+        part = peri_sum_partition(areas)
+        assert cost == pytest.approx(part.sum_half_perimeters, rel=1e-9)
+
+    def test_dominates_strip_layout(self):
+        rng = np.random.default_rng(2)
+        areas = rng.dirichlet(np.ones(10))
+        assert peri_sum_cost(areas) <= 10 + 1 + 1e-9  # strip costs p+1

@@ -1,0 +1,50 @@
+"""Tests for repro.partition.lower_bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.column_based import peri_sum_partition
+from repro.partition.lower_bound import (
+    guarantee_gap,
+    peri_max_lower_bound,
+    peri_sum_lower_bound,
+)
+
+areas_lists = st.lists(
+    st.floats(min_value=1e-3, max_value=1.0), min_size=1, max_size=16
+).map(lambda v: (np.asarray(v) / np.sum(v)))
+
+
+class TestBounds:
+    def test_peri_sum_value(self):
+        assert peri_sum_lower_bound([0.25, 0.25, 0.25, 0.25]) == pytest.approx(4.0)
+
+    def test_peri_max_value(self):
+        assert peri_max_lower_bound([0.5, 0.3, 0.2]) == pytest.approx(
+            2 * np.sqrt(0.5)
+        )
+
+    @given(areas=areas_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_lb_at_least_two(self, areas):
+        """On the unit square Σ 2√a_i >= 2 (concavity), as §4.1.2 notes."""
+        assert peri_sum_lower_bound(areas) >= 2.0 - 1e-9
+
+    @given(areas=areas_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_every_partition_respects_lb(self, areas):
+        part = peri_sum_partition(areas)
+        assert part.sum_half_perimeters >= peri_sum_lower_bound(areas) - 1e-9
+
+
+class TestGuaranteeGap:
+    def test_gap_of_exact_partition(self):
+        areas = [0.25] * 4
+        part = peri_sum_partition(areas)
+        assert guarantee_gap(part.sum_half_perimeters, areas) == pytest.approx(1.0)
+
+    def test_impossible_cost_rejected(self):
+        with pytest.raises(ValueError, match="below the lower bound"):
+            guarantee_gap(1.0, [0.25] * 4)

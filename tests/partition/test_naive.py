@@ -1,0 +1,46 @@
+"""Tests for repro.partition.naive."""
+
+import numpy as np
+import pytest
+
+from repro.partition.naive import grid_partition, strip_partition
+
+
+class TestStrip:
+    def test_cost_is_p_plus_one(self):
+        for p in (1, 3, 10):
+            areas = np.full(p, 1.0 / p)
+            assert strip_partition(areas).sum_half_perimeters == pytest.approx(
+                p + 1.0
+            )
+
+    def test_areas_preserved_heterogeneous(self):
+        areas = np.array([0.7, 0.2, 0.1])
+        part = strip_partition(areas)
+        part.validate(expected_areas=areas)
+
+    def test_full_width(self):
+        part = strip_partition([0.4, 0.6])
+        assert all(r.w == pytest.approx(1.0) for r in part)
+
+
+class TestGrid:
+    def test_perfect_square(self):
+        part = grid_partition(9)
+        part.validate(expected_areas=np.full(9, 1.0 / 9))
+        assert part.sum_half_perimeters == pytest.approx(6.0)
+
+    def test_rectangular_factorisation(self):
+        part = grid_partition(6)  # 2x3
+        part.validate(expected_areas=np.full(6, 1.0 / 6))
+
+    def test_prime_degenerates_to_strip(self):
+        part = grid_partition(7)
+        assert part.sum_half_perimeters == pytest.approx(8.0)
+
+    def test_single(self):
+        assert grid_partition(1).sum_half_perimeters == pytest.approx(2.0)
+
+    def test_owners_unique(self):
+        owners = [r.owner for r in grid_partition(12)]
+        assert sorted(owners) == list(range(12))

@@ -1,0 +1,55 @@
+"""Tests for repro.partition.perimax."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.lower_bound import peri_max_lower_bound
+from repro.partition.naive import strip_partition
+from repro.partition.perimax import peri_max_partition
+
+areas_lists = st.lists(
+    st.floats(min_value=1e-3, max_value=1.0), min_size=1, max_size=16
+).map(lambda v: (np.asarray(v) / np.sum(v)))
+
+
+class TestPeriMax:
+    @given(areas=areas_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_partition_is_exact(self, areas):
+        peri_max_partition(areas).validate(expected_areas=areas)
+
+    @given(areas=areas_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_respects_lower_bound(self, areas):
+        part = peri_max_partition(areas)
+        assert part.max_half_perimeter >= peri_max_lower_bound(areas) - 1e-9
+
+    @given(areas=areas_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_no_worse_than_strip(self, areas):
+        """The heuristic must dominate the trivial 1-column layout."""
+        part = peri_max_partition(areas)
+        strip = strip_partition(areas)
+        assert part.max_half_perimeter <= strip.max_half_perimeter + 1e-9
+
+    def test_equal_areas_grid(self):
+        part = peri_max_partition([0.25] * 4)
+        assert part.max_half_perimeter == pytest.approx(1.0)
+
+    def test_single_area(self):
+        part = peri_max_partition([1.0])
+        assert part.max_half_perimeter == pytest.approx(2.0)
+
+    def test_distinct_from_peri_sum_objective(self):
+        """PERI-MAX never has a larger max half-perimeter than the
+        PERI-SUM partition of the same areas (on these instances)."""
+        from repro.partition.column_based import peri_sum_partition
+
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            areas = rng.dirichlet(np.ones(8))
+            pmax = peri_max_partition(areas).max_half_perimeter
+            psum = peri_sum_partition(areas).max_half_perimeter
+            assert pmax <= psum + 1e-9

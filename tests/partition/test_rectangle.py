@@ -1,0 +1,134 @@
+"""Tests for repro.partition.rectangle."""
+
+import numpy as np
+import pytest
+
+from repro.partition.rectangle import Partition, Rectangle, stack_column
+
+
+class TestRectangle:
+    def test_geometry(self):
+        r = Rectangle(x=0.1, y=0.2, w=0.3, h=0.4)
+        assert r.area == pytest.approx(0.12)
+        assert r.half_perimeter == pytest.approx(0.7)
+        assert r.x2 == pytest.approx(0.4)
+        assert r.y2 == pytest.approx(0.6)
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Rectangle(0, 0, -1, 1)
+
+    def test_overlap_detection(self):
+        a = Rectangle(0, 0, 0.5, 0.5)
+        b = Rectangle(0.25, 0.25, 0.5, 0.5)
+        c = Rectangle(0.5, 0.0, 0.5, 0.5)  # shares only an edge
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_scaled(self):
+        r = Rectangle(0.1, 0.2, 0.3, 0.4, owner=3).scaled(10.0)
+        assert (r.x, r.y, r.w, r.h) == (1.0, 2.0, 3.0, 4.0)
+        assert r.owner == 3
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Rectangle(0, 0, 1, 1).scaled(0.0)
+
+    def test_row_col_ranges(self):
+        r = Rectangle(x=0.25, y=0.5, w=0.5, h=0.5)
+        assert r.row_range(4) == (2, 4)
+        assert r.col_range(4) == (1, 3)
+
+    def test_contains_point(self):
+        r = Rectangle(0, 0, 0.5, 0.5)
+        assert r.contains_point(0.25, 0.25)
+        assert not r.contains_point(0.75, 0.25)
+
+
+class TestStackColumn:
+    def test_fills_column_exactly(self):
+        rects = stack_column(0.2, 0.3, [0.1, 0.2], [0, 1])
+        assert rects[0].y == 0.0
+        assert rects[-1].y2 == pytest.approx(1.0)
+        assert all(r.x == 0.2 and r.w == 0.3 for r in rects)
+
+    def test_areas_preserved(self):
+        rects = stack_column(0.0, 0.3, [0.1, 0.2], [5, 7])
+        assert rects[0].area == pytest.approx(0.1)
+        assert rects[1].area == pytest.approx(0.2)
+        assert [r.owner for r in rects] == [5, 7]
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            stack_column(0.0, 0.0, [0.1], [0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            stack_column(0.0, 0.5, [0.1], [0, 1])
+
+
+class TestPartition:
+    def _two_halves(self):
+        return Partition(
+            (
+                Rectangle(0.0, 0.0, 0.5, 1.0, owner=0),
+                Rectangle(0.5, 0.0, 0.5, 1.0, owner=1),
+            )
+        )
+
+    def test_objectives(self):
+        part = self._two_halves()
+        assert part.sum_half_perimeters == pytest.approx(3.0)
+        assert part.max_half_perimeter == pytest.approx(1.5)
+
+    def test_validate_accepts_exact(self):
+        self._two_halves().validate(expected_areas=[0.5, 0.5])
+
+    def test_validate_rejects_overlap(self):
+        bad = Partition(
+            (
+                Rectangle(0.0, 0.0, 0.7, 1.0, owner=0),
+                Rectangle(0.5, 0.0, 0.5, 1.0, owner=1),
+            )
+        )
+        with pytest.raises(ValueError, match="overlap"):
+            bad.validate()
+
+    def test_validate_rejects_gap(self):
+        bad = Partition((Rectangle(0.0, 0.0, 0.5, 1.0, owner=0),))
+        with pytest.raises(ValueError, match="covers area"):
+            bad.validate()
+
+    def test_validate_rejects_out_of_domain(self):
+        bad = Partition((Rectangle(0.0, 0.0, 1.5, 1.0, owner=0),))
+        with pytest.raises(ValueError, match="exceeds"):
+            bad.validate()
+
+    def test_validate_rejects_wrong_areas(self):
+        with pytest.raises(ValueError, match="prescription"):
+            self._two_halves().validate(expected_areas=[0.3, 0.7])
+
+    def test_by_owner(self):
+        owners = self._two_halves().by_owner()
+        assert owners[0].x == 0.0 and owners[1].x == 0.5
+
+    def test_by_owner_duplicate_rejected(self):
+        dup = Partition(
+            (
+                Rectangle(0.0, 0.0, 0.5, 1.0, owner=0),
+                Rectangle(0.5, 0.0, 0.5, 1.0, owner=0),
+            )
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            dup.by_owner()
+
+    def test_scaled_partition(self):
+        scaled = self._two_halves().scaled(100.0)
+        assert scaled.side == 100.0
+        assert scaled.sum_half_perimeters == pytest.approx(300.0)
+
+    def test_container_protocol(self):
+        part = self._two_halves()
+        assert len(part) == 2
+        assert part[0].owner == 0
+        assert [r.owner for r in part] == [0, 1]

@@ -1,0 +1,108 @@
+"""Tests for repro.platform.comm_models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.comm_models import (
+    BoundedMultiport,
+    OnePort,
+    ParallelLinks,
+    makespan_of_order,
+)
+
+
+class TestParallelLinks:
+    def test_independent_completion(self):
+        ends = ParallelLinks().receive_end_times([1.0, 2.0], [3.0, 4.0])
+        assert np.allclose(ends, [3.0, 8.0])
+
+    def test_zero_amounts(self):
+        ends = ParallelLinks().receive_end_times([1.0, 1.0], [0.0, 0.0])
+        assert np.allclose(ends, 0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelLinks().receive_end_times([1.0], [1.0, 2.0])
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelLinks().receive_end_times([1.0], [-1.0])
+
+
+class TestOnePort:
+    def test_sequential_accumulation(self):
+        ends = OnePort().receive_end_times([1.0, 1.0, 1.0], [2.0, 3.0, 4.0])
+        assert np.allclose(ends, [2.0, 5.0, 9.0])
+
+    def test_order_respected(self):
+        ends = OnePort().receive_end_times(
+            [1.0, 1.0], [2.0, 3.0], order=[1, 0]
+        )
+        # worker 1 served first: ends at 3; worker 0 after: 3 + 2 = 5
+        assert np.allclose(ends, [5.0, 3.0])
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError, match="permutation"):
+            OnePort().receive_end_times([1.0, 1.0], [1.0, 1.0], order=[0, 0])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=10),
+                st.floats(min_value=0.0, max_value=10),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_total_time_is_order_invariant(self, pairs):
+        """One-port: the last completion equals Σ c_i n_i whatever the order."""
+        c = np.array([p[0] for p in pairs])
+        n = np.array([p[1] for p in pairs])
+        fwd = OnePort().receive_end_times(c, n)
+        rev = OnePort().receive_end_times(c, n, order=list(range(len(pairs)))[::-1])
+        assert fwd.max() == pytest.approx(rev.max())
+        assert fwd.max() == pytest.approx(float(np.sum(c * n)))
+
+
+class TestBoundedMultiport:
+    def test_uncongested_equals_parallel(self):
+        model = BoundedMultiport(master_bandwidth=100.0)
+        ends = model.receive_end_times([1.0, 2.0], [3.0, 4.0])
+        assert np.allclose(ends, [3.0, 8.0])
+
+    def test_congestion_scales_uniformly(self):
+        # two unit links (rate 1 each) sharing a master uplink of 1.0
+        model = BoundedMultiport(master_bandwidth=1.0)
+        ends = model.receive_end_times([1.0, 1.0], [1.0, 1.0])
+        assert np.allclose(ends, [2.0, 2.0])
+
+    def test_inactive_links_ignored(self):
+        model = BoundedMultiport(master_bandwidth=1.0)
+        ends = model.receive_end_times([1.0, 1.0], [1.0, 0.0])
+        assert np.allclose(ends, [1.0, 0.0])
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedMultiport(master_bandwidth=0.0)
+
+
+class TestMakespanOfOrder:
+    def test_parallel(self):
+        m = makespan_of_order(
+            np.array([1.0, 1.0]),
+            np.array([5.0, 1.0]),
+            np.array([1.0, 1.0]),
+            ParallelLinks(),
+        )
+        assert m == pytest.approx(6.0)
+
+    def test_compute_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            makespan_of_order(
+                np.array([1.0]), np.array([1.0, 2.0]), np.array([1.0]),
+                ParallelLinks(),
+            )

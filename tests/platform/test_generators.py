@@ -1,0 +1,84 @@
+"""Tests for repro.platform.generators."""
+
+import numpy as np
+import pytest
+
+from repro.platform.generators import (
+    SPEED_MODELS,
+    half_fast_speeds,
+    homogeneous_speeds,
+    lognormal_speeds,
+    make_speeds,
+    uniform_speeds,
+)
+
+
+class TestHomogeneous:
+    def test_all_equal(self):
+        s = homogeneous_speeds(7, speed=2.5)
+        assert s.shape == (7,)
+        assert np.all(s == 2.5)
+
+    def test_bad_p(self):
+        with pytest.raises(ValueError):
+            homogeneous_speeds(0)
+
+
+class TestUniform:
+    def test_range_respected(self):
+        s = uniform_speeds(1000, rng=0, low=1.0, high=100.0)
+        assert s.min() >= 1.0 and s.max() <= 100.0
+
+    def test_deterministic(self):
+        assert np.array_equal(uniform_speeds(5, rng=3), uniform_speeds(5, rng=3))
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            uniform_speeds(3, low=5.0, high=1.0)
+
+
+class TestLognormal:
+    def test_positive(self):
+        s = lognormal_speeds(500, rng=1)
+        assert np.all(s > 0)
+
+    def test_paper_parameters_median_near_one(self):
+        """µ=0 ⇒ median e^0 = 1."""
+        s = lognormal_speeds(20000, rng=2)
+        assert np.median(s) == pytest.approx(1.0, rel=0.05)
+
+    def test_sigma_validation(self):
+        with pytest.raises(ValueError):
+            lognormal_speeds(3, sigma=0.0)
+
+
+class TestHalfFast:
+    def test_even_split(self):
+        s = half_fast_speeds(10, k=4.0)
+        assert np.sum(s == 1.0) == 5
+        assert np.sum(s == 4.0) == 5
+
+    def test_odd_extra_is_slow(self):
+        s = half_fast_speeds(7, k=3.0)
+        assert np.sum(s == 1.0) == 4
+        assert np.sum(s == 3.0) == 3
+
+    def test_sorted_ascending(self):
+        s = half_fast_speeds(6, k=9.0)
+        assert np.all(np.diff(s) >= 0)
+
+    def test_custom_slow_speed(self):
+        s = half_fast_speeds(4, k=2.0, slow=10.0)
+        assert set(np.unique(s)) == {10.0, 20.0}
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("name", sorted(SPEED_MODELS))
+    def test_all_models_produce_valid_speeds(self, name):
+        s = make_speeds(name, 12, rng=0)
+        assert s.shape == (12,)
+        assert np.all(s > 0)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown speed model"):
+            make_speeds("nope", 3)

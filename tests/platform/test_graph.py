@@ -1,0 +1,147 @@
+"""Tests for repro.platform.graph — arbitrary networks via networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.dlt.tree_solver import solve_tree
+from repro.platform.graph import (
+    best_spanning_tree,
+    make_cluster_graph,
+    random_cluster,
+    schedule_on_graph,
+    to_tree_platform,
+    widest_paths_tree,
+)
+
+
+def diamond_graph():
+    """master - {a, b} - leaf, with a fat and a thin route."""
+    return make_cluster_graph(
+        speeds={"m": 1.0, "a": 2.0, "b": 2.0, "leaf": 4.0},
+        links=[
+            ("m", "a", 10.0),
+            ("m", "b", 1.0),
+            ("a", "leaf", 10.0),
+            ("b", "leaf", 1.0),
+        ],
+    )
+
+
+class TestGraphConstruction:
+    def test_make_cluster_graph(self):
+        g = diamond_graph()
+        assert g.number_of_nodes() == 4
+        assert g["m"]["a"]["bandwidth"] == 10.0
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            make_cluster_graph({"a": 1.0}, [("a", "b", 1.0)])
+
+    def test_bad_speed_rejected(self):
+        with pytest.raises(ValueError):
+            make_cluster_graph({"a": 0.0}, [])
+
+    def test_random_cluster_connected(self):
+        g = random_cluster(20, rng=0)
+        assert nx.is_connected(g)
+        assert all("speed" in d for _, d in g.nodes(data=True))
+        assert all("bandwidth" in d for _, _, d in g.edges(data=True))
+
+    def test_random_cluster_reproducible(self):
+        a = random_cluster(10, rng=5)
+        b = random_cluster(10, rng=5)
+        assert sorted(a.edges) == sorted(b.edges)
+
+
+class TestTreeExtraction:
+    def test_max_spanning_picks_fat_route(self):
+        tree = best_spanning_tree(diamond_graph(), "m")
+        assert tree.has_edge("m", "a")
+        assert tree.has_edge("a", "leaf")
+        assert nx.is_tree(tree)
+
+    def test_widest_paths_agrees_on_bottleneck(self):
+        g = diamond_graph()
+        wp = widest_paths_tree(g, "m")
+        assert wp.has_edge("a", "leaf")  # the 10-bandwidth route
+        assert nx.is_tree(wp)
+
+    def test_disconnected_rejected(self):
+        g = make_cluster_graph({"a": 1.0, "b": 1.0}, [])
+        with pytest.raises(ValueError, match="connected"):
+            best_spanning_tree(g, "a")
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(ValueError, match="root"):
+            best_spanning_tree(diamond_graph(), "zzz")
+
+
+class TestToTreePlatform:
+    def test_structure_preserved(self):
+        tree = best_spanning_tree(diamond_graph(), "m")
+        plat = to_tree_platform(tree, "m")
+        assert plat.size == 4
+        names = {n.name for n in plat.nodes()}
+        assert names == {"m", "a", "b", "leaf"}
+
+    def test_non_tree_rejected(self):
+        with pytest.raises(ValueError, match="tree"):
+            to_tree_platform(diamond_graph(), "m")
+
+    def test_master_computes_flag(self):
+        tree = best_spanning_tree(diamond_graph(), "m")
+        lazy = to_tree_platform(tree, "m", master_computes=False)
+        assert lazy.root.speed == pytest.approx(1e-12)
+
+
+class TestEndToEnd:
+    def test_schedule_on_graph_linear(self):
+        plat, alloc = schedule_on_graph(diamond_graph(), "m", N=100.0)
+        assert alloc.total == pytest.approx(100.0)
+        assert alloc.makespan > 0
+
+    def test_fat_tree_beats_thin_tree(self):
+        """Scheduling over the max-bandwidth tree beats a thin tree."""
+        g = diamond_graph()
+        fat = best_spanning_tree(g, "m")
+        # adversarial thin tree: force the 1-bandwidth route
+        thin = nx.Graph()
+        for node, data in g.nodes(data=True):
+            thin.add_node(node, **data)
+        thin.add_edge("m", "b", bandwidth=1.0)
+        thin.add_edge("b", "leaf", bandwidth=1.0)
+        thin.add_edge("m", "a", bandwidth=10.0)
+        t_fat = solve_tree(to_tree_platform(fat, "m"), 100.0).makespan
+        t_thin = solve_tree(to_tree_platform(thin, "m"), 100.0).makespan
+        assert t_fat < t_thin
+
+    def test_nonlinear_on_graph_still_no_free_lunch(self):
+        g = random_cluster(30, rng=1, edge_prob=0.2,
+                           bandwidth_range=(50.0, 100.0))
+        plat, alloc = schedule_on_graph(g, 0, N=100.0, alpha=2.0)
+        assert alloc.total == pytest.approx(100.0)
+        # 30 workers, fast links: coverage ~ O(1/30)
+        assert alloc.covered_work_fraction(100.0) < 0.15
+
+    def test_unknown_extraction_rejected(self):
+        with pytest.raises(ValueError, match="extraction"):
+            schedule_on_graph(diamond_graph(), "m", 10.0, extraction="mst?")
+
+    def test_extractions_equal_bottlenecks(self):
+        """Both trees are bottleneck-optimal: same min bandwidth on the
+        path to the root for every node, on random graphs."""
+        g = random_cluster(15, rng=3)
+        a = best_spanning_tree(g, 0)
+        b = widest_paths_tree(g, 0)
+
+        def bottleneck(tree, node):
+            path = nx.shortest_path(tree, 0, node)
+            return min(
+                tree[u][v]["bandwidth"] for u, v in zip(path, path[1:])
+            )
+
+        for node in g.nodes:
+            if node == 0:
+                continue
+            assert bottleneck(a, node) == pytest.approx(bottleneck(b, node))

@@ -1,0 +1,62 @@
+"""Tests for repro.platform.processor."""
+
+import pytest
+
+from repro.platform.processor import Processor
+
+
+class TestConstruction:
+    def test_defaults(self):
+        p = Processor(speed=2.0)
+        assert p.bandwidth == 1.0
+        assert p.name == "P?"
+
+    @pytest.mark.parametrize("speed", [0, -1.0])
+    def test_bad_speed_rejected(self, speed):
+        with pytest.raises(ValueError):
+            Processor(speed=speed)
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Processor(speed=1.0, bandwidth=0.0)
+
+    def test_frozen(self):
+        p = Processor(speed=1.0)
+        with pytest.raises(AttributeError):
+            p.speed = 2.0
+
+
+class TestDerivedQuantities:
+    def test_cycle_time_is_inverse_speed(self):
+        assert Processor(speed=4.0).cycle_time == pytest.approx(0.25)
+
+    def test_comm_time_is_inverse_bandwidth(self):
+        assert Processor(speed=1.0, bandwidth=5.0).comm_time == pytest.approx(0.2)
+
+    def test_compute_time_scales_linearly(self):
+        p = Processor(speed=2.0)
+        assert p.compute_time(10.0) == pytest.approx(5.0)
+        assert p.compute_time(0.0) == 0.0
+
+    def test_receive_time(self):
+        p = Processor(speed=1.0, bandwidth=4.0)
+        assert p.receive_time(8.0) == pytest.approx(2.0)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            Processor(speed=1.0).compute_time(-1.0)
+
+    def test_negative_data_rejected(self):
+        with pytest.raises(ValueError):
+            Processor(speed=1.0).receive_time(-1.0)
+
+
+class TestRenaming:
+    def test_renamed_copy(self):
+        p = Processor(speed=3.0, bandwidth=2.0)
+        q = p.renamed("alice")
+        assert q.name == "alice"
+        assert q.speed == p.speed and q.bandwidth == p.bandwidth
+
+    def test_name_excluded_from_equality(self):
+        assert Processor(1.0, 1.0, "a") == Processor(1.0, 1.0, "b")

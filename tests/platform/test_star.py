@@ -1,0 +1,101 @@
+"""Tests for repro.platform.star."""
+
+import numpy as np
+import pytest
+
+from repro.platform.comm_models import OnePort
+from repro.platform.processor import Processor
+from repro.platform.star import StarPlatform
+
+
+class TestConstruction:
+    def test_from_speeds_scalar_bandwidth(self):
+        plat = StarPlatform.from_speeds([1, 2, 3], bandwidths=2.0)
+        assert np.array_equal(plat.bandwidths, [2, 2, 2])
+
+    def test_from_speeds_vector_bandwidth(self):
+        plat = StarPlatform.from_speeds([1, 2], bandwidths=[3, 4])
+        assert np.array_equal(plat.bandwidths, [3, 4])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="bandwidths"):
+            StarPlatform.from_speeds([1, 2], bandwidths=[1, 2, 3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StarPlatform(())
+
+    def test_homogeneous_factory(self):
+        plat = StarPlatform.homogeneous(5, speed=3.0)
+        assert plat.size == 5
+        assert plat.is_homogeneous
+        assert np.all(plat.speeds == 3.0)
+
+    def test_homogeneous_bad_p(self):
+        with pytest.raises(ValueError):
+            StarPlatform.homogeneous(0)
+
+    def test_auto_naming(self):
+        plat = StarPlatform.from_speeds([1, 2])
+        assert [p.name for p in plat] == ["P1", "P2"]
+
+    def test_explicit_names_preserved(self):
+        plat = StarPlatform((Processor(1.0, name="fast"), Processor(2.0)))
+        assert plat[0].name == "fast"
+        assert plat[1].name == "P2"
+
+
+class TestViews:
+    def test_normalized_speeds_sum_to_one(self):
+        plat = StarPlatform.from_speeds([1, 3, 6])
+        assert plat.normalized_speeds.sum() == pytest.approx(1.0)
+        assert plat.normalized_speeds[2] == pytest.approx(0.6)
+
+    def test_cycle_and_comm_times(self):
+        plat = StarPlatform.from_speeds([2.0], bandwidths=[4.0])
+        assert plat.cycle_times[0] == pytest.approx(0.5)
+        assert plat.comm_times[0] == pytest.approx(0.25)
+
+    def test_total_speed(self):
+        assert StarPlatform.from_speeds([1, 2, 3]).total_speed == 6.0
+
+    def test_is_homogeneous_false_on_bandwidth_mix(self):
+        plat = StarPlatform.from_speeds([1, 1], bandwidths=[1, 2])
+        assert not plat.is_homogeneous
+
+    def test_len_iter_getitem(self):
+        plat = StarPlatform.from_speeds([1, 2, 3])
+        assert len(plat) == 3
+        assert plat[1].speed == 2.0
+        assert [p.speed for p in plat] == [1.0, 2.0, 3.0]
+
+
+class TestTransforms:
+    def test_sorted_by_speed(self):
+        plat = StarPlatform.from_speeds([3, 1, 2]).sorted_by_speed()
+        assert np.array_equal(plat.speeds, [1, 2, 3])
+
+    def test_sorted_descending(self):
+        plat = StarPlatform.from_speeds([3, 1, 2]).sorted_by_speed(descending=True)
+        assert np.array_equal(plat.speeds, [3, 2, 1])
+
+    def test_sort_preserves_bandwidth_pairing(self):
+        plat = StarPlatform.from_speeds([3, 1], bandwidths=[30, 10]).sorted_by_speed()
+        assert np.array_equal(plat.speeds, [1, 3])
+        assert np.array_equal(plat.bandwidths, [10, 30])
+
+    def test_with_comm_model(self):
+        plat = StarPlatform.from_speeds([1]).with_comm_model(OnePort())
+        assert plat.comm_model.name == "one-port"
+
+    def test_subset(self):
+        plat = StarPlatform.from_speeds([1, 2, 3]).subset([2, 0])
+        assert np.array_equal(plat.speeds, [3, 1])
+
+    def test_subset_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StarPlatform.from_speeds([1]).subset([])
+
+    def test_describe_mentions_all_workers(self):
+        text = StarPlatform.from_speeds([1, 2]).describe()
+        assert "P1" in text and "P2" in text

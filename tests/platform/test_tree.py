@@ -1,0 +1,74 @@
+"""Tests for repro.platform.tree."""
+
+import pytest
+
+from repro.platform.tree import TreeNode, TreePlatform
+
+
+class TestTreeNode:
+    def test_add_child_links_parent(self):
+        root = TreeNode(speed=1.0, name="r")
+        child = root.add_child(speed=2.0)
+        assert child.parent is root
+        assert child.name == "r.1"
+        assert not root.is_leaf and child.is_leaf
+
+    def test_depth_and_height(self):
+        root = TreeNode(speed=1.0)
+        a = root.add_child(1.0)
+        b = a.add_child(1.0)
+        assert root.depth == 0 and b.depth == 2
+        assert root.height == 2 and b.height == 0
+
+    def test_subtree_iteration_preorder(self):
+        root = TreeNode(speed=1.0, name="r")
+        a = root.add_child(1.0, name="a")
+        root.add_child(1.0, name="b")
+        a.add_child(1.0, name="a1")
+        names = [n.name for n in root.iter_subtree()]
+        assert names == ["r", "a", "a1", "b"]
+
+    def test_total_speed(self):
+        root = TreeNode(speed=1.0)
+        root.add_child(2.0).add_child(3.0)
+        assert root.total_speed == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TreeNode(speed=0.0)
+        with pytest.raises(ValueError):
+            TreeNode(speed=1.0, bandwidth=-1.0)
+
+
+class TestTreePlatform:
+    def test_star_factory(self):
+        plat = TreePlatform.star([1.0, 2.0, 3.0], bandwidths=2.0)
+        assert plat.size == 4
+        assert plat.height == 1
+        assert len(plat.leaves()) == 3
+        assert plat.root.children[1].speed == 2.0
+
+    def test_star_bandwidth_length_checked(self):
+        with pytest.raises(ValueError):
+            TreePlatform.star([1.0, 2.0], bandwidths=[1.0])
+
+    def test_balanced_factory(self):
+        plat = TreePlatform.balanced(depth=2, fanout=3)
+        assert plat.size == 1 + 3 + 9
+        assert plat.height == 2
+        assert len(plat.leaves()) == 9
+
+    def test_balanced_validation(self):
+        with pytest.raises(ValueError):
+            TreePlatform.balanced(depth=-1, fanout=2)
+
+    def test_root_must_be_root(self):
+        root = TreeNode(speed=1.0)
+        child = root.add_child(1.0)
+        with pytest.raises(ValueError):
+            TreePlatform(child)
+
+    def test_describe(self):
+        plat = TreePlatform.star([1.0, 2.0])
+        text = plat.describe()
+        assert "master" in text and "P1" in text and "P2" in text

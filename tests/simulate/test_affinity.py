@@ -1,0 +1,134 @@
+"""Tests for repro.simulate.affinity — the paper's proposed scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.platform.star import StarPlatform
+from repro.simulate.affinity import (
+    affinity_savings,
+    run_grid_demand_driven,
+)
+
+
+class TestGridScheduling:
+    def test_all_cells_executed_once(self):
+        plat = StarPlatform.from_speeds([1.0, 2.0, 3.0])
+        res = run_grid_demand_driven(plat, grid=6, policy="plain")
+        cells = [c for worker in res.assignment for c in worker]
+        assert len(cells) == 36
+        assert len(set(cells)) == 36
+
+    def test_policies_execute_same_cells(self):
+        plat = StarPlatform.from_speeds([1.0, 4.0])
+        a = run_grid_demand_driven(plat, grid=5, policy="plain")
+        b = run_grid_demand_driven(plat, grid=5, policy="affinity")
+        assert sorted(c for w in a.assignment for c in w) == sorted(
+            c for w in b.assignment for c in w
+        )
+
+    def test_identical_makespan_across_policies(self):
+        """Affinity changes *which* cells a worker gets, never how many
+        identical-cost cells it runs — makespan is policy-independent."""
+        plat = StarPlatform.from_speeds([1.0, 3.0, 7.0])
+        a = run_grid_demand_driven(plat, grid=8, policy="plain")
+        b = run_grid_demand_driven(plat, grid=8, policy="affinity")
+        assert a.makespan == pytest.approx(b.makespan)
+        assert np.array_equal(
+            np.sort([len(w) for w in a.assignment]),
+            np.sort([len(w) for w in b.assignment]),
+        )
+
+    def test_shipped_counts_unique_segments(self):
+        plat = StarPlatform.homogeneous(1)
+        res = run_grid_demand_driven(plat, grid=4, block_side=2.0)
+        # one worker: 4 row segments + 4 col segments, 2.0 each
+        assert res.total_shipped == pytest.approx(16.0)
+
+    def test_policy_validated(self):
+        plat = StarPlatform.homogeneous(2)
+        with pytest.raises(ValueError, match="policy"):
+            run_grid_demand_driven(plat, grid=2, policy="random")
+
+    def test_single_cell(self):
+        plat = StarPlatform.homogeneous(3)
+        res = run_grid_demand_driven(plat, grid=1)
+        assert res.total_shipped == pytest.approx(2.0)
+
+
+class TestBoundedCaches:
+    def test_unbounded_default_unchanged(self):
+        plat = StarPlatform.from_speeds([1.0, 3.0])
+        a = run_grid_demand_driven(plat, grid=8, policy="affinity")
+        b = run_grid_demand_driven(
+            plat, grid=8, policy="affinity", cache_capacity=None
+        )
+        assert a.total_shipped == pytest.approx(b.total_shipped)
+
+    def test_zero_cache_ships_everything(self):
+        """No cache → every chunk refetches both segments (2 per cell)."""
+        plat = StarPlatform.from_speeds([1.0, 2.0])
+        res = run_grid_demand_driven(
+            plat, grid=6, policy="affinity", cache_capacity=0
+        )
+        assert res.total_shipped == pytest.approx(2.0 * 36)
+
+    def test_savings_monotone_in_capacity(self):
+        plat = StarPlatform.from_speeds([1.0, 2.0, 4.0])
+        vols = []
+        for cap in (0, 2, 8, None):
+            res = run_grid_demand_driven(
+                plat, grid=10, policy="affinity", cache_capacity=cap
+            )
+            vols.append(res.total_shipped)
+        # shipping volume falls (weakly) as caches grow
+        assert vols == sorted(vols, reverse=True)
+
+    def test_capacity_validated(self):
+        plat = StarPlatform.homogeneous(2)
+        with pytest.raises(ValueError):
+            run_grid_demand_driven(
+                plat, grid=2, policy="affinity", cache_capacity=-1
+            )
+
+    def test_huge_cache_equals_unbounded(self):
+        plat = StarPlatform.from_speeds([1.0, 5.0])
+        capped = run_grid_demand_driven(
+            plat, grid=8, policy="affinity", cache_capacity=10_000
+        )
+        free = run_grid_demand_driven(plat, grid=8, policy="affinity")
+        assert capped.total_shipped == pytest.approx(free.total_shipped)
+
+
+class TestAffinitySavings:
+    def test_affinity_never_ships_more(self):
+        """The paper's claim, directionally: locality can only help."""
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            plat = StarPlatform.from_speeds(rng.uniform(1, 10, 4))
+            out = affinity_savings(plat, grid=8)
+            assert out["affinity"].total_shipped <= out[
+                "plain"
+            ].total_shipped + 1e-9
+
+    def test_savings_positive_on_heterogeneous_grid(self):
+        """With several workers interleaving, plain row-major scatter
+        forces refetches that affinity avoids."""
+        plat = StarPlatform.from_speeds([1.0, 2.0, 5.0, 9.0])
+        out = affinity_savings(plat, grid=12)
+        assert out["saved_fraction"] > 0.05
+
+    def test_single_worker_no_savings(self):
+        plat = StarPlatform.homogeneous(1)
+        out = affinity_savings(plat, grid=5)
+        assert out["saved_volume"] == pytest.approx(0.0)
+
+    def test_lower_bounded_by_footprint(self):
+        """Even affinity must ship each worker's union footprint."""
+        plat = StarPlatform.from_speeds([1.0, 3.0])
+        res = run_grid_demand_driven(plat, grid=6, policy="affinity")
+        for i, cells in enumerate(res.assignment):
+            rows = {r for r, _ in cells}
+            cols = {c for _, c in cells}
+            assert res.shipped[i] == pytest.approx(
+                (len(rows) + len(cols)) * res.block_side
+            )

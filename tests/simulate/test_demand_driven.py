@@ -1,0 +1,135 @@
+"""Tests for repro.simulate.demand_driven — the MapReduce scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.star import StarPlatform
+from repro.simulate.demand_driven import (
+    Task,
+    identical_task_schedule,
+    proportional_share_counts,
+    run_demand_driven,
+    uniform_tasks,
+)
+
+
+class TestTask:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Task(work=-1.0)
+        with pytest.raises(ValueError):
+            Task(work=1.0, data=-0.5)
+
+
+class TestGreedy:
+    def test_conservation(self, heterogeneous_platform):
+        tasks = uniform_tasks(37, work=2.0, data=1.0)
+        res = run_demand_driven(heterogeneous_platform, tasks)
+        assert res.counts.sum() == 37
+        assert res.total_data == pytest.approx(37.0)
+
+    def test_faster_worker_gets_more(self):
+        plat = StarPlatform.from_speeds([1.0, 10.0])
+        res = run_demand_driven(plat, uniform_tasks(110, work=1.0))
+        assert res.counts[1] == 100
+        assert res.counts[0] == 10
+
+    def test_ties_prefer_lower_index(self):
+        plat = StarPlatform.homogeneous(3)
+        res = run_demand_driven(plat, uniform_tasks(1, work=1.0))
+        assert res.counts.tolist() == [1, 0, 0]
+
+    def test_makespan_is_max_finish(self, heterogeneous_platform):
+        res = run_demand_driven(heterogeneous_platform, uniform_tasks(20, 1.0))
+        assert res.makespan == pytest.approx(res.finish_times.max())
+
+    def test_empty_bag(self, homogeneous_platform):
+        res = run_demand_driven(homogeneous_platform, [])
+        assert res.makespan == 0.0
+        assert res.load_imbalance == 0.0
+
+    def test_mixed_task_sizes_assignment_order(self):
+        plat = StarPlatform.homogeneous(2)
+        tasks = [Task(work=10.0), Task(work=1.0), Task(work=1.0)]
+        res = run_demand_driven(plat, tasks)
+        # big task to P1, the two small to P2
+        assert res.assignment[0] == [0]
+        assert res.assignment[1] == [1, 2]
+
+    def test_greedy_bounded_by_lpt_gap(self):
+        """List scheduling is a 2-approximation: makespan <= ideal + max task."""
+        rng = np.random.default_rng(1)
+        plat = StarPlatform.from_speeds(rng.uniform(1, 10, 5))
+        works = rng.uniform(0.5, 5.0, 60)
+        res = run_demand_driven(plat, [Task(work=w) for w in works])
+        ideal = works.sum() / plat.total_speed
+        max_task = works.max() / plat.speeds.min()
+        assert res.makespan <= ideal + max_task + 1e-9
+
+
+class TestLoadImbalance:
+    def test_zero_for_perfect_balance(self):
+        plat = StarPlatform.homogeneous(2)
+        res = run_demand_driven(plat, uniform_tasks(4, work=1.0))
+        assert res.load_imbalance == pytest.approx(0.0)
+
+    def test_inf_when_worker_starved(self):
+        plat = StarPlatform.homogeneous(3)
+        res = run_demand_driven(plat, uniform_tasks(2, work=1.0))
+        assert res.load_imbalance == float("inf")
+
+    def test_single_worker_zero(self):
+        plat = StarPlatform.homogeneous(1)
+        res = run_demand_driven(plat, uniform_tasks(5, work=1.0))
+        assert res.load_imbalance == 0.0
+
+
+class TestClosedForm:
+    @given(
+        speeds=st.lists(
+            st.floats(min_value=0.5, max_value=20.0), min_size=1, max_size=8
+        ),
+        n_tasks=st.integers(min_value=0, max_value=150),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_heap_exactly(self, speeds, n_tasks):
+        """The O(p log) closed form reproduces the heap greedy."""
+        plat = StarPlatform.from_speeds(speeds)
+        counts, finish = identical_task_schedule(plat, n_tasks, 1.3)
+        res = run_demand_driven(plat, uniform_tasks(n_tasks, 1.3))
+        assert counts.tolist() == res.counts.tolist()
+        assert np.allclose(finish, res.finish_times, rtol=1e-9)
+
+    def test_huge_task_count_is_fast_and_balanced(self):
+        plat = StarPlatform.from_speeds([1.0, 3.0, 7.0])
+        counts, finish = identical_task_schedule(plat, 1_000_000, 1.0)
+        assert counts.sum() == 1_000_000
+        # asymptotically proportional to speeds
+        assert counts[2] / counts[0] == pytest.approx(7.0, rel=0.01)
+        e = (finish.max() - finish.min()) / finish.min()
+        assert e < 1e-4
+
+    def test_zero_tasks(self):
+        plat = StarPlatform.homogeneous(2)
+        counts, finish = identical_task_schedule(plat, 0, 1.0)
+        assert counts.sum() == 0
+        assert np.all(finish == 0)
+
+
+class TestProportionalShares:
+    def test_sums_to_total(self, heterogeneous_platform):
+        counts = proportional_share_counts(heterogeneous_platform, 100)
+        assert counts.sum() == 100
+
+    def test_proportionality(self):
+        plat = StarPlatform.from_speeds([1.0, 3.0])
+        counts = proportional_share_counts(plat, 40)
+        assert counts.tolist() == [10, 30]
+
+    def test_rounding_remainder_to_largest_fraction(self):
+        plat = StarPlatform.from_speeds([1.0, 1.0, 1.0])
+        counts = proportional_share_counts(plat, 4)
+        assert counts.sum() == 4
+        assert counts.max() - counts.min() <= 1

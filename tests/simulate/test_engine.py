@@ -1,0 +1,99 @@
+"""Tests for repro.simulate.engine."""
+
+import pytest
+
+from repro.simulate.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda s: fired.append("c"))
+        sim.schedule(1.0, lambda s: fired.append("a"))
+        sim.schedule(2.0, lambda s: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        fired = []
+        for name in "xyz":
+            sim.schedule(1.0, lambda s, n=name: fired.append(n))
+        sim.run()
+        assert fired == ["x", "y", "z"]
+
+    def test_handlers_can_schedule_more(self):
+        sim = Simulator()
+        fired = []
+
+        def first(s):
+            fired.append(s.now)
+            s.schedule(2.0, lambda s2: fired.append(s2.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == [1.0, 3.0]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda s: s.schedule_at(1.0, lambda s2: None))
+        with pytest.raises(ValueError, match="before current time"):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda s: None)
+
+
+class TestControl:
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda s: fired.append(1))
+        sim.schedule(10.0, lambda s: fired.append(10))
+        t = sim.run(until=5.0)
+        assert fired == [1]
+        assert t == 5.0
+        assert sim.pending == 1
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda s: fired.append(10))
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == [10]
+
+    def test_cancelled_events_skipped(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda s: fired.append("no"))
+        sim.schedule(2.0, lambda s: fired.append("yes"))
+        ev.cancel()
+        sim.run()
+        assert fired == ["yes"]
+        assert sim.pending == 0
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_log_records_kinds(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None, kind="ping")
+        sim.run()
+        assert sim.log == [(1.0, "ping")]
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def evil(s):
+            try:
+                s.run()
+            except RuntimeError as e:
+                errors.append(e)
+
+        sim.schedule(1.0, evil)
+        sim.run()
+        assert len(errors) == 1

@@ -1,0 +1,170 @@
+"""Tests for repro.simulate.failures — fail-stop + speculation."""
+
+import numpy as np
+import pytest
+
+from repro.platform.star import StarPlatform
+from repro.simulate.demand_driven import run_demand_driven, uniform_tasks
+from repro.simulate.failures import (
+    FailureEvent,
+    random_failures,
+    run_with_failures,
+)
+
+
+class TestNoFailureEquivalence:
+    def test_matches_plain_demand_driven(self):
+        """Without failures/slowdown the engine reduces to the greedy
+        scheduler exactly."""
+        plat = StarPlatform.from_speeds([1.0, 2.0, 3.0])
+        tasks = uniform_tasks(25, work=2.0, data=1.0)
+        plain = run_demand_driven(plat, tasks)
+        faulty = run_with_failures(plat, tasks)
+        assert faulty.makespan == pytest.approx(plain.makespan)
+        assert faulty.executions.sum() == 25
+        assert faulty.wasted_executions == 0
+        counts = np.bincount(faulty.completed_by, minlength=3)
+        assert np.array_equal(counts, plain.counts)
+
+    def test_empty_tasks(self):
+        plat = StarPlatform.homogeneous(2)
+        res = run_with_failures(plat, [])
+        assert res.makespan == 0.0
+
+
+class TestFailStop:
+    def test_in_flight_task_requeued(self):
+        """One worker dies mid-task; the other finishes everything."""
+        plat = StarPlatform.homogeneous(2)
+        tasks = uniform_tasks(2, work=10.0)
+        res = run_with_failures(
+            plat, tasks, failures=[FailureEvent(worker=0, time=5.0)]
+        )
+        assert res.completed_by == [1, 1] or res.completed_by[0] == 1
+        assert 0 in res.reexecuted
+        assert res.makespan == pytest.approx(20.0)  # sequential on P2
+        assert res.wasted_executions == 1  # the lost execution
+
+    def test_completed_work_survives(self):
+        """Death after finishing a task does not undo it."""
+        plat = StarPlatform.homogeneous(2)
+        tasks = uniform_tasks(2, work=1.0)
+        res = run_with_failures(
+            plat, tasks, failures=[FailureEvent(worker=0, time=1.0)]
+        )
+        assert res.reexecuted == []
+        assert res.makespan == pytest.approx(1.0)
+
+    def test_dead_worker_takes_no_new_tasks(self):
+        plat = StarPlatform.homogeneous(2)
+        tasks = uniform_tasks(6, work=1.0)
+        res = run_with_failures(
+            plat, tasks, failures=[FailureEvent(worker=0, time=0.0)]
+        )
+        counts = np.bincount(res.completed_by, minlength=2)
+        assert counts[0] == 0
+        assert counts[1] == 6
+
+    def test_all_dead_raises(self):
+        plat = StarPlatform.homogeneous(2)
+        tasks = uniform_tasks(3, work=10.0)
+        with pytest.raises(RuntimeError, match="died"):
+            run_with_failures(
+                plat,
+                tasks,
+                failures=[FailureEvent(0, 1.0), FailureEvent(1, 1.0)],
+            )
+
+    def test_unknown_worker_rejected(self):
+        plat = StarPlatform.homogeneous(2)
+        with pytest.raises(ValueError):
+            run_with_failures(
+                plat, uniform_tasks(1, 1.0), failures=[FailureEvent(5, 1.0)]
+            )
+
+    def test_failure_increases_makespan(self):
+        plat = StarPlatform.homogeneous(4)
+        tasks = uniform_tasks(40, work=1.0)
+        healthy = run_with_failures(plat, tasks)
+        degraded = run_with_failures(
+            plat, tasks, failures=[FailureEvent(0, 2.0)]
+        )
+        assert degraded.makespan > healthy.makespan
+
+    def test_data_shipped_counts_reexecution(self):
+        plat = StarPlatform.homogeneous(2)
+        tasks = uniform_tasks(2, work=10.0, data=3.0)
+        res = run_with_failures(
+            plat, tasks, failures=[FailureEvent(worker=0, time=5.0)]
+        )
+        # 3 executions x 3.0 data (one wasted)
+        assert res.data_shipped.sum() == pytest.approx(9.0)
+
+
+class TestStragglersAndSpeculation:
+    def test_slowdown_validated(self):
+        plat = StarPlatform.homogeneous(2)
+        with pytest.raises(ValueError):
+            run_with_failures(plat, uniform_tasks(1, 1.0), slowdown=[0.5, 1.0])
+
+    def test_straggler_hurts_without_speculation(self):
+        plat = StarPlatform.homogeneous(2)
+        tasks = uniform_tasks(2, work=10.0)
+        res = run_with_failures(plat, tasks, slowdown=[10.0, 1.0])
+        assert res.makespan == pytest.approx(100.0)
+
+    def test_speculation_rescues_straggler(self):
+        """The §1.1 mechanism: a backup copy on the fast worker wins."""
+        plat = StarPlatform.homogeneous(2)
+        tasks = uniform_tasks(2, work=10.0)
+        res = run_with_failures(
+            plat, tasks, slowdown=[10.0, 1.0], speculate=True
+        )
+        # fast worker does its task (10), then duplicates the straggling
+        # one (10 more) — beats the straggler's 100
+        assert res.makespan == pytest.approx(20.0)
+        assert res.speculated == [0]
+        assert res.wasted_executions >= 1
+
+    def test_speculation_noop_when_balanced(self):
+        plat = StarPlatform.homogeneous(3)
+        tasks = uniform_tasks(3, work=5.0)
+        res = run_with_failures(plat, tasks, speculate=True)
+        assert res.speculated == []
+        assert res.wasted_executions == 0
+
+    def test_threshold_gates_speculation(self):
+        """A mild straggler below the threshold is left alone."""
+        plat = StarPlatform.homogeneous(2)
+        tasks = uniform_tasks(2, work=10.0)
+        res = run_with_failures(
+            plat,
+            tasks,
+            slowdown=[1.2, 1.0],
+            speculate=True,
+            speculation_threshold=1.5,
+        )
+        assert res.speculated == []
+
+
+class TestRandomFailures:
+    def test_reproducible(self):
+        plat = StarPlatform.homogeneous(10)
+        a = random_failures(plat, horizon=10.0, rate=0.5, rng=3)
+        b = random_failures(plat, horizon=10.0, rate=0.5, rng=3)
+        assert a == b
+
+    def test_rate_zero_none(self):
+        plat = StarPlatform.homogeneous(10)
+        assert random_failures(plat, 10.0, 0.0, rng=0) == []
+
+    def test_rate_one_all(self):
+        plat = StarPlatform.homogeneous(10)
+        events = random_failures(plat, 10.0, 1.0, rng=0)
+        assert len(events) == 10
+        assert all(0 <= e.time <= 10.0 for e in events)
+
+    def test_rate_validated(self):
+        plat = StarPlatform.homogeneous(2)
+        with pytest.raises(ValueError):
+            random_failures(plat, 10.0, 1.5)

@@ -1,0 +1,40 @@
+"""Tests for GridScheduleResult metrics and remaining edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.platform.star import StarPlatform
+from repro.simulate.affinity import run_grid_demand_driven
+
+
+class TestGridScheduleResult:
+    def test_load_imbalance_balanced(self):
+        plat = StarPlatform.homogeneous(2)
+        res = run_grid_demand_driven(plat, grid=4)
+        assert res.load_imbalance == pytest.approx(0.0)
+
+    def test_load_imbalance_starved(self):
+        plat = StarPlatform.homogeneous(5)
+        res = run_grid_demand_driven(plat, grid=2)  # 4 cells, 5 workers
+        assert res.load_imbalance == float("inf")
+
+    def test_single_worker_imbalance_zero(self):
+        plat = StarPlatform.homogeneous(1)
+        res = run_grid_demand_driven(plat, grid=3)
+        assert res.load_imbalance == 0.0
+
+    def test_total_shipped_consistent_with_per_worker(self):
+        plat = StarPlatform.from_speeds([1.0, 3.0])
+        res = run_grid_demand_driven(plat, grid=6, policy="affinity")
+        assert res.total_shipped == pytest.approx(float(res.shipped.sum()))
+
+    def test_block_side_scales_volume(self):
+        plat = StarPlatform.from_speeds([1.0, 2.0])
+        small = run_grid_demand_driven(plat, grid=5, block_side=1.0)
+        big = run_grid_demand_driven(plat, grid=5, block_side=3.0)
+        assert big.total_shipped == pytest.approx(3.0 * small.total_shipped)
+
+    def test_grid_validated(self):
+        plat = StarPlatform.homogeneous(2)
+        with pytest.raises(ValueError):
+            run_grid_demand_driven(plat, grid=0)

@@ -1,0 +1,78 @@
+"""Tests for repro.simulate.master_worker — solver/simulator agreement."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_models import PowerLawCost
+from repro.dlt.nonlinear_solver import solve_nonlinear_parallel
+from repro.dlt.single_round import solve_linear_one_port, solve_linear_parallel
+from repro.platform.comm_models import BoundedMultiport, OnePort
+from repro.platform.star import StarPlatform
+from repro.simulate.master_worker import simulate_allocation
+
+
+class TestParallelLinks:
+    def test_matches_linear_closed_form(self, heterogeneous_platform):
+        """The discrete-event replay reproduces the analytic times."""
+        alloc = solve_linear_parallel(heterogeneous_platform, 200.0)
+        timelines, trace, makespan = simulate_allocation(
+            heterogeneous_platform, alloc.amounts
+        )
+        assert makespan == pytest.approx(alloc.makespan, rel=1e-9)
+        for i, tl in enumerate(timelines):
+            assert tl.recv_end == pytest.approx(alloc.receive_end[i], rel=1e-9)
+            assert tl.compute_end == pytest.approx(alloc.finish[i], rel=1e-9)
+
+    def test_matches_nonlinear_solver(self):
+        plat = StarPlatform.from_speeds([1.0, 2.0, 5.0])
+        alloc = solve_nonlinear_parallel(plat, 100.0, alpha=2.0)
+        _, _, makespan = simulate_allocation(
+            plat, alloc.amounts, cost_model=PowerLawCost(alpha=2.0)
+        )
+        assert makespan == pytest.approx(alloc.makespan, rel=1e-6)
+
+    def test_trace_has_recv_and_compute(self, homogeneous_platform):
+        _, trace, _ = simulate_allocation(homogeneous_platform, [1.0] * 4)
+        kinds = {r.kind for r in trace.records}
+        assert kinds == {"recv", "compute"}
+
+    def test_zero_amount_worker_finishes_at_zero(self):
+        plat = StarPlatform.homogeneous(2)
+        timelines, _, _ = simulate_allocation(plat, [10.0, 0.0])
+        assert timelines[1].compute_end == 0.0
+
+
+class TestOnePort:
+    def test_matches_one_port_closed_form(self):
+        plat = StarPlatform.from_speeds(
+            [1.0, 2.0, 4.0], bandwidths=[1.0, 2.0, 0.5]
+        ).with_comm_model(OnePort())
+        alloc = solve_linear_one_port(plat, 150.0)
+        _, _, makespan = simulate_allocation(
+            plat, alloc.amounts, order=alloc.order
+        )
+        assert makespan == pytest.approx(alloc.makespan, rel=1e-9)
+
+    def test_recv_windows_do_not_overlap(self):
+        plat = StarPlatform.homogeneous(3).with_comm_model(OnePort())
+        timelines, _, _ = simulate_allocation(plat, [3.0, 2.0, 1.0])
+        ordered = sorted(timelines, key=lambda t: t.recv_start)
+        for a, b in zip(ordered, ordered[1:]):
+            assert b.recv_start >= a.recv_end - 1e-12
+
+
+class TestValidation:
+    def test_amount_shape_checked(self, homogeneous_platform):
+        with pytest.raises(ValueError):
+            simulate_allocation(homogeneous_platform, [1.0, 2.0])
+
+    def test_negative_amount_rejected(self, homogeneous_platform):
+        with pytest.raises(ValueError):
+            simulate_allocation(homogeneous_platform, [1.0, -1.0, 1.0, 1.0])
+
+    def test_unsupported_model_rejected(self):
+        plat = StarPlatform.homogeneous(2).with_comm_model(
+            BoundedMultiport(master_bandwidth=1.0)
+        )
+        with pytest.raises(NotImplementedError):
+            simulate_allocation(plat, [1.0, 1.0])

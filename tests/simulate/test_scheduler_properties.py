@@ -1,0 +1,99 @@
+"""Property tests on the demand-driven scheduler family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.star import StarPlatform
+from repro.simulate.demand_driven import Task, run_demand_driven
+from repro.simulate.failures import FailureEvent, run_with_failures
+
+speeds_strategy = st.lists(
+    st.floats(min_value=0.5, max_value=20.0), min_size=1, max_size=6
+)
+works_strategy = st.lists(
+    st.floats(min_value=0.1, max_value=10.0), min_size=0, max_size=40
+)
+
+
+class TestGreedyProperties:
+    @given(speeds=speeds_strategy, works=works_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_work_conservation(self, speeds, works):
+        plat = StarPlatform.from_speeds(speeds)
+        res = run_demand_driven(plat, [Task(work=w) for w in works])
+        executed = sum(
+            works[t] for worker in res.assignment for t in worker
+        )
+        assert executed == pytest.approx(sum(works))
+
+    @given(speeds=speeds_strategy, works=works_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_lower_bound(self, speeds, works):
+        """Makespan >= total work / total speed (work conservation)."""
+        plat = StarPlatform.from_speeds(speeds)
+        res = run_demand_driven(plat, [Task(work=w) for w in works])
+        ideal = sum(works) / plat.total_speed
+        assert res.makespan >= ideal - 1e-9
+
+    @given(speeds=speeds_strategy, works=works_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_list_scheduling_guarantee(self, works, speeds):
+        """Graham-style bound for heterogeneous list scheduling:
+        T <= W/Σs + max task on the slowest machine."""
+        plat = StarPlatform.from_speeds(speeds)
+        res = run_demand_driven(plat, [Task(work=w) for w in works])
+        if not works:
+            assert res.makespan == 0.0
+            return
+        bound = sum(works) / plat.total_speed + max(works) / min(speeds)
+        assert res.makespan <= bound + 1e-9
+
+    @given(speeds=speeds_strategy, works=works_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_faulty_engine_matches_greedy_without_faults(self, speeds, works):
+        plat = StarPlatform.from_speeds(speeds)
+        tasks = [Task(work=w) for w in works]
+        plain = run_demand_driven(plat, tasks)
+        faulty = run_with_failures(plat, tasks)
+        assert faulty.makespan == pytest.approx(plain.makespan, rel=1e-9)
+
+    @given(
+        p=st.integers(min_value=2, max_value=5),
+        works=st.lists(
+            st.floats(min_value=0.5, max_value=5.0), min_size=1, max_size=20
+        ),
+        death_time=st.floats(min_value=0.0, max_value=20.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_failure_never_improves_makespan_homogeneous(
+        self, p, works, death_time
+    ):
+        """On *homogeneous* platforms losing a worker can only hurt.
+
+        (On heterogeneous platforms this is genuinely false: greedy's
+        lowest-index tie-break can hand a task to a slow worker whose
+        death then *improves* the makespan — a real property of list
+        scheduling, documented here rather than asserted away.)
+        """
+        plat = StarPlatform.homogeneous(p)
+        tasks = [Task(work=w) for w in works]
+        healthy = run_with_failures(plat, tasks)
+        wounded = run_with_failures(
+            plat, tasks, failures=[FailureEvent(worker=0, time=death_time)]
+        )
+        assert wounded.makespan >= healthy.makespan - 1e-9
+        # every task completed exactly once in the ledger
+        assert len(wounded.completed_by) == len(tasks)
+
+    def test_killing_a_slow_worker_can_help(self):
+        """The heterogeneous counterexample, pinned as a regression test."""
+        plat = StarPlatform.from_speeds([1.0, 2.0])
+        tasks = [Task(work=1.0)]
+        healthy = run_with_failures(plat, tasks)  # tie-break → slow worker
+        wounded = run_with_failures(
+            plat, tasks, failures=[FailureEvent(worker=0, time=0.0)]
+        )
+        assert healthy.makespan == pytest.approx(1.0)
+        assert wounded.makespan == pytest.approx(0.5)

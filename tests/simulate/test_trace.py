@@ -1,0 +1,67 @@
+"""Tests for repro.simulate.trace."""
+
+import pytest
+
+from repro.simulate.trace import Trace, TraceRecord, render_gantt
+
+
+class TestTraceRecord:
+    def test_duration(self):
+        assert TraceRecord("w", "compute", 1.0, 3.5).duration == 2.5
+
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord("w", "compute", 2.0, 1.0)
+
+
+class TestTrace:
+    def test_makespan(self):
+        tr = Trace()
+        tr.add("a", "recv", 0.0, 1.0)
+        tr.add("b", "compute", 1.0, 4.0)
+        assert tr.makespan == 4.0
+
+    def test_empty_makespan(self):
+        assert Trace().makespan == 0.0
+
+    def test_by_worker_sorted(self):
+        tr = Trace()
+        tr.add("a", "compute", 2.0, 3.0)
+        tr.add("a", "recv", 0.0, 1.0)
+        recs = tr.by_worker()["a"]
+        assert [r.kind for r in recs] == ["recv", "compute"]
+
+    def test_busy_time_filters_kinds(self):
+        tr = Trace()
+        tr.add("a", "recv", 0.0, 1.0)
+        tr.add("a", "compute", 1.0, 4.0)
+        assert tr.busy_time("a") == 3.0
+        assert tr.busy_time("a", kinds=("recv", "compute")) == 4.0
+
+
+class TestGantt:
+    def test_renders_rows_per_worker(self):
+        tr = Trace()
+        tr.add("P1", "recv", 0.0, 1.0)
+        tr.add("P1", "compute", 1.0, 2.0)
+        tr.add("P2", "recv", 0.0, 2.0)
+        out = render_gantt(tr, width=20)
+        lines = out.splitlines()
+        assert lines[0].startswith("P1")
+        assert lines[1].startswith("P2")
+        assert "=" in lines[1] and "#" in lines[0]
+
+    def test_empty_trace(self):
+        assert render_gantt(Trace()) == "(empty trace)"
+
+    def test_width_validated(self):
+        tr = Trace()
+        tr.add("a", "recv", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            render_gantt(tr, width=5)
+
+    def test_idle_shown_as_dots(self):
+        tr = Trace()
+        tr.add("a", "compute", 5.0, 10.0)
+        row = render_gantt(tr, width=20).splitlines()[0]
+        assert "." in row  # the idle prefix

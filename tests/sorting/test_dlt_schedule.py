@@ -1,0 +1,90 @@
+"""Tests for repro.sorting.dlt_schedule — one-port bucket shipping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.star import StarPlatform
+from repro.sorting.dlt_schedule import (
+    brute_force_best_order,
+    evaluate_order,
+    largest_delivery_first,
+    one_port_penalty,
+)
+
+
+class TestEvaluateOrder:
+    def test_timeline_structure(self):
+        plat = StarPlatform.homogeneous(2)
+        sched = evaluate_order(plat, [8, 4], order=[0, 1])
+        assert sched.send_start[0] == 0.0
+        assert sched.send_end[0] == pytest.approx(8.0)
+        assert sched.send_start[1] == pytest.approx(8.0)
+        # finish = send_end + n log2 n
+        assert sched.finish[0] == pytest.approx(8.0 + 24.0)
+
+    def test_invalid_order_rejected(self):
+        plat = StarPlatform.homogeneous(2)
+        with pytest.raises(ValueError, match="permutation"):
+            evaluate_order(plat, [1, 1], order=[0, 0])
+
+    def test_size_count_checked(self):
+        plat = StarPlatform.homogeneous(2)
+        with pytest.raises(ValueError):
+            evaluate_order(plat, [1, 2, 3], order=[0, 1])
+
+    def test_negative_sizes_rejected(self):
+        plat = StarPlatform.homogeneous(2)
+        with pytest.raises(ValueError):
+            evaluate_order(plat, [1, -1], order=[0, 1])
+
+
+class TestLargestDeliveryFirst:
+    def test_big_buckets_shipped_first(self):
+        plat = StarPlatform.homogeneous(3)
+        sched = largest_delivery_first(plat, [10, 1000, 100])
+        assert sched.order == (1, 2, 0)
+
+    @given(
+        sizes=st.lists(st.integers(0, 500), min_size=1, max_size=6),
+        speeds=st.lists(
+            st.floats(min_value=0.5, max_value=10.0), min_size=1, max_size=6
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, sizes, speeds):
+        """Jackson's rule certified against exhaustive search."""
+        p = min(len(sizes), len(speeds))
+        plat = StarPlatform.from_speeds(speeds[:p])
+        sizes = sizes[:p]
+        ldt = largest_delivery_first(plat, sizes)
+        best = brute_force_best_order(plat, sizes)
+        assert ldt.makespan == pytest.approx(best.makespan, rel=1e-12)
+
+    def test_zero_buckets_ok(self):
+        plat = StarPlatform.homogeneous(3)
+        sched = largest_delivery_first(plat, [0, 5, 0])
+        assert np.isfinite(sched.makespan)
+
+
+class TestOnePortPenalty:
+    def test_penalty_nonnegative(self):
+        plat = StarPlatform.homogeneous(4)
+        assert one_port_penalty(plat, [100, 100, 100, 100]) >= 0.0
+
+    def test_penalty_grows_with_p(self):
+        """Serialising more equal sends hurts more."""
+        small = one_port_penalty(StarPlatform.homogeneous(2), [1000] * 2)
+        large = one_port_penalty(StarPlatform.homogeneous(8), [1000] * 8)
+        assert large > small
+
+    def test_penalty_vanishes_when_compute_dominates(self):
+        """Huge local sorts amortise the serialised sends."""
+        plat = StarPlatform.from_speeds([1e-4, 1e-4], bandwidths=[1e6, 1e6])
+        penalty = one_port_penalty(plat, [10_000, 10_000])
+        assert penalty < 0.01
+
+    def test_empty_platform_degenerate(self):
+        plat = StarPlatform.homogeneous(1)
+        assert one_port_penalty(plat, [0]) == 0.0

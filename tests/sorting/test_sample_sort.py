@@ -1,0 +1,138 @@
+"""Tests for repro.sorting.sample_sort — the executable §3 pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.star import StarPlatform
+from repro.sorting.sample_sort import sample_sort, sequential_sort_work
+
+
+class TestCorrectness:
+    def test_sorts_uniform_input(self, rng, homogeneous_platform):
+        keys = rng.random(10_000)
+        res = sample_sort(keys, homogeneous_platform, rng=rng)
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+
+    def test_sorts_with_duplicates(self, rng, homogeneous_platform):
+        keys = rng.integers(0, 50, 5000).astype(float)
+        res = sample_sort(keys, homogeneous_platform, rng=rng)
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+
+    def test_sorts_already_sorted(self, rng, homogeneous_platform):
+        keys = np.arange(1000.0)
+        res = sample_sort(keys, homogeneous_platform, rng=rng)
+        assert np.array_equal(res.sorted_keys, keys)
+
+    def test_sorts_reverse_sorted(self, rng, heterogeneous_platform):
+        keys = np.arange(1000.0)[::-1].copy()
+        res = sample_sort(keys, heterogeneous_platform, rng=rng)
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+
+    def test_empty_input(self, homogeneous_platform):
+        res = sample_sort(np.array([]), homogeneous_platform, rng=0)
+        assert res.sorted_keys.size == 0
+        assert res.makespan == 0.0
+
+    def test_single_worker(self, rng):
+        plat = StarPlatform.homogeneous(1)
+        keys = rng.random(500)
+        res = sample_sort(keys, plat, rng=rng)
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+        assert res.bucket_sizes.tolist() == [500]
+
+    @given(
+        data=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=0,
+            max_size=300,
+        ),
+        p=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_sorts_anything(self, data, p):
+        keys = np.asarray(data, dtype=float)
+        plat = StarPlatform.homogeneous(p)
+        res = sample_sort(keys, plat, rng=0)
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+
+    def test_rejects_2d(self, homogeneous_platform):
+        with pytest.raises(ValueError):
+            sample_sort(np.zeros((3, 3)), homogeneous_platform)
+
+
+class TestAccounting:
+    def test_bucket_sizes_sum_to_n(self, rng, homogeneous_platform):
+        res = sample_sort(rng.random(4321), homogeneous_platform, rng=rng)
+        assert res.bucket_sizes.sum() == 4321
+
+    def test_makespan_decomposition(self, rng, homogeneous_platform):
+        res = sample_sort(rng.random(2000), homogeneous_platform, rng=rng)
+        expected = res.step1_time + res.step2_time + float(
+            np.max(res.transfer_times + res.local_sort_times)
+        )
+        assert res.makespan == pytest.approx(expected)
+
+    def test_oversampling_default_is_paper_value(self, rng, homogeneous_platform):
+        N = 2**14
+        res = sample_sort(rng.random(N), homogeneous_platform, rng=rng)
+        assert res.oversampling == 14**2
+
+    def test_speedup_above_one_for_large_n(self, rng):
+        plat = StarPlatform.homogeneous(8)
+        res = sample_sort(rng.random(300_000), plat, rng=rng)
+        assert res.speedup() > 1.5
+
+    def test_parallel_fraction_grows_with_n(self, rng):
+        plat = StarPlatform.homogeneous(4)
+        small = sample_sort(rng.random(2_000), plat, rng=rng)
+        large = sample_sort(rng.random(200_000), plat, rng=rng)
+        assert large.parallel_fraction > small.parallel_fraction
+
+    def test_master_speed_scales_preprocessing(self, rng, homogeneous_platform):
+        keys = rng.random(10_000)
+        slow = sample_sort(keys, homogeneous_platform, rng=1, master_speed=1.0)
+        fast = sample_sort(keys, homogeneous_platform, rng=1, master_speed=2.0)
+        assert fast.preprocessing_time == pytest.approx(slow.preprocessing_time / 2)
+
+    def test_bad_master_speed(self, homogeneous_platform):
+        with pytest.raises(ValueError):
+            sample_sort(np.array([1.0]), homogeneous_platform, master_speed=0.0)
+
+    def test_sequential_work_helper(self):
+        assert sequential_sort_work(8) == pytest.approx(24.0)
+
+
+class TestHeterogeneous:
+    def test_buckets_proportional_to_speeds(self, rng):
+        """§3.2: worker i's bucket ≈ N x_i with high probability."""
+        speeds = np.array([1.0, 3.0])
+        plat = StarPlatform.from_speeds(speeds)
+        keys = rng.random(100_000)
+        res = sample_sort(keys, plat, rng=rng)
+        fractions = res.bucket_sizes / keys.size
+        assert fractions[1] == pytest.approx(0.75, abs=0.05)
+
+    def test_balance_improves_vs_equal_buckets(self, rng):
+        """Speed-aware splitters beat homogeneous splitters on makespan."""
+        speeds = np.array([1.0, 1.0, 8.0, 8.0])
+        plat = StarPlatform.from_speeds(speeds)
+        keys = rng.random(200_000)
+        aware = sample_sort(keys, plat, rng=1, heterogeneous=True)
+        naive = sample_sort(keys, plat, rng=1, heterogeneous=False)
+        assert aware.makespan < naive.makespan
+
+    def test_heterogeneous_still_sorts(self, rng):
+        plat = StarPlatform.from_speeds([1.0, 5.0, 25.0])
+        keys = rng.normal(size=50_000)
+        res = sample_sort(keys, plat, rng=rng)
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+
+    def test_auto_detection_of_heterogeneity(self, rng):
+        """Default: speed-aware iff the platform is heterogeneous."""
+        plat = StarPlatform.from_speeds([1.0, 9.0])
+        keys = rng.random(50_000)
+        auto = sample_sort(keys, plat, rng=2)
+        forced = sample_sort(keys, plat, rng=2, heterogeneous=True)
+        assert np.array_equal(auto.bucket_sizes, forced.bucket_sizes)

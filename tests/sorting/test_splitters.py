@@ -1,0 +1,110 @@
+"""Tests for repro.sorting.splitters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sorting.splitters import (
+    bucketize,
+    choose_splitters,
+    heterogeneous_splitter_positions,
+    homogeneous_splitter_positions,
+)
+
+
+class TestPositions:
+    def test_homogeneous_ranks(self):
+        assert homogeneous_splitter_positions(4, 3).tolist() == [3, 6, 9]
+
+    def test_single_bucket_empty(self):
+        assert homogeneous_splitter_positions(1, 5).size == 0
+
+    def test_heterogeneous_cumulative(self):
+        # speeds (1, 3): boundary at 25% of the sample
+        pos = heterogeneous_splitter_positions(np.array([1.0, 3.0]), s=8)
+        assert pos.tolist() == [4]  # 0.25 * 16
+
+    def test_heterogeneous_clipped_to_sample(self):
+        pos = heterogeneous_splitter_positions(np.array([1e-9, 1.0]), s=4)
+        assert pos[0] >= 1
+
+    def test_rejects_bad_speeds(self):
+        with pytest.raises(ValueError):
+            heterogeneous_splitter_positions(np.array([1.0, -1.0]), s=2)
+
+
+class TestChooseSplitters:
+    def test_count_and_sortedness(self, rng):
+        keys = rng.random(10_000)
+        spl = choose_splitters(keys, p=8, s=16, rng=rng)
+        assert spl.size == 7
+        assert np.all(np.diff(spl) >= 0)
+
+    def test_single_processor_no_splitters(self, rng):
+        assert choose_splitters(rng.random(100), p=1, s=4, rng=rng).size == 0
+
+    def test_small_input_falls_back_to_replacement(self, rng):
+        keys = rng.random(10)
+        spl = choose_splitters(keys, p=4, s=16, rng=rng)  # sample 64 > 10
+        assert spl.size == 3
+
+    def test_deterministic_given_seed(self):
+        keys = np.random.default_rng(0).random(1000)
+        a = choose_splitters(keys, p=4, s=8, rng=1)
+        b = choose_splitters(keys, p=4, s=8, rng=1)
+        assert np.array_equal(a, b)
+
+    def test_speeds_length_checked(self, rng):
+        with pytest.raises(ValueError):
+            choose_splitters(rng.random(100), p=3, s=4, rng=rng, speeds=[1.0, 2.0])
+
+
+class TestBucketize:
+    def test_no_splitters_single_bucket(self):
+        keys = np.array([3.0, 1.0, 2.0])
+        buckets = bucketize(keys, np.array([]))
+        assert len(buckets) == 1
+        assert np.array_equal(buckets[0], keys)
+
+    def test_range_disjointness(self, rng):
+        keys = rng.random(5000)
+        splitters = np.array([0.25, 0.5, 0.75])
+        buckets = bucketize(keys, splitters)
+        assert len(buckets) == 4
+        assert all(b.size > 0 for b in buckets)
+        for i, b in enumerate(buckets[:-1]):
+            assert b.max() < splitters[i] + 1e-12
+        assert buckets[-1].min() >= splitters[-1]
+
+    def test_conservation(self, rng):
+        keys = rng.random(1234)
+        buckets = bucketize(keys, np.array([0.3, 0.6]))
+        assert sum(b.size for b in buckets) == 1234
+
+    def test_unsorted_splitters_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            bucketize(np.array([1.0]), np.array([0.5, 0.2]))
+
+    @given(
+        data=st.lists(
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_concatenated_sorted_buckets_equal_global_sort(self, data):
+        """The §3 correctness core: bucket-then-sort == sort."""
+        keys = np.asarray(data)
+        splitters = np.array([0.25, 0.5, 0.75])
+        buckets = bucketize(keys, splitters)
+        merged = np.concatenate([np.sort(b) for b in buckets])
+        assert np.array_equal(merged, np.sort(keys))
+
+    def test_duplicates_routed_consistently(self):
+        keys = np.array([0.5] * 10)
+        buckets = bucketize(keys, np.array([0.5]))
+        # side="left": keys equal to the splitter land in the lower bucket
+        assert buckets[0].size == 10
+        assert buckets[1].size == 0

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure4_defaults(self):
+        args = build_parser().parse_args(["figure4"])
+        assert args.model == "uniform"
+        assert args.trials == 100
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure4", "--model", "weird"])
+
+
+class TestCommands:
+    def test_plan(self, capsys):
+        rc = main(["plan", "--speeds", "1", "2", "4", "--N", "1000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rho" in out and "het" in out
+
+    def test_sort(self, capsys):
+        rc = main(["sort", "--n", "20000", "--speeds", "1", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sorted=True" in out
+
+    def test_figure4_small(self, capsys):
+        rc = main(
+            ["figure4", "--model", "homogeneous", "--processors", "10",
+             "--trials", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Figure 4" in out
+
+    def test_section2(self, capsys):
+        rc = main(["section2", "--processors", "4", "--alphas", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Section 2" in out
+
+    def test_section3(self, capsys):
+        rc = main(["section3", "--n", "10000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "residue" in out
+
+    def test_rho(self, capsys):
+        rc = main(["rho", "--k", "4", "--p", "10", "--N", "500"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rho" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "r.txt"
+        rc = main(
+            ["report", "--trials", "2", "--no-charts", "--output", str(out_file)]
+        )
+        assert rc == 0
+        assert "written" in capsys.readouterr().out
+        assert out_file.read_text().startswith("REPRODUCTION REPORT")
+
+    def test_seed_threaded_through(self, capsys):
+        main(["--seed", "7", "sort", "--n", "5000"])
+        first = capsys.readouterr().out
+        main(["--seed", "7", "sort", "--n", "5000"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,18 @@
+"""Smoke test for the heavyweight `all` CLI command (reduced protocol)."""
+
+from repro.cli import main
+
+
+def test_all_command_runs_every_experiment(capsys):
+    rc = main(["all", "--trials", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for marker in (
+        "Figure 4 (homogeneous",
+        "Figure 4 (uniform",
+        "Figure 4 (lognormal",
+        "Section 2",
+        "Section 3",
+        "rho",
+    ):
+        assert marker in out, marker

@@ -1,0 +1,67 @@
+"""Tests for repro.util.ascii_plot."""
+
+import pytest
+
+from repro.util.ascii_plot import ascii_chart, figure4_chart
+
+
+class TestAsciiChart:
+    def test_basic_structure(self):
+        out = ascii_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0]}, width=30, height=8)
+        lines = out.splitlines()
+        assert len(lines) == 8 + 3  # grid + axis + x labels + legend
+        assert "o=a" in lines[-1]
+
+    def test_title_prepended(self):
+        out = ascii_chart([1], {"a": [1.0]}, title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = ascii_chart([1, 2], {"up": [1, 2], "down": [2, 1]})
+        assert "o=up" in out and "x=down" in out
+        assert "o" in out and "x" in out
+
+    def test_extremes_plotted_on_borders(self):
+        out = ascii_chart([0, 10], {"a": [0.0, 5.0]}, width=20, height=6)
+        lines = out.splitlines()
+        # max value in top grid row, min in bottom grid row
+        assert "o" in lines[0]
+        assert "o" in lines[5]
+
+    def test_log_scale(self):
+        out = ascii_chart([1, 2], {"a": [1.0, 1000.0]}, log_y=True)
+        assert "1e+03" in out or "1000" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [0.0]}, log_y=True)
+
+    def test_constant_series_ok(self):
+        out = ascii_chart([1, 2], {"a": [5.0, 5.0]})
+        assert "5" in out
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1.0]}, width=5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1.0]})
+
+    def test_empty(self):
+        assert ascii_chart([], {}) == "(empty chart)"
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [1.0] for i in range(9)}
+        with pytest.raises(ValueError):
+            ascii_chart([1], series)
+
+
+class TestFigure4Chart:
+    def test_renders_panel(self):
+        from repro.experiments.figure4 import run_figure4
+
+        result = run_figure4("uniform", processors=(10, 40), trials=3, seed=0)
+        out = figure4_chart(result)
+        assert "Figure 4" in out
+        assert "o=het" in out and "+=hom/k" in out

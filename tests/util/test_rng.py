@@ -1,0 +1,88 @@
+"""Tests for repro.util.rng — determinism is the experiment contract."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import (
+    make_rng,
+    permutation,
+    sample_without_replacement,
+    spawn_rngs,
+    trial_seeds,
+)
+
+
+class TestMakeRng:
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(7).random(5)
+        b = make_rng(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(make_rng(1).random(5), make_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_seedsequence_accepted(self):
+        ss = np.random.SeedSequence(3)
+        a = make_rng(ss).random(3)
+        b = make_rng(np.random.SeedSequence(3)).random(3)
+        assert np.array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_streams_are_independent_and_reproducible(self):
+        first = [g.random(4) for g in spawn_rngs(11, 3)]
+        second = [g.random(4) for g in spawn_rngs(11, 3)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+        # distinct streams differ
+        assert not np.array_equal(first[0], first[1])
+
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 7)) == 7
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(5)
+        children = spawn_rngs(gen, 2)
+        assert len(children) == 2
+
+    def test_prefix_stability(self):
+        """Trial i's stream must not depend on how many trials exist."""
+        few = [g.random(2) for g in spawn_rngs(99, 2)]
+        many = [g.random(2) for g in spawn_rngs(99, 5)]
+        assert np.array_equal(few[0], many[0])
+        assert np.array_equal(few[1], many[1])
+
+
+class TestHelpers:
+    def test_trial_seeds_reproducible(self):
+        assert trial_seeds(4, 5) == trial_seeds(4, 5)
+        assert all(s >= 0 for s in trial_seeds(4, 5))
+
+    def test_permutation_is_permutation(self):
+        p = permutation(make_rng(0), 10)
+        assert sorted(p.tolist()) == list(range(10))
+
+    def test_permutation_out_buffer(self):
+        out = np.empty(6, dtype=np.int64)
+        p = permutation(make_rng(0), 6, out=out)
+        assert p is out
+
+    def test_sample_without_replacement_unique(self):
+        s = sample_without_replacement(make_rng(0), np.arange(50), 20)
+        assert len(set(s.tolist())) == 20
+
+    def test_sample_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            sample_without_replacement(make_rng(0), np.arange(3), 5)

@@ -1,0 +1,53 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_mean_std, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, sep, two rows
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_none_renders_dash(self):
+        out = format_table(["x"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_floatfmt_applied(self):
+        out = format_table(["x"], [[3.14159]], floatfmt=".2f")
+        assert "3.14" in out and "3.1416" not in out
+
+    def test_bool_rendered(self):
+        out = format_table(["ok"], [[True]])
+        assert "True" in out
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_structure(self):
+        out = format_series("p", [10, 20], {"het": [1.0, 1.1], "hom": [2.0, 3.0]})
+        lines = out.splitlines()
+        assert lines[0].split() == ["p", "het", "hom"]
+        assert len(lines) == 4
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            format_series("p", [1, 2], {"s": [1.0]})
+
+
+def test_format_mean_std():
+    assert format_mean_std(1.2345, 0.5) == "1.234±0.500"

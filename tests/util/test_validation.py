@@ -1,0 +1,80 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_integer,
+    check_nonnegative,
+    check_positive,
+    check_positive_array,
+    check_probability_vector,
+)
+
+
+class TestScalars:
+    def test_positive_accepts_and_returns(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0, -1, float("nan"), float("inf")])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(bad, "x")
+
+    def test_nonnegative_accepts_zero(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+
+    def test_nonnegative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative(-0.1, "x")
+
+    def test_in_range_inclusive(self):
+        assert check_in_range(1.0, "x", 1.0, 2.0) == 1.0
+
+    def test_in_range_exclusive(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 1.0, 2.0, inclusive=False)
+
+
+class TestArrays:
+    def test_positive_array_roundtrip(self):
+        out = check_positive_array([1, 2, 3], "v")
+        assert out.dtype == float
+        assert np.array_equal(out, [1.0, 2.0, 3.0])
+
+    @pytest.mark.parametrize(
+        "bad", [[], [0.0], [1.0, -2.0], [np.nan], [[1.0, 2.0]]]
+    )
+    def test_positive_array_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive_array(bad, "v")
+
+    def test_probability_vector_accepts(self):
+        out = check_probability_vector([0.25, 0.75], "v")
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_probability_vector_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum"):
+            check_probability_vector([0.5, 0.6], "v")
+
+    def test_probability_vector_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([-0.1, 1.1], "v")
+
+
+class TestInteger:
+    def test_accepts_numpy_int(self):
+        assert check_integer(np.int64(3), "n") == 3
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_integer(True, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_integer(2.0, "n")
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError):
+            check_integer(0, "n", minimum=1)
