@@ -8,18 +8,16 @@ lower bound on the Figure-4 speed distributions.
 import numpy as np
 import pytest
 
-from repro.partition.column_based import peri_sum_partition
+from repro import registry
 from repro.partition.lower_bound import peri_sum_lower_bound
-from repro.partition.naive import strip_partition
-from repro.partition.perimax import peri_max_partition
-from repro.partition.recursive import recursive_bisection_partition
 from repro.util.tables import format_table
 
+#: every registered area-vector partitioner, enumerated from the
+#: registry (count-based ones like "grid" don't fit this protocol)
 PARTITIONERS = {
-    "column DP (paper)": peri_sum_partition,
-    "recursive bisection": recursive_bisection_partition,
-    "peri-max heuristic": peri_max_partition,
-    "strip (trivial)": strip_partition,
+    comp.name: comp.factory
+    for comp in registry.describe("partitioner")
+    if comp.metadata.get("input") != "count"
 }
 
 
@@ -47,11 +45,11 @@ def test_partitioner_ablation(benchmark):
         )
     )
     # the paper's algorithm: near-optimal and guaranteed
-    assert stats["column DP (paper)"][1] <= 1.75
-    assert stats["column DP (paper)"][0] < 1.05
+    assert stats["peri-sum"][1] <= 1.75
+    assert stats["peri-sum"][0] < 1.05
     # bisection competitive; strip far off
-    assert stats["recursive bisection"][0] < 1.10
-    assert stats["strip (trivial)"][0] > 2.0
+    assert stats["recursive"][0] < 1.10
+    assert stats["strip"][0] > 2.0
 
 
 def test_column_dp_scaling(benchmark):

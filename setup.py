@@ -1,8 +1,11 @@
-"""Setup shim; metadata lives in setup.cfg.
+"""Legacy-install shim; ALL metadata lives in pyproject.toml (PEP 621).
 
-Kept as an explicit file (rather than pyproject.toml) so offline
-environments without the `wheel` package can `pip install -e .` via
-the legacy editable path — see setup.cfg's note.
+Kept only so offline environments without the ``wheel`` package can
+still do an editable install via the legacy path::
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+
+Everywhere else, plain ``pip install -e .`` reads pyproject.toml.
 """
 
 from setuptools import setup

@@ -26,8 +26,14 @@ Quickstart::
     print(plan.summary())
 """
 
+from repro import registry
 from repro.platform import StarPlatform, Processor
 from repro.core import (
+    PlanRequest,
+    PlanResult,
+    execute,
+    execute_all,
+    available_strategies,
     plan_outer_product,
     compare_strategies,
     residual_fraction,
@@ -46,11 +52,17 @@ from repro.dlt import (
 from repro.partition import peri_sum_partition
 from repro.sorting import sample_sort
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "registry",
     "StarPlatform",
     "Processor",
+    "PlanRequest",
+    "PlanResult",
+    "execute",
+    "execute_all",
+    "available_strategies",
     "plan_outer_product",
     "compare_strategies",
     "residual_fraction",

@@ -17,9 +17,16 @@ import numpy as np
 from repro.blocks.metrics import StrategyResult
 from repro.partition.column_based import peri_sum_partition
 from repro.platform.star import StarPlatform
+from repro.registry import register
 from repro.util.validation import check_positive
 
 
+@register(
+    "strategy",
+    "het",
+    summary="Heterogeneous Blocks: one PERI-SUM rectangle per worker (§4.1.2)",
+    section="§4.1.2",
+)
 @dataclass(frozen=True)
 class HeterogeneousBlocksStrategy:
     """Plan an outer product with one speed-proportional rectangle each."""

@@ -28,6 +28,7 @@ import numpy as np
 from repro.blocks.metrics import StrategyResult, load_imbalance
 from repro.core.bounds import comm_hom_ideal
 from repro.platform.star import StarPlatform
+from repro.registry import register
 from repro.simulate.demand_driven import (
     Task,
     identical_task_schedule,
@@ -36,6 +37,12 @@ from repro.simulate.demand_driven import (
 from repro.util.validation import check_positive
 
 
+@register(
+    "strategy",
+    "hom",
+    summary="Homogeneous Blocks: identical chunks, demand-driven (§4.1.1)",
+    section="§4.1.1",
+)
 @dataclass(frozen=True)
 class HomogeneousBlocksStrategy:
     """Plan an outer product with MapReduce-style homogeneous chunks.

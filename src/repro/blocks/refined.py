@@ -17,9 +17,16 @@ from dataclasses import dataclass
 from repro.blocks.homogeneous import HomogeneousBlocksStrategy
 from repro.blocks.metrics import StrategyResult
 from repro.platform.star import StarPlatform
+from repro.registry import register
 from repro.util.validation import check_positive
 
 
+@register(
+    "strategy",
+    "hom/k",
+    summary="Refined Homogeneous Blocks: subdivide until e <= target (§4.3)",
+    section="§4.3",
+)
 @dataclass(frozen=True)
 class RefinedHomogeneousStrategy:
     """Sweep the subdivision ``k`` until the imbalance target is met.

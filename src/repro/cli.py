@@ -1,18 +1,25 @@
 """Command-line interface: regenerate any paper experiment from a shell.
 
-Usage (after ``pip install -e .``)::
+Usage (after ``pip install -e .``, which installs the ``repro``
+console script; ``python -m repro`` works too)::
 
-    python -m repro figure4 --model uniform --trials 100
-    python -m repro section2 --alphas 1.5 2 3
-    python -m repro section3
-    python -m repro rho --k 4 16 64
-    python -m repro plan --speeds 1 2 4 8 --N 10000
-    python -m repro sort --n 200000 --speeds 1 1 2 4
-    python -m repro all          # every experiment, default protocol
+    repro list                   # every registered component, by kind
+    repro list strategy          # one kind
+    repro plan --speeds 1 2 4 8 --N 10000
+    repro plan --speeds 1 2 4 8 --strategy hom/k
+    repro compare --speeds 1 2 4 8   # sweep every registered strategy
+    repro figure4 --model uniform --trials 100
+    repro section2 --alphas 1.5 2 3
+    repro section3
+    repro rho --k 4 16 64
+    repro sort --n 200000 --speeds 1 1 2 4
+    repro all                    # every experiment, default protocol
 
-Each sub-command prints the same ASCII table the corresponding
-benchmark produces, so the CLI is the interactive twin of
-``pytest benchmarks/``.
+Strategy and component names are resolved through
+:mod:`repro.registry`, so plugins registered by third-party code are
+planable and listable with no CLI edits.  Each experiment sub-command
+prints the same ASCII table the corresponding benchmark produces, so
+the CLI is the interactive twin of ``pytest benchmarks/``.
 """
 
 from __future__ import annotations
@@ -22,6 +29,17 @@ import sys
 from typing import Sequence
 
 import numpy as np
+
+
+def registry_kinds() -> tuple[str, ...]:
+    """Component kinds for the ``list`` sub-command's choices.
+
+    Reads only the kind names — provider modules stay unimported until
+    a component of that kind is actually queried.
+    """
+    from repro import registry
+
+    return registry.kinds()
 
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
@@ -69,14 +87,58 @@ def _cmd_rho(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro import registry
+
+    kinds = (args.kind,) if args.kind else registry.kinds()
+    for kind in kinds:
+        components = registry.describe(kind)
+        print(f"{kind} ({len(components)} registered):")
+        for comp in components:
+            summary = f"  {comp.summary}" if comp.summary else ""
+            print(f"  {comp.name:<20}{summary}")
+        print()
+    return 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import PlanRequest, execute
     from repro.core.strategies import compare_strategies
     from repro.platform.star import StarPlatform
 
     platform = StarPlatform.from_speeds(args.speeds)
     print(platform.describe())
     print()
-    print(compare_strategies(platform, N=args.N).summary())
+    if args.strategy is not None:
+        result = execute(
+            PlanRequest(
+                platform=platform,
+                N=args.N,
+                strategy=args.strategy,
+                params={"imbalance_target": args.imbalance_target},
+            )
+        )
+        print(result.summary())
+    else:
+        print(
+            compare_strategies(
+                platform, N=args.N, imbalance_target=args.imbalance_target
+            ).summary()
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import execute_all
+    from repro.platform.star import StarPlatform
+
+    platform = StarPlatform.from_speeds(args.speeds)
+    print(platform.describe())
+    print()
+    sweep = execute_all(
+        platform, args.N, imbalance_target=args.imbalance_target
+    )
+    print(sweep.render())
     return 0
 
 
@@ -178,10 +240,40 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--N", type=float, default=10_000.0)
     pr.set_defaults(fn=_cmd_rho)
 
-    pp = sub.add_parser("plan", help="compare strategies on a platform")
+    pl = sub.add_parser(
+        "list", help="list registered components (strategies, solvers, ...)"
+    )
+    pl.add_argument(
+        "kind",
+        nargs="?",
+        default=None,
+        choices=registry_kinds(),
+        help="restrict to one component kind",
+    )
+    pl.set_defaults(fn=_cmd_list)
+
+    pp = sub.add_parser("plan", help="plan / compare strategies on a platform")
     pp.add_argument("--speeds", type=float, nargs="+", required=True)
     pp.add_argument("--N", type=float, default=10_000.0)
+    pp.add_argument(
+        "--strategy",
+        type=str,
+        default=None,
+        help=(
+            "plan with one registered strategy (see `repro list strategy`); "
+            "default: compare all of them"
+        ),
+    )
+    pp.add_argument("--imbalance-target", type=float, default=0.01)
     pp.set_defaults(fn=_cmd_plan)
+
+    pc = sub.add_parser(
+        "compare", help="sweep every registered strategy on one instance"
+    )
+    pc.add_argument("--speeds", type=float, nargs="+", required=True)
+    pc.add_argument("--N", type=float, default=10_000.0)
+    pc.add_argument("--imbalance-target", type=float, default=0.01)
+    pc.set_defaults(fn=_cmd_compare)
 
     ps = sub.add_parser("sort", help="run a sample sort")
     ps.add_argument("--n", type=int, default=100_000)
@@ -202,8 +294,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    from repro.registry import RegistryError
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except RegistryError as exc:
+        # unknown/duplicate component names are user errors: report them
+        # like argparse does (message + exit 2), not as a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -10,6 +10,9 @@
   closed-form volumes and the :math:`\\rho` heterogeneity-gain bound.
 * :mod:`repro.core.strategies` — the user-facing façade tying the block
   strategies, the partitioner and the platform together.
+* :mod:`repro.core.pipeline` — the uniform ``PlanRequest → PlanResult``
+  pipeline every registered strategy is invoked, timed and compared
+  through.
 """
 
 from repro.core.cost_models import (
@@ -45,8 +48,16 @@ from repro.core.bounds import (
 )
 from repro.core.strategies import (
     OuterProductPlan,
+    available_strategies,
     plan_outer_product,
     compare_strategies,
+)
+from repro.core.pipeline import (
+    PlanRequest,
+    PlanResult,
+    PlanSweep,
+    execute,
+    execute_all,
 )
 
 __all__ = [
@@ -74,6 +85,12 @@ __all__ = [
     "half_fast_rho_bound",
     "PERI_SUM_GUARANTEE",
     "OuterProductPlan",
+    "available_strategies",
     "plan_outer_product",
     "compare_strategies",
+    "PlanRequest",
+    "PlanResult",
+    "PlanSweep",
+    "execute",
+    "execute_all",
 ]

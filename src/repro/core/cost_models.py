@@ -26,6 +26,7 @@ from typing import Callable, Union
 
 import numpy as np
 
+from repro.registry import register
 from repro.util.validation import check_nonnegative, check_positive
 
 ArrayLike = Union[float, np.ndarray]
@@ -89,6 +90,7 @@ class CostModel(ABC):
         return 0.5 * (lo + hi)
 
 
+@register("cost_model", "linear", section="§1")
 @dataclass(frozen=True)
 class LinearCost(CostModel):
     """``work(n) = rate * n`` — the classical divisible-load model."""
@@ -111,6 +113,7 @@ class LinearCost(CostModel):
         return target / self.rate
 
 
+@register("cost_model", "affine")
 @dataclass(frozen=True)
 class AffineCost(CostModel):
     """``work(n) = latency + rate * n`` for ``n > 0`` (0 at ``n = 0``).
@@ -137,6 +140,7 @@ class AffineCost(CostModel):
         return self.latency == 0.0
 
 
+@register("cost_model", "power-law", section="§2")
 @dataclass(frozen=True)
 class PowerLawCost(CostModel):
     """``work(n) = coeff * n**alpha`` — the §2 super-linear workload.
@@ -167,6 +171,7 @@ class PowerLawCost(CostModel):
         return float((target / self.coeff) ** (1.0 / self.alpha))
 
 
+@register("cost_model", "n-log-n", section="§3")
 @dataclass(frozen=True)
 class NLogNCost(CostModel):
     """``work(n) = coeff * n * log2(n)`` (0 for ``n <= 1``) — sorting.
@@ -190,6 +195,7 @@ class NLogNCost(CostModel):
         return out
 
 
+@register("cost_model", "callable")
 @dataclass(frozen=True)
 class CallableCost(CostModel):
     """Wrap an arbitrary vectorised function as a cost model."""

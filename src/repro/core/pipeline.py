@@ -1,0 +1,176 @@
+"""The unified planning pipeline: ``PlanRequest → PlanResult``.
+
+Every outer-product strategy in the registry is invoked the same way:
+a :class:`PlanRequest` names the platform, the problem size and the
+strategy (plus free-form parameters); :func:`execute` resolves the
+strategy through :mod:`repro.registry`, filters the parameters down to
+what the strategy's constructor accepts, times the planning call and
+wraps the outcome — together with its communication lower bound — in a
+:class:`PlanResult`.  :func:`execute_all` sweeps every registered
+strategy on one instance, which is how ``repro compare``, Figure 4 and
+the benchmarks enumerate components instead of hard-coding them.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro import registry
+from repro.blocks.metrics import StrategyResult
+from repro.platform.star import StarPlatform
+from repro.util.tables import format_table
+
+
+def supported_kwargs(
+    factory: Callable[..., Any], params: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Subset of ``params`` that ``factory``'s signature accepts.
+
+    Lets one request carry parameters for heterogeneous strategies
+    (e.g. ``imbalance_target`` applies to ``hom/k`` only) without every
+    strategy having to swallow ``**kwargs``.  A factory with a
+    ``**kwargs`` parameter receives everything.
+    """
+    try:
+        sig = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return dict(params)
+    accepted = set()
+    for p in sig.parameters.values():
+        if p.kind is inspect.Parameter.VAR_KEYWORD:
+            return dict(params)
+        if p.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            accepted.add(p.name)
+    return {k: v for k, v in params.items() if k in accepted}
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One normalized planning job: which strategy on which instance."""
+
+    platform: StarPlatform
+    N: float
+    strategy: str = "het"
+    #: free-form strategy parameters; silently filtered per strategy
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def with_strategy(self, strategy: str) -> "PlanRequest":
+        """The same instance under a different strategy."""
+        return PlanRequest(
+            platform=self.platform,
+            N=self.N,
+            strategy=strategy,
+            params=self.params,
+        )
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """A strategy's plan plus uniform bookkeeping (timing, LB ratio)."""
+
+    request: PlanRequest
+    plan: StrategyResult
+    #: wall-clock seconds spent planning (construction + .plan())
+    elapsed_s: float
+
+    @property
+    def strategy(self) -> str:
+        return self.request.strategy
+
+    @property
+    def comm_volume(self) -> float:
+        return self.plan.comm_volume
+
+    @property
+    def lower_bound(self) -> float:
+        return self.plan.lower_bound
+
+    @property
+    def ratio_to_lower_bound(self) -> float:
+        return self.plan.ratio_to_lower_bound
+
+    @property
+    def imbalance(self) -> float:
+        return self.plan.imbalance
+
+    @property
+    def makespan(self) -> float:
+        return self.plan.makespan
+
+    def summary(self) -> str:
+        return f"{self.plan.summary()}, planned in {self.elapsed_s * 1e3:.2f} ms"
+
+
+def execute(request: PlanRequest) -> PlanResult:
+    """Resolve, invoke and time one strategy through the registry."""
+    factory = registry.get("strategy", request.strategy)
+    kwargs = supported_kwargs(factory, request.params)
+    start = time.perf_counter()
+    plan = factory(**kwargs).plan(request.platform, request.N)
+    elapsed = time.perf_counter() - start
+    return PlanResult(request=request, plan=plan, elapsed_s=elapsed)
+
+
+@dataclass(frozen=True)
+class PlanSweep:
+    """Every requested strategy on one instance, uniformly accounted."""
+
+    N: float
+    results: Mapping[str, PlanResult]
+
+    @property
+    def ratios(self) -> dict[str, float]:
+        return {
+            name: res.ratio_to_lower_bound for name, res in self.results.items()
+        }
+
+    @property
+    def best(self) -> PlanResult:
+        """The plan with the lowest communication volume."""
+        if not self.results:
+            raise ValueError("empty sweep: no strategies were planned")
+        return min(self.results.values(), key=lambda r: r.comm_volume)
+
+    def render(self) -> str:
+        rows = [
+            [
+                name,
+                res.comm_volume,
+                res.ratio_to_lower_bound,
+                res.imbalance,
+                res.elapsed_s * 1e3,
+            ]
+            for name, res in self.results.items()
+        ]
+        return format_table(
+            ["strategy", "comm volume", "ratio to LB", "imbalance e", "plan ms"],
+            rows,
+            title=f"Strategy sweep, N={self.N:g} (best: {self.best.strategy})",
+        )
+
+
+def execute_all(
+    platform: StarPlatform,
+    N: float,
+    strategies: Sequence[str] | None = None,
+    **params: Any,
+) -> PlanSweep:
+    """Run every registered (or the named) strategies on one instance."""
+    names = (
+        tuple(strategies)
+        if strategies is not None
+        else registry.available("strategy")
+    )
+    results = {
+        name: execute(
+            PlanRequest(platform=platform, N=N, strategy=name, params=params)
+        )
+        for name in names
+    }
+    return PlanSweep(N=float(N), results=results)

@@ -1,7 +1,10 @@
 """User-facing façade: plan an outer product on a platform.
 
 This is the library's quickstart entry point — it hides the strategy
-classes behind one function and one comparison helper:
+classes behind one function and one comparison helper.  Strategy names
+are resolved through :mod:`repro.registry`, so anything registered
+under the ``"strategy"`` kind (built-in or plugin) is planable and
+shows up in comparisons with no edits here:
 
 >>> from repro.platform import StarPlatform
 >>> from repro.core import plan_outer_product
@@ -14,18 +17,20 @@ classes behind one function and one comparison helper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Any, Dict, Sequence
 
-from repro.blocks.heterogeneous import HeterogeneousBlocksStrategy
-from repro.blocks.homogeneous import HomogeneousBlocksStrategy
+from repro import registry
 from repro.blocks.metrics import StrategyResult
-from repro.blocks.refined import RefinedHomogeneousStrategy
+from repro.core.pipeline import PlanRequest, execute, execute_all
 from repro.platform.star import StarPlatform
 
 #: alias so downstream users import one name for the result type
 OuterProductPlan = StrategyResult
 
-_STRATEGIES = ("hom", "hom/k", "het")
+
+def available_strategies() -> tuple[str, ...]:
+    """Names of every registered outer-product strategy."""
+    return registry.available("strategy")
 
 
 def plan_outer_product(
@@ -33,32 +38,33 @@ def plan_outer_product(
     N: float,
     strategy: str = "het",
     imbalance_target: float = 0.01,
+    **params: Any,
 ) -> OuterProductPlan:
     """Plan the distribution of an ``N × N`` outer product.
 
-    ``strategy`` is one of:
+    ``strategy`` names any registered strategy (see
+    :func:`available_strategies`); the built-ins are:
 
     * ``"hom"`` — Homogeneous Blocks (§4.1.1),
     * ``"hom/k"`` — refined Homogeneous Blocks with the paper's
       ``e <= imbalance_target`` stopping rule (§4.3),
     * ``"het"`` — Heterogeneous Blocks via PERI-SUM (§4.1.2).
+
+    Extra keyword arguments are forwarded to the strategy's
+    constructor when its signature accepts them.
     """
-    if strategy == "hom":
-        return HomogeneousBlocksStrategy().plan(platform, N)
-    if strategy == "hom/k":
-        return RefinedHomogeneousStrategy(
-            imbalance_target=imbalance_target
-        ).plan(platform, N)
-    if strategy == "het":
-        return HeterogeneousBlocksStrategy().plan(platform, N)
-    raise ValueError(
-        f"unknown strategy {strategy!r}; expected one of {_STRATEGIES}"
+    request = PlanRequest(
+        platform=platform,
+        N=N,
+        strategy=strategy,
+        params={"imbalance_target": imbalance_target, **params},
     )
+    return execute(request).plan
 
 
 @dataclass(frozen=True)
 class StrategyComparison:
-    """All three §4 strategies on one instance, ready for a table row."""
+    """Every compared strategy on one instance, ready for a table row."""
 
     N: float
     plans: Dict[str, OuterProductPlan]
@@ -73,25 +79,39 @@ class StrategyComparison:
     @property
     def rho(self) -> float:
         """Measured :math:`\\rho = Comm_{hom} / Comm_{het}` (§4.1.3)."""
+        missing = {"hom", "het"} - set(self.plans)
+        if missing:
+            raise ValueError(
+                f"rho needs both 'hom' and 'het' plans; comparison is "
+                f"missing {sorted(missing)}"
+            )
         return self.plans["hom"].comm_volume / self.plans["het"].comm_volume
 
     def summary(self) -> str:
         lines = [f"Outer product N={self.N:g}:"]
-        for name in _STRATEGIES:
-            plan = self.plans[name]
+        for plan in self.plans.values():
             lines.append(f"  {plan.summary()}")
-        lines.append(f"  rho = Comm_hom/Comm_het = {self.rho:.3f}")
+        if "hom" in self.plans and "het" in self.plans:
+            lines.append(f"  rho = Comm_hom/Comm_het = {self.rho:.3f}")
         return "\n".join(lines)
 
 
 def compare_strategies(
-    platform: StarPlatform, N: float, imbalance_target: float = 0.01
+    platform: StarPlatform,
+    N: float,
+    imbalance_target: float = 0.01,
+    strategies: Sequence[str] | None = None,
 ) -> StrategyComparison:
-    """Run all three strategies on the same instance (one Figure-4 cell)."""
-    plans = {
-        name: plan_outer_product(
-            platform, N, strategy=name, imbalance_target=imbalance_target
-        )
-        for name in _STRATEGIES
-    }
+    """Run all registered strategies on the same instance (one Figure-4 cell).
+
+    ``strategies`` restricts the sweep; by default every strategy in the
+    registry participates.
+    """
+    sweep = execute_all(
+        platform,
+        N,
+        strategies=strategies,
+        imbalance_target=imbalance_target,
+    )
+    plans = {name: res.plan for name, res in sweep.results.items()}
     return StrategyComparison(N=float(N), plans=plans)

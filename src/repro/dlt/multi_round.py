@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.dlt.single_round import solve_linear_parallel
 from repro.platform.star import StarPlatform
+from repro.registry import register
 from repro.util.validation import check_integer, check_positive
 
 
@@ -60,6 +61,11 @@ class MultiRoundSchedule:
         return self.compute_end[:, -1]
 
 
+@register(
+    "dlt_solver",
+    "multi-round",
+    summary="Multi-installment schedule for linear loads",
+)
 def solve_multi_round(
     platform: StarPlatform,
     N: float,

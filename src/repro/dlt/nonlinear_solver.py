@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.core.nonlinear import partial_work_fraction
 from repro.platform.star import StarPlatform
+from repro.registry import register
 from repro.util.validation import check_positive
 
 _BISECT_ITERS = 200
@@ -105,6 +106,11 @@ def _amounts_parallel(
     )
 
 
+@register(
+    "dlt_solver",
+    "nonlinear-parallel",
+    summary="Equal-finish-time allocation of an N^alpha load, parallel links (§2)",
+)
 def solve_nonlinear_parallel(
     platform: StarPlatform, N: float, alpha: float = 2.0
 ) -> NonlinearAllocation:
@@ -167,6 +173,11 @@ def _amounts_one_port(
     return amounts
 
 
+@register(
+    "dlt_solver",
+    "nonlinear-one-port",
+    summary="Equal-finish-time allocation of an N^alpha load, one-port (§2)",
+)
 def solve_nonlinear_one_port(
     platform: StarPlatform,
     N: float,

@@ -36,6 +36,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.platform.star import StarPlatform
+from repro.registry import register
 from repro.util.validation import check_positive
 
 
@@ -83,6 +84,11 @@ class Allocation:
         return sequential_time / (p * self.makespan)
 
 
+@register(
+    "dlt_solver",
+    "linear-parallel",
+    summary="Closed-form optimal single round, linear load, parallel links",
+)
 def solve_linear_parallel(platform: StarPlatform, N: float) -> Allocation:
     """Optimal single-round allocation of a linear load, parallel links.
 
@@ -105,6 +111,11 @@ def solve_linear_parallel(platform: StarPlatform, N: float) -> Allocation:
     )
 
 
+@register(
+    "dlt_solver",
+    "linear-one-port",
+    summary="Closed-form optimal single round, linear load, one-port model",
+)
 def solve_linear_one_port(
     platform: StarPlatform, N: float, order: Sequence[int] | None = None
 ) -> Allocation:
@@ -150,6 +161,11 @@ def solve_linear_one_port(
     )
 
 
+@register(
+    "dlt_solver",
+    "equal-split",
+    summary="Trivial N/p equal split baseline (parallel links)",
+)
 def equal_split(platform: StarPlatform, N: float) -> Allocation:
     """The trivial equal split ``N/p`` under parallel links.
 

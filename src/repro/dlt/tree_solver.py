@@ -42,6 +42,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.platform.tree import TreeNode, TreePlatform
+from repro.registry import register
 from repro.util.validation import check_positive
 
 _T_ITERS = 80
@@ -178,6 +179,11 @@ def _solve_given_T(
     return n_chunk, arrive, m[platform.root.name]
 
 
+@register(
+    "dlt_solver",
+    "tree",
+    summary="Single-round allocation on a tree platform (equivalent rates)",
+)
 def solve_tree(
     platform: TreePlatform, N: float, alpha: float = 1.0
 ) -> TreeAllocation:

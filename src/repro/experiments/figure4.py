@@ -24,10 +24,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.blocks.heterogeneous import HeterogeneousBlocksStrategy
-from repro.blocks.homogeneous import HomogeneousBlocksStrategy
-from repro.blocks.refined import RefinedHomogeneousStrategy
-from repro.core.bounds import lower_bound_comm
+from repro import registry
+from repro.core.strategies import plan_outer_product
 from repro.platform.generators import make_speeds
 from repro.platform.star import StarPlatform
 from repro.util.rng import SeedLike, spawn_rngs
@@ -38,7 +36,14 @@ from repro.util.tables import format_table
 #: any large N reproduces the figure.
 DEFAULT_N = 10_000.0
 
-STRATEGY_NAMES = ("het", "hom", "hom/k")
+
+def strategy_names() -> tuple[str, ...]:
+    """Every registered outer-product strategy — the sweep's columns.
+
+    Registered plugins join the Figure-4 protocol automatically; the
+    paper's three built-ins are always present.
+    """
+    return registry.available("strategy")
 
 
 @dataclass(frozen=True)
@@ -64,12 +69,12 @@ class Figure4Result:
 
     def render(self) -> str:
         headers = ["p"]
-        for name in STRATEGY_NAMES:
+        for name in self.means:
             headers += [f"{name} mean", f"{name} std"]
         rows = []
         for i, p in enumerate(self.processors):
             row: list = [p]
-            for name in STRATEGY_NAMES:
+            for name in self.means:
                 row += [self.means[name][i], self.stds[name][i]]
             rows.append(row)
         return format_table(
@@ -109,30 +114,31 @@ def run_figure4_point(
     N: float = DEFAULT_N,
     imbalance_target: float = 0.01,
 ) -> Figure4Point:
-    """One random trial at one processor count (one dot of the cloud)."""
+    """One random trial at one processor count (one dot of the cloud).
+
+    Sweeps every registered strategy through the planning façade, so
+    the point's ``ratios``/``imbalances`` dicts grow with the registry.
+    """
     speeds = make_speeds(speed_model, p, rng)
     platform = StarPlatform.from_speeds(speeds)
-    lb = lower_bound_comm(N, speeds)
 
-    het = HeterogeneousBlocksStrategy().plan(platform, N)
-    hom = HomogeneousBlocksStrategy().plan(platform, N)
-    homk = RefinedHomogeneousStrategy(
-        imbalance_target=imbalance_target
-    ).plan(platform, N)
+    plans = {
+        name: plan_outer_product(
+            platform, N, strategy=name, imbalance_target=imbalance_target
+        )
+        for name in strategy_names()
+    }
 
+    hom_k = 1
+    if "hom/k" in plans:
+        hom_k = int(plans["hom/k"].detail.get("subdivision", 1))
     return Figure4Point(
         p=p,
         ratios={
-            "het": het.comm_volume / lb,
-            "hom": hom.comm_volume / lb,
-            "hom/k": homk.comm_volume / lb,
+            name: plan.ratio_to_lower_bound for name, plan in plans.items()
         },
-        hom_k=int(homk.detail.get("subdivision", 1)),
-        imbalances={
-            "het": het.imbalance,
-            "hom": hom.imbalance,
-            "hom/k": homk.imbalance,
-        },
+        hom_k=hom_k,
+        imbalances={name: plan.imbalance for name, plan in plans.items()},
     )
 
 
@@ -151,11 +157,12 @@ def run_figure4(
     100 trials, e ≤ 1%).
     """
     processors = tuple(int(p) for p in processors)
+    names = strategy_names()
     rngs = spawn_rngs(seed, len(processors) * trials)
-    means = {name: np.empty(len(processors)) for name in STRATEGY_NAMES}
-    stds = {name: np.empty(len(processors)) for name in STRATEGY_NAMES}
+    means = {name: np.empty(len(processors)) for name in names}
+    stds = {name: np.empty(len(processors)) for name in names}
     for i, p in enumerate(processors):
-        samples = {name: np.empty(trials) for name in STRATEGY_NAMES}
+        samples = {name: np.empty(trials) for name in names}
         for t in range(trials):
             point = run_figure4_point(
                 p,
@@ -164,9 +171,9 @@ def run_figure4(
                 N=N,
                 imbalance_target=imbalance_target,
             )
-            for name in STRATEGY_NAMES:
+            for name in names:
                 samples[name][t] = point.ratios[name]
-        for name in STRATEGY_NAMES:
+        for name in names:
             means[name][i] = samples[name].mean()
             stds[name][i] = samples[name].std(ddof=0)
     return Figure4Result(

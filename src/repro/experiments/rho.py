@@ -12,9 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.blocks.heterogeneous import HeterogeneousBlocksStrategy
-from repro.blocks.homogeneous import HomogeneousBlocksStrategy
 from repro.core.bounds import half_fast_rho_bound, half_fast_rho_simple
+from repro.core.strategies import compare_strategies
 from repro.platform.generators import half_fast_speeds
 from repro.platform.star import StarPlatform
 from repro.util.tables import format_table
@@ -58,13 +57,12 @@ def run_rho_experiment(
     for k in ks:
         speeds = half_fast_speeds(p, k=float(k))
         platform = StarPlatform.from_speeds(speeds)
-        hom = HomogeneousBlocksStrategy().plan(platform, N)
-        het = HeterogeneousBlocksStrategy().plan(platform, N)
+        cmp = compare_strategies(platform, N, strategies=("hom", "het"))
         rows.append(
             RhoRow(
                 k=float(k),
                 p=p,
-                measured_rho=hom.comm_volume / het.comm_volume,
+                measured_rho=cmp.rho,
                 bound_exact=half_fast_rho_bound(float(k)),
                 bound_simple=half_fast_rho_simple(float(k)),
             )

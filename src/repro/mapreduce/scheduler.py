@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.platform.star import StarPlatform
+from repro.registry import register
 from repro.simulate.demand_driven import Task, run_demand_driven
 
 
@@ -35,6 +36,11 @@ class MapPhaseSchedule:
         return float(self.finish_times.max() - self.finish_times.min())
 
 
+@register(
+    "simulation",
+    "mapreduce-map-phase",
+    summary="Greedy demand-driven placement of MapReduce map tasks",
+)
 def schedule_map_tasks(
     platform: StarPlatform,
     task_works: Sequence[float],

@@ -33,6 +33,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.partition.rectangle import Partition, Rectangle, stack_column
+from repro.registry import register
 from repro.util.validation import check_probability_vector
 
 
@@ -76,6 +77,12 @@ def column_groups(areas: Sequence[float]) -> List[List[int]]:
     return groups
 
 
+@register(
+    "partitioner",
+    "peri-sum",
+    summary="Column-based DP minimising the sum of half-perimeters (§4.1.2)",
+    section="§4.1.2",
+)
 def peri_sum_partition(areas: Sequence[float]) -> Partition:
     """Partition the unit square into rectangles of the given ``areas``.
 

@@ -18,9 +18,15 @@ from typing import Sequence
 import numpy as np
 
 from repro.partition.rectangle import Partition, Rectangle, stack_column
+from repro.registry import register
 from repro.util.validation import check_integer, check_probability_vector
 
 
+@register(
+    "partitioner",
+    "strip",
+    summary="Trivial full-width strips (cost p + 1 baseline)",
+)
 def strip_partition(areas: Sequence[float]) -> Partition:
     """Full-width horizontal strips, heights = areas.
 
@@ -34,6 +40,12 @@ def strip_partition(areas: Sequence[float]) -> Partition:
     return part
 
 
+@register(
+    "partitioner",
+    "grid",
+    summary="Near-square grid of equal cells (homogeneous baseline)",
+    input="count",  # takes a processor count, not an area vector
+)
 def grid_partition(p: int) -> Partition:
     """Near-square ``r × c`` grid of ``p`` equal cells (``r*c == p``).
 

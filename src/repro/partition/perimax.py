@@ -22,9 +22,15 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.partition.rectangle import Partition, Rectangle, stack_column
+from repro.registry import register
 from repro.util.validation import check_probability_vector
 
 
+@register(
+    "partitioner",
+    "peri-max",
+    summary="Column-based heuristic minimising the max half-perimeter",
+)
 def peri_max_partition(areas: Sequence[float]) -> Partition:
     """Column-based partition minimising the max half-perimeter (heuristic)."""
     a = check_probability_vector(areas, "areas")

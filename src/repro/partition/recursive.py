@@ -21,6 +21,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.partition.rectangle import Partition, Rectangle
+from repro.registry import register
 from repro.util.validation import check_probability_vector
 
 
@@ -66,6 +67,11 @@ def _recurse(
         _recurse(x, y + h_bottom, w, h - h_bottom, right, areas, out)
 
 
+@register(
+    "partitioner",
+    "recursive",
+    summary="Recursive proportional bisection (no guarantee)",
+)
 def recursive_bisection_partition(areas: Sequence[float]) -> Partition:
     """Partition the unit square by recursive proportional bisection.
 

@@ -31,6 +31,7 @@ from typing import List, Set, Tuple
 import numpy as np
 
 from repro.platform.star import StarPlatform
+from repro.registry import register
 from repro.util.validation import check_integer, check_positive
 
 Cell = Tuple[int, int]
@@ -162,6 +163,11 @@ def _run(
     )
 
 
+@register(
+    "simulation",
+    "grid-demand-driven",
+    summary="Demand-driven grid schedule with data-reuse affinity",
+)
 def run_grid_demand_driven(
     platform: StarPlatform,
     grid: int,

@@ -26,6 +26,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.platform.star import StarPlatform
+from repro.registry import register
 from repro.util.validation import check_integer, check_positive
 
 
@@ -88,6 +89,11 @@ class DemandDrivenResult:
         return float(self.data_volumes.sum())
 
 
+@register(
+    "simulation",
+    "demand-driven",
+    summary="Bag-of-tasks pull scheduling (the MapReduce execution model)",
+)
 def run_demand_driven(
     platform: StarPlatform,
     tasks: Sequence[Task],

@@ -74,6 +74,34 @@ class Simulator:
         """Number of not-yet-fired (and not cancelled) events."""
         return sum(1 for ev in self._queue if not ev.cancelled)
 
+    @property
+    def next_event_time(self) -> float | None:
+        """Time of the earliest pending event, or ``None`` if drained.
+
+        After ``run(until=t)`` stops early this is the resume point —
+        pending events stay queryable and a later ``run()`` continues
+        from exactly where the horizon cut the timeline.
+        """
+        return min(
+            (ev.time for ev in self._queue if not ev.cancelled),
+            default=None,
+        )
+
+    def reset(self) -> None:
+        """Return the engine to a pristine state for reuse.
+
+        Clears the queue, the log and the clock (and restarts the
+        tie-break counter) so one ``Simulator`` can be re-seeded and
+        re-run across registered simulation runs without
+        re-instantiating.  Refuses to reset mid-``run``.
+        """
+        if self._running:
+            raise RuntimeError("cannot reset while the simulator is running")
+        self._queue.clear()
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.log.clear()
+
     def step(self) -> bool:
         """Fire the next event; returns False when the queue is empty."""
         while self._queue:

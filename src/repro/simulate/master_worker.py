@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.cost_models import CostModel, LinearCost
 from repro.platform.comm_models import OnePort, ParallelLinks
 from repro.platform.star import StarPlatform
+from repro.registry import register
 from repro.simulate.engine import Simulator
 from repro.simulate.trace import Trace
 
@@ -34,6 +35,11 @@ class WorkerTimeline:
     compute_end: float
 
 
+@register(
+    "simulation",
+    "master-worker",
+    summary="Replay a DLT allocation event-by-event on the star platform",
+)
 def simulate_allocation(
     platform: StarPlatform,
     amounts: Sequence[float],

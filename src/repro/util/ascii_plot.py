@@ -102,7 +102,7 @@ def figure4_chart(result, log_y: bool = True) -> str:
     """Draw a :class:`repro.experiments.figure4.Figure4Result` panel."""
     return ascii_chart(
         list(result.processors),
-        {name: result.means[name] for name in ("het", "hom", "hom/k")},
+        dict(result.means),
         title=(
             f"Figure 4 ({result.speed_model}): ratio to lower bound "
             f"({result.trials} trials/point{', log y' if log_y else ''})"

@@ -52,3 +52,18 @@ class TestCompareStrategies:
         cmp = compare_strategies(platform, 1600.0)
         for name, ratio in cmp.ratios.items():
             assert ratio == pytest.approx(1.0, abs=0.06), name
+
+
+class TestSubsetComparison:
+    def test_subset_selection(self, heterogeneous_platform):
+        cmp = compare_strategies(
+            heterogeneous_platform, 1000.0, strategies=("hom", "het")
+        )
+        assert set(cmp.plans) == {"hom", "het"}
+
+    def test_rho_missing_strategy_raises_clearly(self, heterogeneous_platform):
+        cmp = compare_strategies(
+            heterogeneous_platform, 1000.0, strategies=("het", "hom/k")
+        )
+        with pytest.raises(ValueError, match="missing \\['hom'\\]"):
+            cmp.rho

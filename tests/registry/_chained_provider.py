@@ -1,0 +1,5 @@
+"""A provider declared by another provider while the kind is loading."""
+
+from tests.registry import _hooks
+
+_hooks.TARGET.add("strategy", "chained-strategy", lambda: "chained")

@@ -1,0 +1,9 @@
+"""Shared mutable state for the lazy provider-loading test.
+
+``_lazy_provider`` registers into whatever registry the test parked in
+``TARGET`` — mimicking how real provider modules register into the
+default registry at import time.
+"""
+
+TARGET = None
+IMPORT_COUNT = 0

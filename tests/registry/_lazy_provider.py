@@ -1,0 +1,6 @@
+"""A provider module: registers a component when (lazily) imported."""
+
+from tests.registry import _hooks
+
+_hooks.IMPORT_COUNT += 1
+_hooks.TARGET.add("strategy", "lazy-strategy", lambda: "loaded lazily")

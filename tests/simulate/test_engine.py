@@ -97,3 +97,68 @@ class TestControl:
         sim.schedule(1.0, evil)
         sim.run()
         assert len(errors) == 1
+
+
+class TestUntilAndReset:
+    """run(until=...) leaves pending events queryable; reset() reuses."""
+
+    def test_pending_queryable_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda s: fired.append(1))
+        sim.schedule(10.0, lambda s: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+        assert sim.next_event_time == 10.0
+
+    def test_next_event_time_skips_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda s: None)
+        sim.schedule(2.0, lambda s: None)
+        ev.cancel()
+        assert sim.next_event_time == 2.0
+
+    def test_next_event_time_none_when_drained(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        sim.run()
+        assert sim.next_event_time is None
+
+    def test_reset_clears_state(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None, kind="a")
+        sim.run(until=0.5)
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending == 0
+        assert sim.log == []
+        assert sim.next_event_time is None
+
+    def test_reset_enables_reuse_across_runs(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda s: order.append("first"))
+        sim.run()
+        sim.reset()
+        sim.schedule(1.0, lambda s: order.append("second"))
+        assert sim.run() == 1.0
+        assert order == ["first", "second"]
+        # tie-break counter restarted: seq numbering begins at zero again
+        ev = sim.schedule(1.0, lambda s: None)
+        assert ev.seq == 1
+
+    def test_reset_refused_mid_run(self):
+        sim = Simulator()
+        errors = []
+
+        def handler(s):
+            try:
+                s.reset()
+            except RuntimeError as e:
+                errors.append(e)
+
+        sim.schedule(1.0, handler)
+        sim.run()
+        assert len(errors) == 1
