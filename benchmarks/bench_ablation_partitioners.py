@@ -2,36 +2,58 @@
 
 DESIGN.md calls out the partitioner as the load-bearing design choice of
 ``Comm_het``; this bench quantifies each alternative's ratio to the
-lower bound on the Figure-4 speed distributions.
+lower bound on the Figure-4 speed distributions.  The whole trial ×
+partitioner grid is expressed as one request batch and fanned out by a
+threaded :class:`PlannerSession` — the ``het`` strategy's
+``partitioner`` param selects the alternative, and with ``N = 1`` the
+plan's ratio-to-LB *is* the unit-square half-perimeter ratio the
+original loop computed.
 """
 
 import numpy as np
 import pytest
 
 from repro import registry
+from repro.core.pipeline import PlanRequest
+from repro.core.session import PlannerSession
 from repro.partition.lower_bound import peri_sum_lower_bound
+from repro.platform.star import StarPlatform
 from repro.util.tables import format_table
 
 #: every registered area-vector partitioner, enumerated from the
 #: registry (count-based ones like "grid" don't fit this protocol)
-PARTITIONERS = {
-    comp.name: comp.factory
+PARTITIONERS = tuple(
+    comp.name
     for comp in registry.describe("partitioner")
     if comp.metadata.get("input") != "count"
-}
+)
 
 
 def test_partitioner_ablation(benchmark):
     def run():
         rng = np.random.default_rng(0)
         p, trials = 30, 25
+        platforms = [
+            StarPlatform.from_speeds(rng.uniform(1, 100, p))
+            for _ in range(trials)
+        ]
+        requests = [
+            PlanRequest(
+                platform=platform,
+                N=1.0,
+                strategy="het",
+                params={"partitioner": name},
+            )
+            for platform in platforms
+            for name in PARTITIONERS
+        ]
+        with PlannerSession(backend="threaded") as session:
+            results = session.plan_batch(requests)
         ratios = {name: [] for name in PARTITIONERS}
-        for _ in range(trials):
-            speeds = rng.uniform(1, 100, p)
-            areas = speeds / speeds.sum()
-            lb = peri_sum_lower_bound(areas)
-            for name, fn in PARTITIONERS.items():
-                ratios[name].append(fn(areas).sum_half_perimeters / lb)
+        for res in results:
+            ratios[res.request.params["partitioner"]].append(
+                res.ratio_to_lower_bound
+            )
         return {name: (np.mean(v), np.max(v)) for name, v in ratios.items()}
 
     stats = benchmark.pedantic(run, iterations=1, rounds=1)

@@ -14,16 +14,21 @@ Expected shape assertions (the paper's findings):
 
 import pytest
 
+from repro.core.session import PlannerSession
 from repro.experiments.figure4 import run_figure4
 
 
 def _run_panel(speed_model, protocol):
-    return run_figure4(
-        speed_model,
-        processors=protocol["processors"],
-        trials=protocol["trials"],
-        seed=2013,
-    )
+    # the threaded session fans each trial's strategy sweep out and
+    # memoises repeated instances; results are identical to serial
+    with PlannerSession(backend="threaded") as session:
+        return run_figure4(
+            speed_model,
+            processors=protocol["processors"],
+            trials=protocol["trials"],
+            seed=2013,
+            session=session,
+        )
 
 
 def test_fig4a_homogeneous(benchmark, figure4_protocol):

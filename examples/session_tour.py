@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Session tour: backend-routed, cached, batched planning.
+
+Walks the `PlannerSession` API end to end in a few seconds:
+
+1. one session, one request — `plan()`;
+2. a full strategy sweep — `sweep()` — and the same sweep again,
+   served entirely from the plan cache;
+3. a batch of requests fanned out on the `threaded` backend (and the
+   guarantee that every backend returns identical plans);
+4. cache statistics, ignored-parameter sharing and invalidation;
+5. where the old free functions went (deprecation path).
+
+Run: ``python examples/session_tour.py``
+"""
+
+from repro.core.pipeline import PlanRequest
+from repro.core.session import PlannerSession
+from repro.platform.star import StarPlatform
+
+
+def main() -> None:
+    platform = StarPlatform.from_speeds([1, 2, 4, 8])
+    print(platform.describe())
+    print(f"fingerprint: {platform.fingerprint()}   (the cache key's anchor)")
+    print()
+
+    # --- 1. one session, one request ----------------------------------
+    session = PlannerSession()  # backend="serial", caching on
+    result = session.plan(
+        PlanRequest(platform=platform, N=10_000.0, strategy="het")
+    )
+    print("single plan:", result.summary())
+    print()
+
+    # --- 2. sweep twice: the second is pure cache ---------------------
+    sweep = session.sweep(platform, N=10_000.0, imbalance_target=0.01)
+    print(sweep.render())
+    print()
+    again = session.sweep(platform, N=10_000.0, imbalance_target=0.01)
+    print(again.render())  # note the * rows and "3 hit(s)"
+    print()
+
+    # --- 3. batched planning on a concurrent backend ------------------
+    # Backends change where planning runs, never what it computes:
+    # 'serial', 'threaded' and 'process' return identical plans.
+    requests = [
+        PlanRequest(platform=platform, N=float(n), strategy=name)
+        for n in (1_000, 2_000, 4_000)
+        for name in ("hom", "het")
+    ]
+    with PlannerSession(backend="threaded", jobs=4) as threaded:
+        batch = threaded.plan_batch(requests)
+        for res in batch:
+            print(
+                f"  N={res.request.N:>6g}  {res.strategy:<4} "
+                f"comm={res.comm_volume:>10.1f}  "
+                f"ratio={res.ratio_to_lower_bound:.3f}"
+            )
+    print()
+
+    # --- 4. cache behaviour -------------------------------------------
+    # 'het' ignores imbalance_target, so these two requests share one
+    # cache entry (params are filtered per strategy before keying):
+    session.plan(
+        PlanRequest(
+            platform=platform,
+            N=500.0,
+            strategy="het",
+            params={"imbalance_target": 0.01},
+        )
+    )
+    shared = session.plan(
+        PlanRequest(
+            platform=platform,
+            N=500.0,
+            strategy="het",
+            params={"imbalance_target": 0.9},
+        )
+    )
+    print(f"ignored-param request cached: {shared.cached}")
+    print(session.cache_stats().render())
+    session.clear_cache()
+    print(f"after clear_cache(): {len(session.cache)} entries")
+    print()
+
+    # --- 5. the deprecation path --------------------------------------
+    print(
+        "repro.core.pipeline.execute/execute_all still work but emit\n"
+        "DeprecationWarning and delegate to the default session —\n"
+        "new code uses PlannerSession (or passes session=... to the\n"
+        "plan_outer_product / compare_strategies façade)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,13 @@ Quickstart::
     platform = StarPlatform.from_speeds([1, 2, 4, 8])
     plan = plan_outer_product(platform, N=10_000, strategy="het")
     print(plan.summary())
+
+Batched / concurrent / cached planning goes through a session
+(see :mod:`repro.core.session` and ``examples/session_tour.py``)::
+
+    from repro import PlannerSession
+    with PlannerSession(backend="threaded") as session:
+        sweep = session.sweep(platform, N=10_000)
 """
 
 from repro import registry
@@ -31,8 +38,13 @@ from repro.platform import StarPlatform, Processor
 from repro.core import (
     PlanRequest,
     PlanResult,
+    PlanSweep,
+    PlannerSession,
+    PlanCache,
+    default_session,
     execute,
     execute_all,
+    plan_request,
     available_strategies,
     plan_outer_product,
     compare_strategies,
@@ -60,8 +72,13 @@ __all__ = [
     "Processor",
     "PlanRequest",
     "PlanResult",
+    "PlanSweep",
+    "PlannerSession",
+    "PlanCache",
+    "default_session",
     "execute",
     "execute_all",
+    "plan_request",
     "available_strategies",
     "plan_outer_product",
     "compare_strategies",

@@ -14,8 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import registry
 from repro.blocks.metrics import StrategyResult
-from repro.partition.column_based import peri_sum_partition
 from repro.platform.star import StarPlatform
 from repro.registry import register
 from repro.util.validation import check_positive
@@ -29,7 +29,15 @@ from repro.util.validation import check_positive
 )
 @dataclass(frozen=True)
 class HeterogeneousBlocksStrategy:
-    """Plan an outer product with one speed-proportional rectangle each."""
+    """Plan an outer product with one speed-proportional rectangle each.
+
+    ``partitioner`` names any registered area-vector partitioner
+    (``repro list partitioner``); the default is the paper's PERI-SUM
+    column-based DP.  Swapping it in a :class:`PlanRequest`'s params is
+    how the partitioner ablation runs through sessions.
+    """
+
+    partitioner: str = "peri-sum"
 
     def plan(self, platform: StarPlatform, N: float) -> StrategyResult:
         """Partition, scale to ``N × N``, account communications.
@@ -41,7 +49,7 @@ class HeterogeneousBlocksStrategy:
         """
         check_positive(N, "N")
         x = platform.normalized_speeds
-        part = peri_sum_partition(x)
+        part = registry.create("partitioner", self.partitioner, x)
         scaled = part.scaled(N)
         comm = scaled.sum_half_perimeters
         w = platform.cycle_times
@@ -61,5 +69,9 @@ class HeterogeneousBlocksStrategy:
             comm_volume=float(comm),
             finish_times=finish,
             imbalance=imbalance,
-            detail={"partition": part, "scaled_partition": scaled},
+            detail={
+                "partition": part,
+                "scaled_partition": scaled,
+                "partitioner": self.partitioner,
+            },
         )

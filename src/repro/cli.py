@@ -8,7 +8,9 @@ console script; ``python -m repro`` works too)::
     repro plan --speeds 1 2 4 8 --N 10000
     repro plan --speeds 1 2 4 8 --strategy hom/k
     repro compare --speeds 1 2 4 8   # sweep every registered strategy
-    repro figure4 --model uniform --trials 100
+    repro compare --speeds 1 2 4 8 --backend threaded --jobs 4
+    repro cache-stats --speeds 1 2 4 8 --repeats 3
+    repro figure4 --model uniform --trials 100 --backend process
     repro section2 --alphas 1.5 2 3
     repro section3
     repro rho --k 4 16 64
@@ -42,6 +44,47 @@ def registry_kinds() -> tuple[str, ...]:
     return registry.kinds()
 
 
+def _session_from_args(args: argparse.Namespace):
+    """Build the PlannerSession the plan/compare/cache-stats family uses."""
+    from repro.core.session import PlannerSession
+
+    return PlannerSession(
+        backend=getattr(args, "backend", "serial"),
+        cache=not getattr(args, "no_cache", False),
+        jobs=getattr(args, "jobs", None),
+    )
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_session_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default="serial",
+        help=(
+            "execution backend routing the planning work "
+            "(see `repro list backend`; default: serial)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="plan every request anew instead of using the plan cache",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="worker cap for concurrent backends (default: backend's choice)",
+    )
+
+
 def _cmd_figure4(args: argparse.Namespace) -> int:
     from repro.experiments.figure4 import run_figure4
     from repro.util.ascii_plot import figure4_chart
@@ -51,6 +94,9 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
         processors=tuple(args.processors),
         trials=args.trials,
         seed=args.seed,
+        backend=args.backend,
+        jobs=args.jobs,
+        cache=not args.no_cache,
     )
     print(result.render())
     if args.chart:
@@ -102,43 +148,68 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    from repro.core.pipeline import PlanRequest, execute
+    from repro.core.pipeline import PlanRequest
     from repro.core.strategies import compare_strategies
     from repro.platform.star import StarPlatform
 
     platform = StarPlatform.from_speeds(args.speeds)
     print(platform.describe())
     print()
-    if args.strategy is not None:
-        result = execute(
-            PlanRequest(
-                platform=platform,
-                N=args.N,
-                strategy=args.strategy,
-                params={"imbalance_target": args.imbalance_target},
+    with _session_from_args(args) as session:
+        if args.strategy is not None:
+            result = session.plan(
+                PlanRequest(
+                    platform=platform,
+                    N=args.N,
+                    strategy=args.strategy,
+                    params={"imbalance_target": args.imbalance_target},
+                )
             )
-        )
-        print(result.summary())
-    else:
-        print(
-            compare_strategies(
-                platform, N=args.N, imbalance_target=args.imbalance_target
-            ).summary()
-        )
+            print(result.summary())
+        else:
+            print(
+                compare_strategies(
+                    platform,
+                    N=args.N,
+                    imbalance_target=args.imbalance_target,
+                    session=session,
+                ).summary()
+            )
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from repro.core.pipeline import execute_all
     from repro.platform.star import StarPlatform
 
     platform = StarPlatform.from_speeds(args.speeds)
     print(platform.describe())
     print()
-    sweep = execute_all(
-        platform, args.N, imbalance_target=args.imbalance_target
-    )
-    print(sweep.render())
+    with _session_from_args(args) as session:
+        sweep = session.sweep(
+            platform, args.N, imbalance_target=args.imbalance_target
+        )
+        print(sweep.render())
+    return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    """Repeat one sweep through a single session and show cache effect."""
+    from repro.platform.star import StarPlatform
+
+    platform = StarPlatform.from_speeds(args.speeds)
+    with _session_from_args(args) as session:
+        sweep = None
+        for _ in range(max(1, args.repeats)):
+            sweep = session.sweep(
+                platform, args.N, imbalance_target=args.imbalance_target
+            )
+        print(sweep.render())
+        print()
+        stats = session.cache_stats()
+        if stats is None:
+            print("plan cache disabled (--no-cache)")
+        else:
+            print(stats.render())
     return 0
 
 
@@ -220,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
     p4.add_argument(
         "--chart", action="store_true", help="also draw an ASCII chart"
     )
+    _add_session_options(p4)
     p4.set_defaults(fn=_cmd_figure4)
 
     p2 = sub.add_parser("section2", help="the vanishing-fraction table")
@@ -265,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     pp.add_argument("--imbalance-target", type=float, default=0.01)
+    _add_session_options(pp)
     pp.set_defaults(fn=_cmd_plan)
 
     pc = sub.add_parser(
@@ -273,7 +346,24 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--speeds", type=float, nargs="+", required=True)
     pc.add_argument("--N", type=float, default=10_000.0)
     pc.add_argument("--imbalance-target", type=float, default=0.01)
+    _add_session_options(pc)
     pc.set_defaults(fn=_cmd_compare)
+
+    pcs = sub.add_parser(
+        "cache-stats",
+        help="repeat a sweep through one session and report the plan cache",
+    )
+    pcs.add_argument("--speeds", type=float, nargs="+", required=True)
+    pcs.add_argument("--N", type=float, default=10_000.0)
+    pcs.add_argument("--imbalance-target", type=float, default=0.01)
+    pcs.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="how many times to run the identical sweep (default: 2)",
+    )
+    _add_session_options(pcs)
+    pcs.set_defaults(fn=_cmd_cache_stats)
 
     ps = sub.add_parser("sort", help="run a sample sort")
     ps.add_argument("--n", type=int, default=100_000)

@@ -13,6 +13,9 @@
 * :mod:`repro.core.pipeline` — the uniform ``PlanRequest → PlanResult``
   pipeline every registered strategy is invoked, timed and compared
   through.
+* :mod:`repro.core.session` — :class:`PlannerSession`, the
+  backend-routed, cached, batched planning API (with
+  :mod:`repro.core.backends` and :mod:`repro.core.cache` under it).
 """
 
 from repro.core.cost_models import (
@@ -58,6 +61,13 @@ from repro.core.pipeline import (
     PlanSweep,
     execute,
     execute_all,
+    plan_request,
+)
+from repro.core.cache import CacheStats, PlanCache
+from repro.core.session import (
+    PlannerSession,
+    default_session,
+    reset_default_session,
 )
 
 __all__ = [
@@ -93,4 +103,10 @@ __all__ = [
     "PlanSweep",
     "execute",
     "execute_all",
+    "plan_request",
+    "CacheStats",
+    "PlanCache",
+    "PlannerSession",
+    "default_session",
+    "reset_default_session",
 ]

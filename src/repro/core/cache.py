@@ -1,0 +1,174 @@
+"""Content-keyed plan cache for :class:`~repro.core.session.PlannerSession`.
+
+The Figure-4 protocol answers the *same* planning query many times
+(100 trials × several strategies × repeated renders), and a service
+front-end answers many identical user queries.  Planning is pure —
+a (platform, N, strategy, params) tuple always yields the same plan —
+so results are memoised under a content key:
+
+    platform fingerprint × N × strategy (+ factory origin) × params
+
+where *params* are first filtered down to what the strategy actually
+accepts (:func:`repro.core.pipeline.supported_kwargs`).  Two requests
+that differ only in a parameter the strategy ignores therefore share
+one entry — e.g. ``imbalance_target`` never fragments the ``het``
+cache.  Entries are LRU-evicted beyond ``max_entries``; hit/miss
+statistics are kept for sweep tables and the ``repro cache-stats``
+readout.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Mapping
+
+import numpy as np
+
+from repro.core.pipeline import PlanRequest, PlanResult, supported_kwargs
+from repro.util.tables import format_table
+
+
+def freeze_value(value: Any) -> Hashable:
+    """A hashable, content-equal stand-in for a parameter value.
+
+    Mappings and sequences are frozen recursively (mappings sorted by
+    key); numpy arrays hash by shape + raw bytes; anything else
+    unhashable falls back to its ``repr``.
+    """
+    if isinstance(value, (str, bytes, int, float, bool, type(None))):
+        return value
+    if isinstance(value, Mapping):
+        return tuple(
+            (k, freeze_value(v)) for k, v in sorted(value.items())
+        )
+    if isinstance(value, np.ndarray):
+        return (value.shape, value.dtype.str, value.tobytes())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return tuple(freeze_value(v) for v in items)
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+def plan_cache_key(
+    request: PlanRequest, factory: Callable[..., Any]
+) -> Hashable:
+    """The content key one request caches under.
+
+    ``factory`` is the resolved strategy factory; its origin joins the
+    key so re-registering a strategy name with a different factory
+    (plugin replacement) does not serve stale plans, and its signature
+    decides which params participate.
+    """
+    effective = supported_kwargs(factory, request.params)
+    origin = (
+        f"{getattr(factory, '__module__', '?')}."
+        f"{getattr(factory, '__qualname__', getattr(factory, '__name__', '?'))}"
+    )
+    return (
+        request.platform.fingerprint(),
+        float(request.N),
+        request.strategy,
+        origin,
+        tuple((k, freeze_value(v)) for k, v in sorted(effective.items())),
+    )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Cumulative hit/miss counters plus current occupancy."""
+
+    hits: int
+    misses: int
+    entries: int
+    max_entries: int
+    evictions: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def render(self) -> str:
+        return format_table(
+            ["lookups", "hits", "misses", "hit rate", "entries", "evictions"],
+            [
+                [
+                    self.lookups,
+                    self.hits,
+                    self.misses,
+                    f"{100 * self.hit_rate:.1f}%",
+                    f"{self.entries}/{self.max_entries}",
+                    self.evictions,
+                ]
+            ],
+            title="Plan cache statistics",
+        )
+
+
+class PlanCache:
+    """An LRU map from plan content keys to :class:`PlanResult`.
+
+    Not thread-safe by itself; sessions perform all cache traffic on
+    the calling thread (backends only plan misses), so no lock is
+    needed there.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, PlanResult] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(
+        self, request: PlanRequest, factory: Callable[..., Any]
+    ) -> Hashable:
+        return plan_cache_key(request, factory)
+
+    def get(self, key: Hashable) -> PlanResult | None:
+        """The cached result for ``key``, counting the hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: Hashable, result: PlanResult) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry and reset all statistics."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            entries=len(self._entries),
+            max_entries=self.max_entries,
+            evictions=self._evictions,
+        )

@@ -2,19 +2,26 @@
 
 Every outer-product strategy in the registry is invoked the same way:
 a :class:`PlanRequest` names the platform, the problem size and the
-strategy (plus free-form parameters); :func:`execute` resolves the
+strategy (plus free-form parameters); :func:`plan_request` resolves the
 strategy through :mod:`repro.registry`, filters the parameters down to
 what the strategy's constructor accepts, times the planning call and
 wraps the outcome — together with its communication lower bound — in a
-:class:`PlanResult`.  :func:`execute_all` sweeps every registered
-strategy on one instance, which is how ``repro compare``, Figure 4 and
-the benchmarks enumerate components instead of hard-coding them.
+:class:`PlanResult`.
+
+:func:`plan_request` is the *raw* planner: no cache, no concurrency,
+importable by name so process-pool backends can pickle it.  Almost all
+callers want :class:`repro.core.session.PlannerSession` instead, which
+routes batches of requests through an execution backend and a
+content-keyed plan cache.  The historical free functions
+:func:`execute` / :func:`execute_all` remain as deprecated shims over
+the process-wide default session.
 """
 
 from __future__ import annotations
 
 import inspect
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -76,8 +83,11 @@ class PlanResult:
 
     request: PlanRequest
     plan: StrategyResult
-    #: wall-clock seconds spent planning (construction + .plan())
+    #: wall-clock seconds spent planning (construction + .plan());
+    #: 0.0 when the plan came out of a session's cache
     elapsed_s: float
+    #: True when a session served this result from its plan cache
+    cached: bool = False
 
     @property
     def strategy(self) -> str:
@@ -104,11 +114,19 @@ class PlanResult:
         return self.plan.makespan
 
     def summary(self) -> str:
+        if self.cached:
+            return f"{self.plan.summary()}, served from cache"
         return f"{self.plan.summary()}, planned in {self.elapsed_s * 1e3:.2f} ms"
 
 
-def execute(request: PlanRequest) -> PlanResult:
-    """Resolve, invoke and time one strategy through the registry."""
+def plan_request(request: PlanRequest) -> PlanResult:
+    """Resolve, invoke and time one strategy through the registry.
+
+    The raw planner: no caching, no backend routing.  Module-level (and
+    therefore picklable) so the ``process`` backend can ship it to
+    worker processes.  Sessions wrap this; call it directly only when
+    you explicitly want to bypass them.
+    """
     factory = registry.get("strategy", request.strategy)
     kwargs = supported_kwargs(factory, request.params)
     start = time.perf_counter()
@@ -119,10 +137,19 @@ def execute(request: PlanRequest) -> PlanResult:
 
 @dataclass(frozen=True)
 class PlanSweep:
-    """Every requested strategy on one instance, uniformly accounted."""
+    """Every requested strategy on one instance, uniformly accounted.
+
+    ``results`` iterates in sorted strategy-name order regardless of
+    which backend planned it, so serial and concurrent sweeps render
+    identical tables.  ``cache_hits``/``cache_misses`` count how this
+    sweep's requests fared against the session's plan cache (``None``
+    when the sweep ran without one).
+    """
 
     N: float
     results: Mapping[str, PlanResult]
+    cache_hits: int | None = None
+    cache_misses: int | None = None
 
     @property
     def ratios(self) -> dict[str, float]:
@@ -140,7 +167,7 @@ class PlanSweep:
     def render(self) -> str:
         rows = [
             [
-                name,
+                name + (" *" if res.cached else ""),
                 res.comm_volume,
                 res.ratio_to_lower_bound,
                 res.imbalance,
@@ -148,11 +175,46 @@ class PlanSweep:
             ]
             for name, res in self.results.items()
         ]
-        return format_table(
+        table = format_table(
             ["strategy", "comm volume", "ratio to LB", "imbalance e", "plan ms"],
             rows,
             title=f"Strategy sweep, N={self.N:g} (best: {self.best.strategy})",
         )
+        if self.cache_hits is not None and self.cache_misses is not None:
+            table += (
+                f"\ncache: {self.cache_hits} hit(s), "
+                f"{self.cache_misses} miss(es)"
+                + ("  (* = served from cache)" if self.cache_hits else "")
+            )
+        return table
+
+
+def _sorted_results(
+    results: Mapping[str, PlanResult]
+) -> dict[str, PlanResult]:
+    """``results`` re-keyed in sorted strategy-name order."""
+    return {name: results[name] for name in sorted(results)}
+
+
+def execute(request: PlanRequest) -> PlanResult:
+    """Deprecated shim: plan one request through the default session.
+
+    .. deprecated::
+        Use :meth:`repro.core.session.PlannerSession.plan` (or the
+        module-level :func:`repro.core.session.default_session`), which
+        adds backend routing and plan caching.  Kept for source
+        compatibility; behaves exactly like
+        ``default_session().plan(request)``.
+    """
+    warnings.warn(
+        "repro.core.pipeline.execute() is deprecated; "
+        "use PlannerSession.plan() (see repro.core.session)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.core.session import default_session
+
+    return default_session().plan(request)
 
 
 def execute_all(
@@ -161,16 +223,20 @@ def execute_all(
     strategies: Sequence[str] | None = None,
     **params: Any,
 ) -> PlanSweep:
-    """Run every registered (or the named) strategies on one instance."""
-    names = (
-        tuple(strategies)
-        if strategies is not None
-        else registry.available("strategy")
+    """Deprecated shim: sweep strategies through the default session.
+
+    .. deprecated::
+        Use :meth:`repro.core.session.PlannerSession.sweep`, which adds
+        backend routing (``serial``/``threaded``/``process``) and plan
+        caching.  Kept for source compatibility; behaves exactly like
+        ``default_session().sweep(platform, N, strategies, **params)``.
+    """
+    warnings.warn(
+        "repro.core.pipeline.execute_all() is deprecated; "
+        "use PlannerSession.sweep() (see repro.core.session)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    results = {
-        name: execute(
-            PlanRequest(platform=platform, N=N, strategy=name, params=params)
-        )
-        for name in names
-    }
-    return PlanSweep(N=float(N), results=results)
+    from repro.core.session import default_session
+
+    return default_session().sweep(platform, N, strategies=strategies, **params)

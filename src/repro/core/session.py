@@ -1,0 +1,245 @@
+"""PlannerSession: the backend-routed, cached, batched planning API.
+
+A session owns the three concerns the free-function pipeline lacked:
+
+* **backend routing** — every request batch is dispatched through a
+  registered execution backend (``serial`` / ``threaded`` /
+  ``process``, plus anything plugins register), so ``sweep`` and
+  ``plan_batch`` fan out concurrently instead of looping;
+* **plan caching** — results are memoised under a content key
+  (platform fingerprint × N × strategy × effective params), so the
+  Figure-4 protocol's repeated queries and service-style workloads
+  skip re-planning; hits surface in :class:`PlanSweep` tables and
+  :meth:`cache_stats`;
+* **defaults** — session-wide default params (e.g. an
+  ``imbalance_target`` house style) merge under each request's own.
+
+Usage::
+
+    from repro.core.session import PlannerSession
+
+    session = PlannerSession(backend="threaded", jobs=4)
+    sweep = session.sweep(platform, N=10_000)        # all strategies
+    sweep = session.sweep(platform, N=10_000)        # same → all hits
+    print(sweep.render(), session.cache_stats().render(), sep="\\n")
+
+Results are bit-identical across backends: a backend only changes
+*where* :func:`repro.core.pipeline.plan_request` runs, never what it
+computes, and sweeps iterate in sorted strategy order regardless of
+completion order.
+
+The module-level :func:`default_session` (serial, caching) backs the
+deprecated :func:`repro.core.pipeline.execute` / ``execute_all`` shims
+and the façade in :mod:`repro.core.strategies`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, List, Mapping, Sequence
+
+from repro import registry
+from repro.core.backends import Backend
+from repro.core.cache import CacheStats, PlanCache
+from repro.core.pipeline import (
+    PlanRequest,
+    PlanResult,
+    PlanSweep,
+    plan_request,
+)
+from repro.platform.star import StarPlatform
+
+
+class PlannerSession:
+    """Backend-routed, cached, batched planning over the registry.
+
+    Parameters
+    ----------
+    backend:
+        Name of a registered execution backend (``repro list backend``),
+        or an already-constructed :class:`~repro.core.backends.Backend`.
+    cache:
+        ``True`` (default) for a fresh :class:`PlanCache`, ``False`` to
+        plan every request anew, or a :class:`PlanCache` instance to
+        share one cache between sessions.
+    jobs:
+        Worker cap forwarded to the backend (``None`` = its default).
+    default_params:
+        Session-wide strategy params merged *under* each request's own
+        (the request wins on conflicts).
+    """
+
+    def __init__(
+        self,
+        backend: str | Backend = "serial",
+        *,
+        cache: bool | PlanCache = True,
+        jobs: int | None = None,
+        **default_params: Any,
+    ) -> None:
+        if isinstance(backend, str):
+            self.backend: Backend = registry.create("backend", backend, jobs=jobs)
+            self.backend_name = backend
+        else:
+            self.backend = backend
+            self.backend_name = getattr(backend, "name", type(backend).__name__)
+        if cache is True:
+            self._cache: PlanCache | None = PlanCache()
+        elif cache is False or cache is None:
+            self._cache = None
+        else:
+            self._cache = cache
+        self.default_params: dict[str, Any] = dict(default_params)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend workers (idempotent; cache survives)."""
+        self.backend.shutdown()
+
+    def __enter__(self) -> "PlannerSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cache = "off" if self._cache is None else f"{len(self._cache)} entries"
+        return (
+            f"PlannerSession(backend={self.backend_name!r}, cache={cache})"
+        )
+
+    # -- planning --------------------------------------------------------
+
+    def plan(self, request: PlanRequest) -> PlanResult:
+        """Plan one request (cache first, then the backend)."""
+        return self.plan_batch((request,))[0]
+
+    def plan_batch(
+        self, requests: Sequence[PlanRequest]
+    ) -> List[PlanResult]:
+        """Plan many requests; results align with ``requests`` by index.
+
+        Cache lookups happen up front on the calling thread; only the
+        misses travel through the backend (concurrently, if it fans
+        out), and their results are cached on the way back.
+        """
+        requests = [self._with_defaults(req) for req in requests]
+        results: List[PlanResult | None] = [None] * len(requests)
+        misses: List[tuple[int, Any, PlanRequest]] = []
+        for i, req in enumerate(requests):
+            # resolve eagerly: unknown strategies fail fast with the
+            # registry's "expected one of …" message, and the factory
+            # identity feeds the cache key
+            factory = registry.get("strategy", req.strategy)
+            if self._cache is None:
+                misses.append((i, None, req))
+                continue
+            key = self._cache.key_for(req, factory)
+            hit = self._cache.get(key)
+            if hit is not None:
+                results[i] = replace(
+                    hit, request=req, cached=True, elapsed_s=0.0
+                )
+            else:
+                misses.append((i, key, req))
+        if misses:
+            planned = self.backend.map(
+                plan_request, [req for _, _, req in misses]
+            )
+            for (i, key, _), result in zip(misses, planned):
+                if self._cache is not None:
+                    self._cache.put(key, result)
+                results[i] = result
+        return results  # type: ignore[return-value]
+
+    def sweep(
+        self,
+        platform: StarPlatform,
+        N: float,
+        strategies: Sequence[str] | None = None,
+        **params: Any,
+    ) -> PlanSweep:
+        """Every registered (or the named) strategies on one instance.
+
+        Strategy order is sorted by name whatever the backend, so
+        serial and concurrent sweeps render identical tables.  The
+        sweep records how its requests fared against the plan cache.
+        """
+        names = (
+            tuple(sorted(strategies))
+            if strategies is not None
+            else registry.available("strategy")
+        )
+        before = self._cache.stats if self._cache is not None else None
+        results = self.plan_batch(
+            [
+                PlanRequest(platform=platform, N=N, strategy=name, params=params)
+                for name in names
+            ]
+        )
+        hits = misses = None
+        if self._cache is not None and before is not None:
+            after = self._cache.stats
+            hits = after.hits - before.hits
+            misses = after.misses - before.misses
+        return PlanSweep(
+            N=float(N),
+            results=dict(zip(names, results)),
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+
+    # -- cache -----------------------------------------------------------
+
+    @property
+    def cache(self) -> PlanCache | None:
+        """The session's plan cache (``None`` when caching is off)."""
+        return self._cache
+
+    def cache_stats(self) -> CacheStats | None:
+        """Cumulative cache statistics (``None`` when caching is off)."""
+        return self._cache.stats if self._cache is not None else None
+
+    def clear_cache(self) -> None:
+        """Invalidate every cached plan and reset the statistics."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    # -- helpers ---------------------------------------------------------
+
+    def _with_defaults(self, request: PlanRequest) -> PlanRequest:
+        if not self.default_params:
+            return request
+        merged: Mapping[str, Any] = {
+            **self.default_params,
+            **dict(request.params),
+        }
+        if merged == dict(request.params):
+            return request
+        return replace(request, params=merged)
+
+
+#: lazily constructed process-wide session backing the deprecated shims
+_default_session: PlannerSession | None = None
+
+
+def default_session() -> PlannerSession:
+    """The process-wide session (serial backend, caching on).
+
+    Backs the deprecated :func:`repro.core.pipeline.execute` /
+    ``execute_all`` shims and the :mod:`repro.core.strategies` façade
+    when no explicit session is passed.
+    """
+    global _default_session
+    if _default_session is None:
+        _default_session = PlannerSession(backend="serial", cache=True)
+    return _default_session
+
+
+def reset_default_session() -> None:
+    """Drop the process-wide session (tests, plugin reloads)."""
+    global _default_session
+    if _default_session is not None:
+        _default_session.close()
+    _default_session = None

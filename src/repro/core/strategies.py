@@ -21,7 +21,8 @@ from typing import Any, Dict, Sequence
 
 from repro import registry
 from repro.blocks.metrics import StrategyResult
-from repro.core.pipeline import PlanRequest, execute, execute_all
+from repro.core.pipeline import PlanRequest
+from repro.core.session import PlannerSession, default_session
 from repro.platform.star import StarPlatform
 
 #: alias so downstream users import one name for the result type
@@ -38,6 +39,7 @@ def plan_outer_product(
     N: float,
     strategy: str = "het",
     imbalance_target: float = 0.01,
+    session: PlannerSession | None = None,
     **params: Any,
 ) -> OuterProductPlan:
     """Plan the distribution of an ``N × N`` outer product.
@@ -51,7 +53,9 @@ def plan_outer_product(
     * ``"het"`` — Heterogeneous Blocks via PERI-SUM (§4.1.2).
 
     Extra keyword arguments are forwarded to the strategy's
-    constructor when its signature accepts them.
+    constructor when its signature accepts them.  Planning goes through
+    ``session`` (default: the process-wide cached serial session), so
+    repeated identical queries are served from the plan cache.
     """
     request = PlanRequest(
         platform=platform,
@@ -59,7 +63,7 @@ def plan_outer_product(
         strategy=strategy,
         params={"imbalance_target": imbalance_target, **params},
     )
-    return execute(request).plan
+    return (session or default_session()).plan(request).plan
 
 
 @dataclass(frozen=True)
@@ -101,13 +105,15 @@ def compare_strategies(
     N: float,
     imbalance_target: float = 0.01,
     strategies: Sequence[str] | None = None,
+    session: PlannerSession | None = None,
 ) -> StrategyComparison:
     """Run all registered strategies on the same instance (one Figure-4 cell).
 
     ``strategies`` restricts the sweep; by default every strategy in the
-    registry participates.
+    registry participates.  ``session`` selects the execution backend
+    and plan cache (default: the process-wide cached serial session).
     """
-    sweep = execute_all(
+    sweep = (session or default_session()).sweep(
         platform,
         N,
         strategies=strategies,

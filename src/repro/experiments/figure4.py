@@ -25,7 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import registry
-from repro.core.strategies import plan_outer_product
+from repro.core.session import PlannerSession, default_session
 from repro.platform.generators import make_speeds
 from repro.platform.star import StarPlatform
 from repro.util.rng import SeedLike, spawn_rngs
@@ -113,21 +113,22 @@ def run_figure4_point(
     rng: np.random.Generator,
     N: float = DEFAULT_N,
     imbalance_target: float = 0.01,
+    session: PlannerSession | None = None,
 ) -> Figure4Point:
     """One random trial at one processor count (one dot of the cloud).
 
-    Sweeps every registered strategy through the planning façade, so
-    the point's ``ratios``/``imbalances`` dicts grow with the registry.
+    Sweeps every registered strategy through ``session`` (default: the
+    process-wide one), so the point's ``ratios``/``imbalances`` dicts
+    grow with the registry and the sweep fans out on whatever backend
+    the session routes to.
     """
     speeds = make_speeds(speed_model, p, rng)
     platform = StarPlatform.from_speeds(speeds)
 
-    plans = {
-        name: plan_outer_product(
-            platform, N, strategy=name, imbalance_target=imbalance_target
-        )
-        for name in strategy_names()
-    }
+    sweep = (session or default_session()).sweep(
+        platform, N, imbalance_target=imbalance_target
+    )
+    plans = {name: res.plan for name, res in sweep.results.items()}
 
     hom_k = 1
     if "hom/k" in plans:
@@ -149,33 +150,50 @@ def run_figure4(
     seed: SeedLike = 2013,
     N: float = DEFAULT_N,
     imbalance_target: float = 0.01,
+    session: PlannerSession | None = None,
+    backend: str = "serial",
+    jobs: int | None = None,
+    cache: bool = True,
 ) -> Figure4Result:
     """Reproduce one panel of Figure 4.
 
     ``speed_model`` ∈ {"homogeneous", "uniform", "lognormal"} selects
     4(a), 4(b) or 4(c).  Defaults mirror the paper (10–100 processors,
-    100 trials, e ≤ 1%).
+    100 trials, e ≤ 1%).  Trials plan through ``session`` when given;
+    otherwise a fresh one on ``backend`` (``serial`` / ``threaded`` /
+    ``process``, ``jobs`` workers) is used for the whole panel, so the
+    100-trial protocol fans out and repeated instances (notably the
+    homogeneous panel, where every trial is content-identical) hit the
+    plan cache instead of re-planning — pass ``cache=False`` to plan
+    every trial anew (e.g. to measure real per-trial planning time).
     """
     processors = tuple(int(p) for p in processors)
     names = strategy_names()
     rngs = spawn_rngs(seed, len(processors) * trials)
     means = {name: np.empty(len(processors)) for name in names}
     stds = {name: np.empty(len(processors)) for name in names}
-    for i, p in enumerate(processors):
-        samples = {name: np.empty(trials) for name in names}
-        for t in range(trials):
-            point = run_figure4_point(
-                p,
-                speed_model,
-                rngs[i * trials + t],
-                N=N,
-                imbalance_target=imbalance_target,
-            )
+    own_session = session is None
+    session = session or PlannerSession(backend=backend, jobs=jobs, cache=cache)
+    try:
+        for i, p in enumerate(processors):
+            samples = {name: np.empty(trials) for name in names}
+            for t in range(trials):
+                point = run_figure4_point(
+                    p,
+                    speed_model,
+                    rngs[i * trials + t],
+                    N=N,
+                    imbalance_target=imbalance_target,
+                    session=session,
+                )
+                for name in names:
+                    samples[name][t] = point.ratios[name]
             for name in names:
-                samples[name][t] = point.ratios[name]
-        for name in names:
-            means[name][i] = samples[name].mean()
-            stds[name][i] = samples[name].std(ddof=0)
+                means[name][i] = samples[name].mean()
+                stds[name][i] = samples[name].std(ddof=0)
+    finally:
+        if own_session:
+            session.close()
     return Figure4Result(
         speed_model=speed_model,
         processors=processors,

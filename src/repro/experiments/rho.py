@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.bounds import half_fast_rho_bound, half_fast_rho_simple
+from repro.core.session import PlannerSession
 from repro.core.strategies import compare_strategies
 from repro.platform.generators import half_fast_speeds
 from repro.platform.star import StarPlatform
@@ -51,13 +52,22 @@ def run_rho_experiment(
     ks: Sequence[float] = (1, 2, 4, 9, 16, 25, 64),
     p: int = 20,
     N: float = 10_000.0,
+    session: PlannerSession | None = None,
 ) -> RhoResult:
-    """Experiment E6 of DESIGN.md."""
+    """Experiment E6 of DESIGN.md.
+
+    All (k, strategy) cells plan through one session — repeated runs
+    (e.g. a report regenerating the table) are pure cache hits.
+    """
+    own_session = session is None
+    session = session or PlannerSession()
     rows = []
     for k in ks:
         speeds = half_fast_speeds(p, k=float(k))
         platform = StarPlatform.from_speeds(speeds)
-        cmp = compare_strategies(platform, N, strategies=("hom", "het"))
+        cmp = compare_strategies(
+            platform, N, strategies=("hom", "het"), session=session
+        )
         rows.append(
             RhoRow(
                 k=float(k),
@@ -67,4 +77,6 @@ def run_rho_experiment(
                 bound_simple=half_fast_rho_simple(float(k)),
             )
         )
+    if own_session:
+        session.close()
     return RhoResult(rows=tuple(rows), N=float(N))

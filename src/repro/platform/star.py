@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import struct
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -158,6 +161,32 @@ class StarPlatform:
             for i in idx
         )
         return StarPlatform(procs, comm_model=self.comm_model)
+
+    def fingerprint(self, length: int = 16) -> str:
+        """Stable content hash of the platform (hex digest).
+
+        Hashes the exact float bits of every worker's speed and
+        bandwidth, in worker order, plus the communication model's name
+        and (for dataclass models, i.e. all built-ins) its field
+        values — so e.g. two ``BoundedMultiport`` platforms differing
+        only in ``master_bandwidth`` fingerprint differently.  Two
+        platforms with identical content fingerprint identically in
+        any process (unlike ``hash()``, which is salted per run), so the
+        digest is usable as a cache key component and in experiment
+        reports.  ``length`` truncates the sha256 hex digest (default 16
+        hex chars = 64 bits; pass 64 for the full digest).
+        """
+        if not 1 <= length <= 64:
+            raise ValueError(f"length must be in 1..64, got {length}")
+        h = hashlib.sha256()
+        h.update(self.comm_model.name.encode("utf-8"))
+        if dataclasses.is_dataclass(self.comm_model):
+            for f in dataclasses.fields(self.comm_model):
+                h.update(f.name.encode("utf-8"))
+                h.update(repr(getattr(self.comm_model, f.name)).encode("utf-8"))
+        for proc in self.processors:
+            h.update(struct.pack("<dd", proc.speed, proc.bandwidth))
+        return h.hexdigest()[:length]
 
     # -- convenience -----------------------------------------------------
 

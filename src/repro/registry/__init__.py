@@ -2,8 +2,9 @@
 
 Every comparable component family — **cost models** (§2), **outer
 product strategies** (§4), **partitioners** (§4.1.2), **DLT solvers**
-(§2–3) and **simulations** — registers here under a short name, and all
-dispatch (the :func:`repro.core.plan_outer_product` façade, the
+(§2–3), **simulations** and **execution backends** — registers here
+under a short name, and all dispatch (the
+:func:`repro.core.plan_outer_product` façade, planner sessions, the
 experiment sweeps, the CLI) goes through these catalogues instead of
 hard-coded ``if/elif`` chains.
 
@@ -30,11 +31,15 @@ and every registry-driven sweep pick it up with no further edits.
 
 Built-ins are loaded lazily: the provider-module table in
 :mod:`repro.registry.builtins` is imported on the first query of each
-kind, entry-point style.
+kind, entry-point style.  Genuine ``importlib.metadata`` entry points
+are honored too: a third-party distribution declaring
+``[project.entry-points."repro.plugins"]`` has its components
+discovered on the first query, no import required.
 """
 
 from repro.registry.builtins import PROVIDER_MODULES, install_builtin_providers
 from repro.registry.core import (
+    ENTRY_POINT_GROUP,
     KINDS,
     Component,
     DuplicateComponentError,
@@ -47,6 +52,9 @@ from repro.registry.core import (
 #: the process-wide default registry holding all built-ins
 default_registry = Registry()
 install_builtin_providers(default_registry)
+# third-party distributions join via the "repro.plugins" entry-point
+# group — scanned lazily on the first catalogue query, like built-ins
+default_registry.enable_entry_point_discovery(ENTRY_POINT_GROUP)
 
 # module-level façade over the default registry
 register = default_registry.register
@@ -61,8 +69,10 @@ kinds = default_registry.kinds
 add_kind = default_registry.add_kind
 register_provider_modules = default_registry.register_provider_modules
 ensure_loaded = default_registry.ensure_loaded
+enable_entry_point_discovery = default_registry.enable_entry_point_discovery
 
 __all__ = [
+    "ENTRY_POINT_GROUP",
     "KINDS",
     "Component",
     "Registry",
@@ -85,4 +95,5 @@ __all__ = [
     "add_kind",
     "register_provider_modules",
     "ensure_loaded",
+    "enable_entry_point_discovery",
 ]

@@ -41,6 +41,7 @@ PROVIDER_MODULES: dict[str, tuple[str, ...]] = {
         "repro.simulate.affinity",
         "repro.mapreduce.scheduler",
     ),
+    "backend": ("repro.core.backends",),
 }
 
 

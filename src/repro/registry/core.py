@@ -2,9 +2,9 @@
 
 A :class:`Registry` maps ``(kind, name)`` pairs to factories.  *Kinds*
 are the component families the library compares (cost models,
-outer-product strategies, partitioners, DLT solvers, simulations);
-*names* are the short identifiers used in tables, traces and on the
-command line ("het", "peri-sum", "linear-parallel", …).
+outer-product strategies, partitioners, DLT solvers, simulations,
+execution backends); *names* are the short identifiers used in tables,
+traces and on the command line ("het", "peri-sum", "threaded", …).
 
 Components self-register at import time with the :func:`register`
 decorator; the registry itself never imports them eagerly.  Instead it
@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import importlib
 import inspect
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Tuple
 
@@ -31,7 +32,11 @@ KINDS: Tuple[str, ...] = (
     "partitioner",
     "dlt_solver",
     "simulation",
+    "backend",
 )
+
+#: the entry-point group third-party distributions register under
+ENTRY_POINT_GROUP = "repro.plugins"
 
 
 class RegistryError(ValueError):
@@ -86,8 +91,12 @@ def _origin_of(factory: Callable[..., Any]) -> str:
 class Registry:
     """A set of named component catalogues, one per kind.
 
-    Thread-unsafe by design (registration happens at import time);
-    reads after provider loading are pure dict lookups.
+    Registration is import-time and single-threaded by convention, but
+    *lazy loading* must be thread-safe: concurrent backends (the
+    ``threaded`` execution backend) resolve components from worker
+    threads, so the first query of a kind may race.  A re-entrant lock
+    serialises provider/entry-point loading; reads after loading are
+    pure dict lookups.
     """
 
     def __init__(self, kinds: Iterable[str] = KINDS) -> None:
@@ -97,6 +106,16 @@ class Registry:
         self._providers: Dict[str, Tuple[str, ...]] = {}
         self._loaded: set[str] = set()
         self._loading: set[str] = set()
+        self._entry_point_groups: Tuple[str, ...] = ()
+        self._entry_points_loaded = False
+        self._entry_points_loading = False
+        #: already-loaded (group, name) entry points — never re-run, so
+        #: a broken sibling retried later cannot double-register these
+        self._entry_points_done: set[Tuple[str, str]] = set()
+        # RLock: a provider that queries the registry while registering
+        # re-enters on the same thread (the _loading marker then stops
+        # the recursion); other threads block until loading finishes
+        self._load_lock = threading.RLock()
 
     # -- kinds ------------------------------------------------------------
 
@@ -203,6 +222,68 @@ class Registry:
         # be picked up on the next query
         self._loaded.discard(kind)
 
+    # -- entry-point discovery -------------------------------------------
+
+    def enable_entry_point_discovery(
+        self, group: str = ENTRY_POINT_GROUP
+    ) -> None:
+        """Also discover components via ``importlib.metadata`` entry points.
+
+        Third-party distributions declare, in their packaging metadata::
+
+            [project.entry-points."repro.plugins"]
+            my-components = "my_package.repro_components"
+
+        and their components register with no explicit import by the
+        user: on the first catalogue query, every entry point in
+        ``group`` is loaded.  An entry point may resolve to a *module*
+        (whose import-time ``@register`` decorators run against the
+        default registry) or to a *callable*, which is invoked with
+        this :class:`Registry` so plugins can target non-default
+        registries too.
+        """
+        if group not in self._entry_point_groups:
+            self._entry_point_groups = self._entry_point_groups + (group,)
+            # plugins discovered later must be picked up by kinds that
+            # were already queried
+            self._entry_points_loaded = False
+
+    def _load_entry_points(self) -> None:
+        """Load every declared entry-point group (once, lazily).
+
+        Each entry point is loaded at most once (tracked by
+        ``(group, name)``): if one plugin raises, a later retry skips
+        the plugins that already registered and re-raises the broken
+        one's real error instead of a spurious
+        :class:`DuplicateComponentError`.
+        """
+        if self._entry_points_loaded or not self._entry_point_groups:
+            return
+        with self._load_lock:
+            if self._entry_points_loaded or self._entry_points_loading:
+                return
+            import importlib.metadata
+            import types
+
+            self._entry_points_loading = True
+            try:
+                for group in self._entry_point_groups:
+                    eps = importlib.metadata.entry_points(group=group)
+                    for ep in sorted(eps, key=lambda e: e.name):
+                        key = (group, ep.name)
+                        if key in self._entry_points_done:
+                            continue
+                        obj = ep.load()
+                        if not isinstance(obj, types.ModuleType) and callable(
+                            obj
+                        ):
+                            obj(self)
+                        # module entry points register on import
+                        self._entry_points_done.add(key)
+            finally:
+                self._entry_points_loading = False
+            self._entry_points_loaded = True
+
     def ensure_loaded(self, kind: str) -> None:
         """Import every provider module declared for ``kind`` (once).
 
@@ -210,30 +291,40 @@ class Registry:
         that fails to import raises on *every* query rather than
         leaving a silently truncated catalogue.  A separate in-progress
         marker keeps re-entrant queries (a provider querying the
-        registry while registering) from recursing.
+        registry while registering) from recursing.  Entry-point
+        discovery (when enabled) runs first, so plugin registrations
+        land before the kind's catalogue is first read.
         """
         self._check_kind(kind)
-        if kind in self._loaded or kind in self._loading:
+        self._load_entry_points()
+        if kind in self._loaded:
             return
-        self._loading.add(kind)
-        try:
-            # re-read the provider list each pass: a provider may itself
-            # declare further providers for this kind while loading
-            imported: set[str] = set()
-            while True:
-                todo = [
-                    m
-                    for m in self._providers.get(kind, ())
-                    if m not in imported
-                ]
-                if not todo:
-                    break
-                for module in todo:
-                    imported.add(module)
-                    importlib.import_module(module)
-        finally:
-            self._loading.discard(kind)
-        self._loaded.add(kind)
+        with self._load_lock:
+            # re-check under the lock: another thread may have finished
+            # the load while we waited; same-thread re-entry (a provider
+            # querying the registry mid-registration) sees _loading
+            if kind in self._loaded or kind in self._loading:
+                return
+            self._loading.add(kind)
+            try:
+                # re-read the provider list each pass: a provider may
+                # itself declare further providers for this kind while
+                # loading
+                imported: set[str] = set()
+                while True:
+                    todo = [
+                        m
+                        for m in self._providers.get(kind, ())
+                        if m not in imported
+                    ]
+                    if not todo:
+                        break
+                    for module in todo:
+                        imported.add(module)
+                        importlib.import_module(module)
+            finally:
+                self._loading.discard(kind)
+            self._loaded.add(kind)
 
     # -- lookup -----------------------------------------------------------
 

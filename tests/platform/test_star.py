@@ -99,3 +99,61 @@ class TestTransforms:
     def test_describe_mentions_all_workers(self):
         text = StarPlatform.from_speeds([1, 2]).describe()
         assert "P1" in text and "P2" in text
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        a = StarPlatform.from_speeds([1, 2, 4], bandwidths=[1, 2, 1])
+        b = StarPlatform.from_speeds([1, 2, 4], bandwidths=[1, 2, 1])
+        assert a is not b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_is_hex_of_requested_length(self):
+        fp = StarPlatform.from_speeds([1, 2]).fingerprint()
+        assert len(fp) == 16
+        int(fp, 16)  # raises if not hex
+        assert len(StarPlatform.from_speeds([1, 2]).fingerprint(64)) == 64
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            StarPlatform.from_speeds([1]).fingerprint(0)
+        with pytest.raises(ValueError):
+            StarPlatform.from_speeds([1]).fingerprint(65)
+
+    def test_sensitive_to_speeds(self):
+        assert (
+            StarPlatform.from_speeds([1, 2]).fingerprint()
+            != StarPlatform.from_speeds([1, 3]).fingerprint()
+        )
+
+    def test_sensitive_to_bandwidths(self):
+        assert (
+            StarPlatform.from_speeds([1, 2], bandwidths=[1, 1]).fingerprint()
+            != StarPlatform.from_speeds([1, 2], bandwidths=[1, 2]).fingerprint()
+        )
+
+    def test_sensitive_to_worker_order(self):
+        assert (
+            StarPlatform.from_speeds([1, 2]).fingerprint()
+            != StarPlatform.from_speeds([2, 1]).fingerprint()
+        )
+
+    def test_sensitive_to_comm_model(self):
+        plat = StarPlatform.from_speeds([1, 2])
+        assert plat.fingerprint() != plat.with_comm_model(OnePort()).fingerprint()
+
+    def test_sensitive_to_comm_model_parameters(self):
+        from repro.platform.comm_models import BoundedMultiport
+
+        plat = StarPlatform.from_speeds([1, 2])
+        narrow = plat.with_comm_model(BoundedMultiport(master_bandwidth=1.0))
+        wide = plat.with_comm_model(BoundedMultiport(master_bandwidth=100.0))
+        assert narrow.fingerprint() != wide.fingerprint()
+
+    def test_insensitive_to_worker_names(self):
+        # names are presentation only; content hash ignores them
+        base = StarPlatform.from_speeds([1, 2])
+        renamed = StarPlatform(
+            tuple(p.renamed(f"W{i}") for i, p in enumerate(base.processors))
+        )
+        assert base.fingerprint() == renamed.fingerprint()

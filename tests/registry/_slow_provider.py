@@ -1,0 +1,16 @@
+"""Provider that registers slowly — exercises concurrent lazy loading.
+
+Like ``_lazy_provider``, registration goes to ``_hooks.TARGET``; the
+deliberate pause widens the race window between a thread that starts
+the provider import and others querying the same kind mid-load.
+"""
+
+import time
+
+from tests.registry import _hooks
+
+_hooks.IMPORT_COUNT += 1
+time.sleep(0.05)
+
+if _hooks.TARGET is not None:
+    _hooks.TARGET.add("strategy", "slow-strategy", lambda: "loaded slowly")

@@ -7,6 +7,7 @@ from repro.core.pipeline import (
     PlanResult,
     execute,
     execute_all,
+    plan_request,
     supported_kwargs,
 )
 
@@ -43,7 +44,10 @@ class TestExecute:
         assert result.comm_volume > 0
         assert result.ratio_to_lower_bound >= 1.0 - 1e-9
         assert result.elapsed_s >= 0.0
-        assert "planned in" in result.summary()
+        # the default session may have planned this exact instance for
+        # an earlier test, in which case the plan is served from cache
+        summary = result.summary()
+        assert "planned in" in summary or "served from cache" in summary
 
     def test_params_routed_to_accepting_strategy(self, heterogeneous_platform):
         result = execute(
@@ -108,3 +112,39 @@ class TestExecuteAll:
         sweep = execute_all(heterogeneous_platform, 1000.0)
         for name, res in sweep.results.items():
             assert sweep.ratios[name] == res.plan.ratio_to_lower_bound
+
+    def test_iteration_order_sorted(self, heterogeneous_platform):
+        """Serial and concurrent backends must render identical tables."""
+        sweep = execute_all(
+            heterogeneous_platform, 1000.0, strategies=("hom/k", "het", "hom")
+        )
+        assert list(sweep.results) == ["het", "hom", "hom/k"]
+
+
+class TestDeprecatedShims:
+    """execute/execute_all warn and delegate to the default session."""
+
+    def test_execute_warns(self, heterogeneous_platform):
+        with pytest.warns(DeprecationWarning, match="PlannerSession.plan"):
+            execute(PlanRequest(platform=heterogeneous_platform, N=100.0))
+
+    def test_execute_all_warns(self, heterogeneous_platform):
+        with pytest.warns(DeprecationWarning, match="PlannerSession.sweep"):
+            execute_all(heterogeneous_platform, 100.0)
+
+    def test_shim_matches_raw_planner(self, heterogeneous_platform):
+        request = PlanRequest(platform=heterogeneous_platform, N=1234.0)
+        raw = plan_request(request)
+        with pytest.warns(DeprecationWarning):
+            shimmed = execute(request)
+        assert shimmed.comm_volume == raw.comm_volume
+        assert shimmed.ratio_to_lower_bound == raw.ratio_to_lower_bound
+
+
+class TestRawPlanner:
+    def test_plan_request_never_caches(self, heterogeneous_platform):
+        request = PlanRequest(platform=heterogeneous_platform, N=777.0)
+        first = plan_request(request)
+        second = plan_request(request)
+        assert not first.cached and not second.cached
+        assert first.comm_volume == second.comm_volume

@@ -161,6 +161,33 @@ class TestRegistryCore:
             sys.modules.pop("tests.registry._lazy_provider", None)
             sys.modules.pop("tests.registry._chained_provider", None)
 
+    def test_concurrent_first_query_sees_full_catalogue(self):
+        """Worker threads racing the first lazy load must not observe a
+        partially populated catalogue (threaded backends resolve
+        components off the main thread)."""
+        import sys
+        from concurrent.futures import ThreadPoolExecutor
+
+        from tests.registry import _hooks
+
+        sys.modules.pop("tests.registry._slow_provider", None)
+        reg = Registry()
+        _hooks.TARGET = reg
+        _hooks.IMPORT_COUNT = 0
+        try:
+            reg.register_provider_modules(
+                "strategy", ("tests.registry._slow_provider",)
+            )
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                catalogues = list(
+                    pool.map(lambda _: reg.available("strategy"), range(8))
+                )
+            assert all(c == ("slow-strategy",) for c in catalogues)
+            assert _hooks.IMPORT_COUNT == 1
+        finally:
+            _hooks.TARGET = None
+            sys.modules.pop("tests.registry._slow_provider", None)
+
     def test_failed_provider_import_raises_on_every_query(self):
         """A broken provider must not leave a silently empty catalogue."""
         reg = Registry()
@@ -198,6 +225,10 @@ class TestDefaultRegistry:
             "multi-round",
             "tree",
         } <= names
+
+    def test_builtin_backends(self):
+        names = set(registry.available("backend"))
+        assert {"serial", "threaded", "process"} <= names
 
     def test_builtin_simulations(self):
         names = set(registry.available("simulation"))

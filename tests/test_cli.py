@@ -69,6 +69,79 @@ class TestCommands:
         assert "written" in capsys.readouterr().out
         assert out_file.read_text().startswith("REPRODUCTION REPORT")
 
+    def test_compare_backend_flag(self, capsys):
+        rc = main(
+            ["compare", "--speeds", "1", "2", "4", "--N", "500",
+             "--backend", "threaded", "--jobs", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Strategy sweep" in out
+        assert "cache:" in out
+
+    def test_compare_no_cache(self, capsys):
+        rc = main(
+            ["compare", "--speeds", "1", "2", "--N", "500", "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cache:" not in out
+
+    def test_unknown_backend_is_user_error(self, capsys):
+        rc = main(["compare", "--speeds", "1", "2", "--backend", "nope"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown backend 'nope'" in err
+
+    def test_cache_stats(self, capsys):
+        rc = main(
+            ["cache-stats", "--speeds", "1", "2", "4", "--N", "500",
+             "--repeats", "3"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Plan cache statistics" in out
+        # repeats 2 and 3 hit everything the first sweep planned
+        assert "hit(s)" in out
+
+    def test_cache_stats_no_cache(self, capsys):
+        rc = main(
+            ["cache-stats", "--speeds", "1", "2", "--N", "500", "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "plan cache disabled" in out
+
+    def test_plan_strategy_with_backend(self, capsys):
+        rc = main(
+            ["plan", "--speeds", "1", "2", "--N", "500",
+             "--strategy", "het", "--backend", "process"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "planned in" in out or "served from cache" in out
+
+    def test_nonpositive_jobs_rejected_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["compare", "--speeds", "1", "2", "--jobs", "0"])
+        assert exc.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_figure4_no_cache(self, capsys):
+        rc = main(
+            ["figure4", "--model", "homogeneous", "--processors", "10",
+             "--trials", "2", "--no-cache"]
+        )
+        assert rc == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_list_backends(self, capsys):
+        rc = main(["list", "backend"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("serial", "threaded", "process"):
+            assert name in out
+
     def test_seed_threaded_through(self, capsys):
         main(["--seed", "7", "sort", "--n", "5000"])
         first = capsys.readouterr().out
