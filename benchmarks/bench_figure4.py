@@ -10,12 +10,25 @@ Expected shape assertions (the paper's findings):
 * 4(a) homogeneous — every strategy sits at ratio ≈ 1;
 * 4(b)/4(c) heterogeneous — ``Comm_het`` within a few %, ``Comm_hom/k``
   reaching 15–30× (we assert > 8× at p = 100 for seed robustness).
+
+Also benchmarks the vectorised batch-planning path
+(``test_batch_vectorised_speedup``): a 500-request ``hom``/``het``
+batch planned scalar vs through the strategies' batched kernels, with
+the plans asserted equivalent and the speedup emitted as a ``BENCH``
+JSON line.
 """
 
+import json
+import time
+
+import numpy as np
 import pytest
 
+from repro.core.pipeline import PlanRequest
 from repro.core.session import PlannerSession
 from repro.experiments.figure4 import run_figure4
+from repro.platform.generators import make_speeds
+from repro.platform.star import StarPlatform
 
 
 def _run_panel(speed_model, protocol):
@@ -59,6 +72,72 @@ def test_fig4b_uniform(benchmark, figure4_protocol):
     assert result.final_ratio("het") < 1.02  # paper: "never more than 2%"
     assert result.final_ratio("hom/k") > 8.0  # paper: 15-30x
     assert result.final_ratio("hom/k") > result.final_ratio("hom")
+
+
+def _sweep_style_batch(n_platforms=5, p=64, n_sizes=50, seed=2013):
+    """A ρ-sweep-shaped batch: few platforms × many N × both strategies.
+
+    This is the workload the vectorised path exists for — the same
+    closed-form strategies replanned across a grid of (platform, N)
+    points, as in the Figure-4 / ρ protocols.
+    """
+    rng = np.random.default_rng(seed)
+    platforms = [
+        StarPlatform.from_speeds(make_speeds("uniform", p, rng))
+        for _ in range(n_platforms)
+    ]
+    sizes = [float(1_000 + 200 * i) for i in range(n_sizes)]
+    return [
+        PlanRequest(platform=platform, N=size, strategy=strategy)
+        for platform in platforms
+        for size in sizes
+        for strategy in ("hom", "het")
+    ]
+
+
+def test_batch_vectorised_speedup():
+    """Scalar vs vectorised planning of one 500-request hom/het batch.
+
+    Asserts the equivalence contract (plans agree within rtol=1e-12)
+    and a >= 3x wall-clock speedup, then emits a machine-readable
+    ``BENCH {...}`` JSON line for CI trend tracking.  Caching is off in
+    both sessions so the comparison times real planning work.
+    """
+    requests = _sweep_style_batch()
+    assert len(requests) == 500
+
+    with PlannerSession(cache=False, vectorize=False) as scalar:
+        start = time.perf_counter()
+        scalar_results = scalar.plan_batch(requests)
+        scalar_s = time.perf_counter() - start
+    with PlannerSession(cache=False, vectorize=True) as vectorised:
+        start = time.perf_counter()
+        vector_results = vectorised.plan_batch(requests)
+        vector_s = time.perf_counter() - start
+
+    for a, b in zip(scalar_results, vector_results):
+        assert a.strategy == b.strategy
+        assert np.isclose(a.comm_volume, b.comm_volume, rtol=1e-12, atol=0)
+        assert np.allclose(
+            a.plan.finish_times, b.plan.finish_times, rtol=1e-12, atol=0
+        )
+
+    speedup = scalar_s / vector_s
+    print()
+    print(
+        "BENCH "
+        + json.dumps(
+            {
+                "name": "batch_vectorised_speedup",
+                "requests": len(requests),
+                "strategies": ["hom", "het"],
+                "scalar_s": round(scalar_s, 4),
+                "vector_s": round(vector_s, 4),
+                "speedup": round(speedup, 2),
+            }
+        )
+    )
+    assert speedup >= 3.0, f"vectorised path only {speedup:.1f}x faster"
 
 
 def test_fig4c_lognormal(benchmark, figure4_protocol):

@@ -87,9 +87,11 @@ def main() -> None:
     # --- 5. the deprecation path --------------------------------------
     print(
         "repro.core.pipeline.execute/execute_all still work but emit\n"
-        "DeprecationWarning and delegate to the default session —\n"
-        "new code uses PlannerSession (or passes session=... to the\n"
-        "plan_outer_product / compare_strategies façade)."
+        "DeprecationWarning (removal: repro 2.0) and delegate to the\n"
+        "default session — new code uses PlannerSession (or passes\n"
+        "session=... to the plan_outer_product / compare_strategies\n"
+        "façade).  See the README's migration notes, and\n"
+        "examples/batch_planning.py for the vectorised batch path."
     )
 
 

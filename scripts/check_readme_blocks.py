@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Execute every fenced ``python`` code block in README.md.
+
+The docs CI job runs this so the README's quickstart can never rot:
+blocks are executed top to bottom in one shared namespace (so later
+blocks may build on earlier ones), and any exception fails the run
+with the offending block echoed.  Non-Python fences (``console`` etc.)
+are ignored — they are exercised separately by the CLI smoke jobs.
+
+Usage::
+
+    python scripts/check_readme_blocks.py [path/to/README.md]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def python_blocks(text: str) -> list[str]:
+    return [match.group(1).strip() for match in FENCE.finditer(text)]
+
+
+def main(argv: list[str]) -> int:
+    readme = Path(argv[1]) if len(argv) > 1 else Path("README.md")
+    blocks = python_blocks(readme.read_text(encoding="utf-8"))
+    if not blocks:
+        print(f"error: no ```python blocks found in {readme}", file=sys.stderr)
+        return 1
+    namespace: dict = {"__name__": "__readme__"}
+    for i, block in enumerate(blocks, start=1):
+        print(f"-- README block {i}/{len(blocks)} " + "-" * 40)
+        try:
+            exec(compile(block, f"{readme}:block{i}", "exec"), namespace)
+        except Exception:
+            print(f"\nREADME block {i} failed:\n\n{block}\n", file=sys.stderr)
+            raise
+    print(f"\nall {len(blocks)} README python block(s) executed cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

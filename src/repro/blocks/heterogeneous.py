@@ -11,11 +11,12 @@ communication cost is the scaled half-perimeter ``k + l``; the total is
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
 
 import numpy as np
 
 from repro import registry
-from repro.blocks.metrics import StrategyResult
+from repro.blocks.metrics import StrategyResult, batch_platform_groups
 from repro.platform.star import StarPlatform
 from repro.registry import register
 from repro.util.validation import check_positive
@@ -50,13 +51,57 @@ class HeterogeneousBlocksStrategy:
         check_positive(N, "N")
         x = platform.normalized_speeds
         part = registry.create("partitioner", self.partitioner, x)
-        scaled = part.scaled(N)
-        comm = scaled.sum_half_perimeters
-        w = platform.cycle_times
         areas = np.empty(platform.size)
         for rect in part:
             areas[rect.owner] = rect.area
-        finish = areas * (N * N) * w
+        finish = areas * (N * N) * platform.cycle_times
+        return self._result(platform, float(N), part, finish)
+
+    def plan_batch(
+        self,
+        platforms: Sequence[StarPlatform],
+        Ns: Sequence[float],
+    ) -> List[StrategyResult]:
+        """Plan a whole batch in one pass per distinct speed vector.
+
+        The partition geometry depends only on the normalized speed
+        vector, so requests on content-identical platforms (matching
+        :meth:`~repro.platform.star.StarPlatform.fingerprint`) share one
+        partitioner run; their finish times come out of a single stacked
+        ``areas × N² × w`` NumPy product whose per-element op order
+        matches :meth:`plan` exactly, so batched plans are bit-identical
+        to scalar ones.  Called by :mod:`repro.core.vectorize` for
+        session batches; callable directly too.
+        """
+        results: List[StrategyResult | None] = [None] * len(platforms)
+        for idxs in batch_platform_groups(platforms, Ns).values():
+            platform = platforms[idxs[0]]
+            x = platform.normalized_speeds
+            part = registry.create("partitioner", self.partitioner, x)
+            areas = np.empty(platform.size)
+            for rect in part:
+                areas[rect.owner] = rect.area
+            Ns_g = np.array([float(Ns[i]) for i in idxs])
+            # one stacked pass; row g is exactly areas * (N*N) * w
+            finish_stack = (
+                areas[None, :] * (Ns_g * Ns_g)[:, None]
+            ) * platform.cycle_times[None, :]
+            for row, i in enumerate(idxs):
+                results[i] = self._result(
+                    platforms[i], float(Ns[i]), part, finish_stack[row]
+                )
+        return results  # type: ignore[return-value]
+
+    def _result(
+        self,
+        platform: StarPlatform,
+        N: float,
+        part,
+        finish: np.ndarray,
+    ) -> StrategyResult:
+        """Scale one partition to ``N`` and wrap it as a result."""
+        scaled = part.scaled(N)
+        comm = scaled.sum_half_perimeters
         imbalance = (
             0.0
             if np.allclose(finish, finish[0], rtol=1e-9)
@@ -64,7 +109,7 @@ class HeterogeneousBlocksStrategy:
         )
         return StrategyResult(
             strategy="het",
-            N=float(N),
+            N=N,
             speeds=platform.speeds,
             comm_volume=float(comm),
             finish_times=finish,

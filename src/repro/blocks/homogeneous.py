@@ -22,10 +22,15 @@ runs the greedy demand-driven schedule, so the load imbalance ``e`` that
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
 
 import numpy as np
 
-from repro.blocks.metrics import StrategyResult, load_imbalance
+from repro.blocks.metrics import (
+    StrategyResult,
+    batch_platform_groups,
+    load_imbalance,
+)
 from repro.core.bounds import comm_hom_ideal
 from repro.platform.star import StarPlatform
 from repro.registry import register
@@ -100,10 +105,104 @@ class HomogeneousBlocksStrategy:
             tasks = [Task(work=work, data=2.0 * side, tag=b) for b in range(B)]
             result = run_demand_driven(platform, tasks)
             counts, finish_times = result.counts, result.finish_times
+        return self._result(platform, float(N), side, B, counts, finish_times)
+
+    def plan_batch(
+        self,
+        platforms: Sequence[StarPlatform],
+        Ns: Sequence[float],
+    ) -> List[StrategyResult]:
+        """Plan a whole batch, sharing schedules across identical platforms.
+
+        For identical tasks the greedy demand-driven schedule's *counts*
+        depend only on the platform's relative cycle times and the block
+        count ``B`` — both scale-invariant in ``N`` — so requests on
+        content-identical platforms with equal ``B`` share one schedule
+        (one heap run or one closed-form solve per group).  Finish times
+        are then rebuilt per request by a vectorised cumulative sum that
+        replays the heap's per-worker float additions in the same order,
+        so results match the scalar path bit-for-bit whenever the shared
+        counts do (always, barring sub-ulp ties between worker free
+        times; the documented batch tolerance is ``rtol = 1e-12``).
+        """
+        results: List[StrategyResult | None] = [None] * len(platforms)
+        for idxs in batch_platform_groups(platforms, Ns).values():
+            platform = platforms[idxs[0]]
+            # B is computed per request with the exact scalar formula
+            # (its float noise is absorbed by n_blocks' tolerance, but
+            # knife-edge cases must land where the scalar path puts
+            # them), then requests sub-group by block count.
+            sides = {i: self.block_side(platform, float(Ns[i])) for i in idxs}
+            by_blocks: dict[int, List[int]] = {}
+            for i in idxs:
+                by_blocks.setdefault(
+                    self.n_blocks(platform, float(Ns[i])), []
+                ).append(i)
+            for B, members in by_blocks.items():
+                self._plan_members(
+                    platforms, Ns, members, sides, B, results
+                )
+        return results  # type: ignore[return-value]
+
+    def _plan_members(
+        self,
+        platforms: Sequence[StarPlatform],
+        Ns: Sequence[float],
+        members: List[int],
+        sides: dict,
+        B: int,
+        results: List,
+    ) -> None:
+        """Schedule once, rebuild finish times for every member."""
+        platform = platforms[members[0]]
+        w = platform.cycle_times
+        ref_side = sides[members[0]]
+        ref_work = ref_side * ref_side
+        if B > self._FAST_PATH_THRESHOLD:
+            counts, _ = identical_task_schedule(platform, B, ref_work)
+            closed_form = True
+        else:
+            tasks = [
+                Task(work=ref_work, data=2.0 * ref_side, tag=b)
+                for b in range(B)
+            ]
+            counts = run_demand_driven(platform, tasks).counts
+            closed_form = False
+        max_count = int(counts.max())
+        active = np.arange(platform.size)[counts > 0]
+        for i in members:
+            side = sides[i]
+            d = (side * side) * w
+            if closed_form:
+                # mirrors identical_task_schedule's `counts * d`
+                finish = counts * d
+            else:
+                # replay the heap's per-worker additions: worker j's
+                # finish is d[j] added counts[j] times sequentially,
+                # which repeated-addition cumsum reproduces exactly
+                partial = np.add.accumulate(
+                    np.broadcast_to(d[active], (max_count, active.size)),
+                    axis=0,
+                )
+                finish = np.zeros(platform.size)
+                finish[active] = partial[counts[active] - 1, np.arange(active.size)]
+            results[i] = self._result(
+                platforms[i], float(Ns[i]), side, B, counts.copy(), finish
+            )
+
+    def _result(
+        self,
+        platform: StarPlatform,
+        N: float,
+        side: float,
+        B: int,
+        counts: np.ndarray,
+        finish_times: np.ndarray,
+    ) -> StrategyResult:
         comm = B * 2.0 * side
         return StrategyResult(
             strategy=f"hom/k={self.subdivision}" if self.subdivision > 1 else "hom",
-            N=float(N),
+            N=N,
             speeds=platform.speeds,
             comm_volume=float(comm),
             finish_times=finish_times,

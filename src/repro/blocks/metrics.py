@@ -1,13 +1,38 @@
-"""Shared result type and metrics for the §4 strategies."""
+"""Shared result type, metrics and batch helpers for the §4 strategies."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.bounds import lower_bound_comm
+from repro.util.validation import check_positive
+
+
+def validate_batch(platforms: Sequence, Ns: Sequence[float]) -> None:
+    """Reject mismatched or non-positive batched ``plan_batch`` inputs."""
+    if len(platforms) != len(Ns):
+        raise ValueError(f"{len(platforms)} platforms but {len(Ns)} Ns")
+    for N in Ns:
+        check_positive(float(N), "N")
+
+
+def batch_platform_groups(
+    platforms: Sequence, Ns: Sequence[float]
+) -> Dict[str, List[int]]:
+    """Validate a batch and group request indices by platform content.
+
+    Content-identical platforms (matching ``fingerprint()``) share one
+    group, which is the unit the vectorised strategy kernels amortise
+    over — one partitioner run / demand-driven schedule per group.
+    """
+    validate_batch(platforms, Ns)
+    groups: Dict[str, List[int]] = {}
+    for i, platform in enumerate(platforms):
+        groups.setdefault(platform.fingerprint(), []).append(i)
+    return groups
 
 
 def load_imbalance(finish_times: np.ndarray) -> float:

@@ -13,9 +13,10 @@ ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.blocks.homogeneous import HomogeneousBlocksStrategy
-from repro.blocks.metrics import StrategyResult
+from repro.blocks.metrics import StrategyResult, validate_batch
 from repro.platform.star import StarPlatform
 from repro.registry import register
 from repro.util.validation import check_positive
@@ -60,6 +61,46 @@ class RefinedHomogeneousStrategy:
                 return self._label(plan, converged=True)
         assert best is not None
         return self._label(best, converged=False)
+
+    def plan_batch(
+        self,
+        platforms: Sequence["StarPlatform"],
+        Ns: Sequence[float],
+    ) -> List[StrategyResult]:
+        """Run the ``k``-refinement loop over a whole batch at once.
+
+        Each round plans every still-unconverged request through
+        :meth:`HomogeneousBlocksStrategy.plan_batch` (which shares one
+        demand-driven schedule per distinct platform), then retires the
+        requests that reached the imbalance target — per-request
+        semantics are exactly the scalar loop's, only the inner planning
+        is fused.  Requests converge (or exhaust ``max_subdivision``)
+        independently, so a batch mixing platforms never changes any
+        member's chosen ``k``.
+        """
+        validate_batch(platforms, Ns)
+        results: List[StrategyResult | None] = [None] * len(platforms)
+        best: dict[int, StrategyResult] = {}
+        remaining = list(range(len(platforms)))
+        for k in range(1, self.max_subdivision + 1):
+            plans = HomogeneousBlocksStrategy(subdivision=k).plan_batch(
+                [platforms[i] for i in remaining],
+                [Ns[i] for i in remaining],
+            )
+            still: List[int] = []
+            for i, plan in zip(remaining, plans):
+                if i not in best or plan.imbalance < best[i].imbalance:
+                    best[i] = plan
+                if plan.imbalance <= self.imbalance_target:
+                    results[i] = self._label(plan, converged=True)
+                else:
+                    still.append(i)
+            remaining = still
+            if not remaining:
+                break
+        for i in remaining:
+            results[i] = self._label(best[i], converged=False)
+        return results  # type: ignore[return-value]
 
     @staticmethod
     def _label(plan: StrategyResult, converged: bool) -> StrategyResult:

@@ -9,6 +9,7 @@ console script; ``python -m repro`` works too)::
     repro plan --speeds 1 2 4 8 --strategy hom/k
     repro compare --speeds 1 2 4 8   # sweep every registered strategy
     repro compare --speeds 1 2 4 8 --backend threaded --jobs 4
+    repro compare --speeds 1 2 4 8 --no-vectorize   # scalar misses
     repro cache-stats --speeds 1 2 4 8 --repeats 3
     repro figure4 --model uniform --trials 100 --backend process
     repro section2 --alphas 1.5 2 3
@@ -52,6 +53,7 @@ def _session_from_args(args: argparse.Namespace):
         backend=getattr(args, "backend", "serial"),
         cache=not getattr(args, "no_cache", False),
         jobs=getattr(args, "jobs", None),
+        vectorize=getattr(args, "vectorize", True),
     )
 
 
@@ -83,6 +85,15 @@ def _add_session_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="worker cap for concurrent backends (default: backend's choice)",
     )
+    parser.add_argument(
+        "--vectorize",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "fuse batched cache misses through the strategies' NumPy "
+            "kernels (results are identical either way; default: on)"
+        ),
+    )
 
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
@@ -97,6 +108,7 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
         backend=args.backend,
         jobs=args.jobs,
         cache=not args.no_cache,
+        vectorize=args.vectorize,
     )
     print(result.render())
     if args.chart:

@@ -16,6 +16,9 @@
 * :mod:`repro.core.session` — :class:`PlannerSession`, the
   backend-routed, cached, batched planning API (with
   :mod:`repro.core.backends` and :mod:`repro.core.cache` under it).
+* :mod:`repro.core.vectorize` — the miss → group → kernel routing that
+  lets sessions plan whole batches through the strategies' vectorised
+  ``plan_batch`` kernels.
 """
 
 from repro.core.cost_models import (
@@ -64,6 +67,12 @@ from repro.core.pipeline import (
     plan_request,
 )
 from repro.core.cache import CacheStats, PlanCache
+from repro.core.vectorize import (
+    VectorGroup,
+    batch_capable,
+    plan_batch_requests,
+    plan_request_group,
+)
 from repro.core.session import (
     PlannerSession,
     default_session,
@@ -106,6 +115,10 @@ __all__ = [
     "plan_request",
     "CacheStats",
     "PlanCache",
+    "VectorGroup",
+    "batch_capable",
+    "plan_batch_requests",
+    "plan_request_group",
     "PlannerSession",
     "default_session",
     "reset_default_session",

@@ -37,7 +37,16 @@ R = TypeVar("R")
 
 
 class Backend:
-    """Base: order-preserving ``map`` plus pool lifecycle hooks."""
+    """Base: order-preserving ``map`` plus pool lifecycle hooks.
+
+    ``map(fn, items)`` is the whole contract: apply ``fn`` to each item
+    and return the results in order, running items wherever the backend
+    likes.  Sessions feed it scalar :func:`~repro.core.pipeline.plan_request`
+    calls and — on the vectorised path — whole
+    :class:`~repro.core.vectorize.VectorGroup` items, both picklable,
+    so any conforming backend (including plugin-registered ones)
+    composes with caching and vectorisation for free.
+    """
 
     #: registered name, set by subclasses for error messages/repr
     name: str = "abstract"

@@ -54,6 +54,21 @@ def freeze_value(value: Any) -> Hashable:
         return repr(value)
 
 
+def frozen_effective_params(
+    request: PlanRequest, factory: Callable[..., Any]
+) -> Hashable:
+    """Hashable form of the params ``factory`` would actually receive.
+
+    Filters the request's params down to what the factory's signature
+    accepts, then freezes them sorted-by-name.  This is the *shared*
+    definition of parameter identity: the plan cache keys on it and the
+    vectorised path groups on it, so requests that share a cache entry
+    always share a vector group (and vice versa).
+    """
+    effective = supported_kwargs(factory, request.params)
+    return tuple((k, freeze_value(v)) for k, v in sorted(effective.items()))
+
+
 def plan_cache_key(
     request: PlanRequest, factory: Callable[..., Any]
 ) -> Hashable:
@@ -62,9 +77,9 @@ def plan_cache_key(
     ``factory`` is the resolved strategy factory; its origin joins the
     key so re-registering a strategy name with a different factory
     (plugin replacement) does not serve stale plans, and its signature
-    decides which params participate.
+    decides which params participate
+    (:func:`frozen_effective_params`).
     """
-    effective = supported_kwargs(factory, request.params)
     origin = (
         f"{getattr(factory, '__module__', '?')}."
         f"{getattr(factory, '__qualname__', getattr(factory, '__name__', '?'))}"
@@ -74,7 +89,7 @@ def plan_cache_key(
         float(request.N),
         request.strategy,
         origin,
-        tuple((k, freeze_value(v)) for k, v in sorted(effective.items())),
+        frozen_effective_params(request, factory),
     )
 
 
@@ -119,7 +134,18 @@ class PlanCache:
 
     Not thread-safe by itself; sessions perform all cache traffic on
     the calling thread (backends only plan misses), so no lock is
-    needed there.
+    needed there.  Entries are path-agnostic: scalar and vectorised
+    planning produce interchangeable results (the vectorisation
+    equivalence contract), so a cache may be warmed by either and
+    shared between sessions::
+
+        shared = PlanCache(max_entries=10_000)
+        a = PlannerSession(cache=shared)
+        b = PlannerSession(cache=shared, backend="threaded")
+
+    ``key_for`` exposes the content key (platform fingerprint × N ×
+    strategy + factory origin × effective params) for external stores
+    that want to mirror the session keying.
     """
 
     def __init__(self, max_entries: int = 4096) -> None:

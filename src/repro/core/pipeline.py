@@ -59,12 +59,29 @@ def supported_kwargs(
 
 @dataclass(frozen=True)
 class PlanRequest:
-    """One normalized planning job: which strategy on which instance."""
+    """One normalized planning job: which strategy on which instance.
 
+    The unit of work everything downstream speaks — sessions cache it
+    (under its content key), backends pickle it to workers, and the
+    vectorised path groups it with other requests sharing a strategy.
+    Immutable and hashable-by-content, so a request can safely appear
+    in many batches.
+
+    Example::
+
+        PlanRequest(platform=StarPlatform.from_speeds([1, 2, 4]),
+                    N=10_000.0, strategy="hom/k",
+                    params={"imbalance_target": 0.01})
+    """
+
+    #: the star platform to plan on (content-fingerprinted for caching)
     platform: StarPlatform
+    #: problem size — the outer product is ``N × N``
     N: float
+    #: a registered strategy name (``repro list strategy``)
     strategy: str = "het"
-    #: free-form strategy parameters; silently filtered per strategy
+    #: free-form strategy parameters; silently filtered down to what
+    #: the strategy's constructor accepts (:func:`supported_kwargs`)
     params: Mapping[str, Any] = field(default_factory=dict)
 
     def with_strategy(self, strategy: str) -> "PlanRequest":
@@ -79,12 +96,22 @@ class PlanRequest:
 
 @dataclass(frozen=True)
 class PlanResult:
-    """A strategy's plan plus uniform bookkeeping (timing, LB ratio)."""
+    """A strategy's plan plus uniform bookkeeping (timing, LB ratio).
 
+    Wraps the strategy's own :class:`~repro.blocks.metrics.StrategyResult`
+    (``.plan``) with the request it answers and how it was produced.
+    The convenience properties (``comm_volume``, ``ratio_to_lower_bound``,
+    ``imbalance``, ``makespan``) forward to the plan so tables and
+    experiments never reach through two layers.
+    """
+
+    #: the request this result answers (defaults already merged in)
     request: PlanRequest
+    #: the strategy's plan with its communication/imbalance metrics
     plan: StrategyResult
     #: wall-clock seconds spent planning (construction + .plan());
-    #: 0.0 when the plan came out of a session's cache
+    #: an even share of the kernel's time when planned in a vectorised
+    #: group; 0.0 when the plan came out of a session's cache
     elapsed_s: float
     #: True when a session served this result from its plan cache
     cached: bool = False
@@ -199,16 +226,18 @@ def _sorted_results(
 def execute(request: PlanRequest) -> PlanResult:
     """Deprecated shim: plan one request through the default session.
 
-    .. deprecated::
+    .. deprecated:: 1.1
         Use :meth:`repro.core.session.PlannerSession.plan` (or the
         module-level :func:`repro.core.session.default_session`), which
         adds backend routing and plan caching.  Kept for source
         compatibility; behaves exactly like
-        ``default_session().plan(request)``.
+        ``default_session().plan(request)``.  Scheduled for removal in
+        repro 2.0 — see the README's migration notes.
     """
     warnings.warn(
-        "repro.core.pipeline.execute() is deprecated; "
-        "use PlannerSession.plan() (see repro.core.session)",
+        "repro.core.pipeline.execute() is deprecated and will be "
+        "removed in repro 2.0; use PlannerSession.plan() "
+        "(see repro.core.session and the README migration notes)",
         DeprecationWarning,
         stacklevel=2,
     )
@@ -225,15 +254,18 @@ def execute_all(
 ) -> PlanSweep:
     """Deprecated shim: sweep strategies through the default session.
 
-    .. deprecated::
+    .. deprecated:: 1.1
         Use :meth:`repro.core.session.PlannerSession.sweep`, which adds
         backend routing (``serial``/``threaded``/``process``) and plan
         caching.  Kept for source compatibility; behaves exactly like
         ``default_session().sweep(platform, N, strategies, **params)``.
+        Scheduled for removal in repro 2.0 — see the README's migration
+        notes.
     """
     warnings.warn(
-        "repro.core.pipeline.execute_all() is deprecated; "
-        "use PlannerSession.sweep() (see repro.core.session)",
+        "repro.core.pipeline.execute_all() is deprecated and will be "
+        "removed in repro 2.0; use PlannerSession.sweep() "
+        "(see repro.core.session and the README migration notes)",
         DeprecationWarning,
         stacklevel=2,
     )

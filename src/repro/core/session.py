@@ -12,7 +12,13 @@ A session owns the three concerns the free-function pipeline lacked:
   skip re-planning; hits surface in :class:`PlanSweep` tables and
   :meth:`cache_stats`;
 * **defaults** — session-wide default params (e.g. an
-  ``imbalance_target`` house style) merge under each request's own.
+  ``imbalance_target`` house style) merge under each request's own;
+* **vectorisation** — cache misses that share a strategy (and its
+  effective params) are grouped and planned through the strategy's
+  batched NumPy kernel when it has one (:mod:`repro.core.vectorize`),
+  falling back to scalar planning otherwise; toggled per session
+  (``PlannerSession(vectorize=False)``) or per call
+  (``plan_batch(requests, vectorize=False)``).
 
 Usage::
 
@@ -47,6 +53,7 @@ from repro.core.pipeline import (
     PlanSweep,
     plan_request,
 )
+from repro.core.vectorize import plan_batch_requests
 from repro.platform.star import StarPlatform
 
 
@@ -64,6 +71,16 @@ class PlannerSession:
         share one cache between sessions.
     jobs:
         Worker cap forwarded to the backend (``None`` = its default).
+    vectorize:
+        ``True`` (default) routes each batch's cache misses through
+        :func:`repro.core.vectorize.plan_batch_requests`, which fuses
+        requests sharing a strategy into one NumPy kernel call where
+        the strategy supports it (``hom``, ``het`` and ``hom/k`` do);
+        ``False`` plans every miss through the scalar
+        :func:`~repro.core.pipeline.plan_request`.  Both paths return
+        equal plans (bit-identical up to a documented ``rtol = 1e-12``),
+        so cached entries are interchangeable; :meth:`plan_batch` and
+        :meth:`sweep` can override the session default per call.
     default_params:
         Session-wide strategy params merged *under* each request's own
         (the request wins on conflicts).
@@ -75,6 +92,7 @@ class PlannerSession:
         *,
         cache: bool | PlanCache = True,
         jobs: int | None = None,
+        vectorize: bool = True,
         **default_params: Any,
     ) -> None:
         if isinstance(backend, str):
@@ -89,6 +107,7 @@ class PlannerSession:
             self._cache = None
         else:
             self._cache = cache
+        self.vectorize = bool(vectorize)
         self.default_params: dict[str, Any] = dict(default_params)
 
     # -- lifecycle -------------------------------------------------------
@@ -112,18 +131,33 @@ class PlannerSession:
     # -- planning --------------------------------------------------------
 
     def plan(self, request: PlanRequest) -> PlanResult:
-        """Plan one request (cache first, then the backend)."""
+        """Plan one request (cache first, then the backend).
+
+        A single request never enters a vector group, so ``plan`` stays
+        on the exact scalar codepath whatever the session's
+        ``vectorize`` setting.
+        """
         return self.plan_batch((request,))[0]
 
     def plan_batch(
-        self, requests: Sequence[PlanRequest]
+        self,
+        requests: Sequence[PlanRequest],
+        *,
+        vectorize: bool | None = None,
     ) -> List[PlanResult]:
         """Plan many requests; results align with ``requests`` by index.
 
         Cache lookups happen up front on the calling thread; only the
         misses travel through the backend (concurrently, if it fans
-        out), and their results are cached on the way back.
+        out), and their results are cached on the way back.  With
+        vectorisation on (the session default unless ``vectorize``
+        overrides it), misses sharing a strategy are fused into one
+        batched kernel call per group — each group is a single backend
+        item — and strategies without a kernel fall back to scalar
+        planning.  Cache traffic (lookups, misses, stored entries) is
+        identical on both paths.
         """
+        use_vectorize = self.vectorize if vectorize is None else bool(vectorize)
         requests = [self._with_defaults(req) for req in requests]
         results: List[PlanResult | None] = [None] * len(requests)
         misses: List[tuple[int, Any, PlanRequest]] = []
@@ -144,9 +178,11 @@ class PlannerSession:
             else:
                 misses.append((i, key, req))
         if misses:
-            planned = self.backend.map(
-                plan_request, [req for _, _, req in misses]
-            )
+            miss_requests = [req for _, _, req in misses]
+            if use_vectorize:
+                planned = plan_batch_requests(miss_requests, self.backend)
+            else:
+                planned = self.backend.map(plan_request, miss_requests)
             for (i, key, _), result in zip(misses, planned):
                 if self._cache is not None:
                     self._cache.put(key, result)
@@ -158,13 +194,20 @@ class PlannerSession:
         platform: StarPlatform,
         N: float,
         strategies: Sequence[str] | None = None,
+        vectorize: bool | None = None,
         **params: Any,
     ) -> PlanSweep:
         """Every registered (or the named) strategies on one instance.
 
-        Strategy order is sorted by name whatever the backend, so
-        serial and concurrent sweeps render identical tables.  The
-        sweep records how its requests fared against the plan cache.
+        Deterministic by construction: strategy order is sorted by name
+        whatever the backend, each strategy's plan is independent of the
+        others, and planning itself is pure — so serial, concurrent and
+        vectorised sweeps all render identical tables.  The sweep
+        records how its requests fared against the plan cache.
+        ``vectorize`` overrides the session default for this sweep (a
+        sweep holds one request per strategy, so fusion only kicks in
+        when strategies repeat — it mainly matters for callers looping
+        sweeps through :meth:`plan_batch`).
         """
         names = (
             tuple(sorted(strategies))
@@ -176,7 +219,8 @@ class PlannerSession:
             [
                 PlanRequest(platform=platform, N=N, strategy=name, params=params)
                 for name in names
-            ]
+            ],
+            vectorize=vectorize,
         )
         hits = misses = None
         if self._cache is not None and before is not None:

@@ -154,6 +154,7 @@ def run_figure4(
     backend: str = "serial",
     jobs: int | None = None,
     cache: bool = True,
+    vectorize: bool = True,
 ) -> Figure4Result:
     """Reproduce one panel of Figure 4.
 
@@ -166,6 +167,9 @@ def run_figure4(
     homogeneous panel, where every trial is content-identical) hit the
     plan cache instead of re-planning — pass ``cache=False`` to plan
     every trial anew (e.g. to measure real per-trial planning time).
+    ``vectorize`` sets the fresh session's batched-kernel routing
+    (:mod:`repro.core.vectorize`); either setting yields the same
+    panel, per the vectorisation equivalence contract.
     """
     processors = tuple(int(p) for p in processors)
     names = strategy_names()
@@ -173,7 +177,9 @@ def run_figure4(
     means = {name: np.empty(len(processors)) for name in names}
     stds = {name: np.empty(len(processors)) for name in names}
     own_session = session is None
-    session = session or PlannerSession(backend=backend, jobs=jobs, cache=cache)
+    session = session or PlannerSession(
+        backend=backend, jobs=jobs, cache=cache, vectorize=vectorize
+    )
     try:
         for i, p in enumerate(processors):
             samples = {name: np.empty(trials) for name in names}
