@@ -1,0 +1,131 @@
+"""Benchmarks for the plan storage layer (memory / sqlite / tiered).
+
+Two questions the storage tentpole must answer with numbers:
+
+* **store overhead** — how much slower is a durable ``get``/``put``
+  than the in-memory LRU?  (It only has to be cheap relative to
+  *planning*, which it replaces on a hit.)
+* **warm resume** — how much of a Figure-4 panel's wall-clock does a
+  pre-warmed sqlite cache recover?  This is the killed-sweep resume
+  path: the second run replays every point from disk.
+
+Both emit ``BENCH {...}`` JSON lines for CI trend tracking, like the
+vectorised-batch benchmark in ``bench_figure4.py``.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.cache import (
+    MemoryPlanCache,
+    SQLitePlanCache,
+    TieredPlanCache,
+    plan_cache_key,
+)
+from repro.core.pipeline import PlanRequest, plan_request
+from repro.core.session import PlannerSession
+from repro.experiments.figure4 import run_figure4
+from repro.platform.star import StarPlatform
+from repro import registry
+
+
+def _sample_entries(count=64, seed=7):
+    """(key, PlanResult) pairs from real planned requests."""
+    rng = np.random.default_rng(seed)
+    factory = registry.get("strategy", "het")
+    entries = []
+    for _ in range(count):
+        platform = StarPlatform.from_speeds(
+            rng.uniform(1.0, 10.0, size=8).tolist()
+        )
+        request = PlanRequest(platform=platform, N=1000.0, strategy="het")
+        entries.append((plan_cache_key(request, factory), plan_request(request)))
+    return entries
+
+
+@pytest.mark.parametrize("kind", ["memory", "sqlite", "tiered"])
+def test_store_roundtrip_throughput(kind, tmp_path):
+    """put + 3x get over every entry; reports ops/s per store kind."""
+    entries = _sample_entries()
+    if kind == "memory":
+        store = MemoryPlanCache()
+    elif kind == "sqlite":
+        store = SQLitePlanCache(tmp_path / "bench.db")
+    else:
+        store = TieredPlanCache(tmp_path / "bench.db")
+
+    start = time.perf_counter()
+    for key, result in entries:
+        store.put(key, result)
+    reads = 0
+    for _ in range(3):
+        for key, _ in entries:
+            assert store.get(key) is not None
+            reads += 1
+    elapsed = time.perf_counter() - start
+
+    ops = len(entries) + reads
+    print()
+    print(
+        "BENCH "
+        + json.dumps(
+            {
+                "name": "plan_store_roundtrip",
+                "store": kind,
+                "ops": ops,
+                "elapsed_s": round(elapsed, 4),
+                "ops_per_s": round(ops / elapsed, 1),
+            }
+        )
+    )
+    stats = store.stats
+    assert stats.hits == reads and stats.misses == 0
+
+
+def test_figure4_warm_sqlite_resume(tmp_path):
+    """A pre-warmed sqlite cache must replay a panel markedly faster.
+
+    Cold run fills the store; the warm run (a fresh session and store
+    instance on the same file, as after a crash) must serve every
+    lookup from disk and finish in well under half the cold time.
+    """
+    path = tmp_path / "resume.db"
+    protocol = dict(
+        processors=(10, 20), trials=10, seed=2013, N=1000.0
+    )
+
+    start = time.perf_counter()
+    cold = run_figure4("uniform", cache=f"sqlite:{path}", **protocol)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = run_figure4("uniform", cache=f"sqlite:{path}", **protocol)
+    warm_s = time.perf_counter() - start
+
+    for name in cold.means:
+        assert np.array_equal(cold.means[name], warm.means[name]), name
+
+    store = SQLitePlanCache(path)
+    hits = store.stats.hits
+    store.close()
+    assert hits > 0
+
+    print()
+    print(
+        "BENCH "
+        + json.dumps(
+            {
+                "name": "figure4_warm_sqlite_resume",
+                "cold_s": round(cold_s, 4),
+                "warm_s": round(warm_s, 4),
+                "speedup": round(cold_s / warm_s, 2),
+                "disk_hits": hits,
+            }
+        )
+    )
+    assert warm_s < cold_s * 0.5, (
+        f"warm resume only {cold_s / warm_s:.1f}x faster"
+    )

@@ -41,6 +41,10 @@ from repro.core import (
     PlanSweep,
     PlannerSession,
     PlanCache,
+    PlanStore,
+    MemoryPlanCache,
+    SQLitePlanCache,
+    TieredPlanCache,
     default_session,
     execute,
     execute_all,
@@ -75,6 +79,10 @@ __all__ = [
     "PlanSweep",
     "PlannerSession",
     "PlanCache",
+    "PlanStore",
+    "MemoryPlanCache",
+    "SQLitePlanCache",
+    "TieredPlanCache",
     "default_session",
     "execute",
     "execute_all",

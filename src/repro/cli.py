@@ -12,6 +12,8 @@ console script; ``python -m repro`` works too)::
     repro compare --speeds 1 2 4 8 --no-vectorize   # scalar misses
     repro cache-stats --speeds 1 2 4 8 --repeats 3
     repro figure4 --model uniform --trials 100 --backend process
+    repro figure4 --trials 100 --cache sqlite:plans.db   # resumable
+    repro cache stats plans.db   # also: clear / export / import
     repro section2 --alphas 1.5 2 3
     repro section3
     repro rho --k 4 16 64
@@ -51,10 +53,17 @@ def _session_from_args(args: argparse.Namespace):
 
     return PlannerSession(
         backend=getattr(args, "backend", "serial"),
-        cache=not getattr(args, "no_cache", False),
+        cache=_cache_arg(args),
         jobs=getattr(args, "jobs", None),
         vectorize=getattr(args, "vectorize", True),
     )
+
+
+def _cache_arg(args: argparse.Namespace) -> "bool | str":
+    """The session ``cache`` argument --no-cache/--cache resolve to."""
+    if getattr(args, "no_cache", False):
+        return False
+    return getattr(args, "cache", None) or True
 
 
 def _positive_int(text: str) -> int:
@@ -78,6 +87,18 @@ def _add_session_options(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="plan every request anew instead of using the plan cache",
+    )
+    parser.add_argument(
+        "--cache",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "plan store spec: memory[:SIZE], sqlite:PATH or tiered:PATH "
+            "(default: memory). A sqlite/tiered path persists plans, so "
+            "an interrupted sweep rerun against the same path resumes "
+            "from disk hits; inspect it with `repro cache stats PATH`"
+        ),
     )
     parser.add_argument(
         "--jobs",
@@ -107,7 +128,7 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
         seed=args.seed,
         backend=args.backend,
         jobs=args.jobs,
-        cache=not args.no_cache,
+        cache=_cache_arg(args),
         vectorize=args.vectorize,
     )
     print(result.render())
@@ -141,7 +162,17 @@ def _cmd_section3(args: argparse.Namespace) -> int:
 def _cmd_rho(args: argparse.Namespace) -> int:
     from repro.experiments.rho import run_rho_experiment
 
-    print(run_rho_experiment(ks=tuple(args.k), p=args.p, N=args.N).render())
+    print(
+        run_rho_experiment(
+            ks=tuple(args.k),
+            p=args.p,
+            N=args.N,
+            backend=args.backend,
+            jobs=args.jobs,
+            cache=_cache_arg(args),
+            vectorize=args.vectorize,
+        ).render()
+    )
     return 0
 
 
@@ -222,6 +253,65 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
             print("plan cache disabled (--no-cache)")
         else:
             print(stats.render())
+    return 0
+
+
+def _cache_file_path(path: str) -> str:
+    """The sqlite file behind a raw path or sqlite:/tiered: spec."""
+    for prefix in ("sqlite:", "tiered:"):
+        if path.startswith(prefix):
+            return path[len(prefix):]
+    return path
+
+
+def _cmd_cache_group(args: argparse.Namespace) -> int:
+    """Manage a persistent plan cache file: stats/clear/export/import."""
+    import os
+    import sqlite3
+
+    from repro.core.cache import SQLitePlanCache
+
+    path = _cache_file_path(args.path)
+    # only `import` may create the file; inspecting or clearing a cache
+    # that does not exist is a typo, not an empty result
+    if args.cache_command != "import" and not os.path.exists(path):
+        print(f"error: no plan cache at {path}", file=sys.stderr)
+        return 2
+    try:
+        store = SQLitePlanCache(path)
+    except sqlite3.DatabaseError as exc:
+        # e.g. pointing `stats` at an export pickle instead of the db
+        print(f"error: {path} is not a plan cache ({exc})", file=sys.stderr)
+        return 2
+    try:
+        if args.cache_command == "stats":
+            print(f"plan cache {store.path}: {len(store)} entr"
+                  f"{'y' if len(store) == 1 else 'ies'}")
+            print(store.stats.render())
+        elif args.cache_command == "clear":
+            entries = len(store)
+            store.clear()
+            print(f"cleared {entries} entr{'y' if entries == 1 else 'ies'} "
+                  f"from {store.path} (statistics reset)")
+        elif args.cache_command == "export":
+            try:
+                count = store.export_file(args.output)
+            except OSError as exc:
+                print(f"error: cannot write {args.output}: {exc}",
+                      file=sys.stderr)
+                return 2
+            print(f"exported {count} entr{'y' if count == 1 else 'ies'} "
+                  f"to {args.output}")
+        elif args.cache_command == "import":
+            try:
+                count = store.import_file(args.input)
+            except (FileNotFoundError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(f"imported {count} entr{'y' if count == 1 else 'ies'} "
+                  f"into {store.path}")
+    finally:
+        store.close()
     return 0
 
 
@@ -322,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--k", type=float, nargs="+", default=[1, 2, 4, 9, 16, 25, 64])
     pr.add_argument("--p", type=int, default=40)
     pr.add_argument("--N", type=float, default=10_000.0)
+    _add_session_options(pr)
     pr.set_defaults(fn=_cmd_rho)
 
     pl = sub.add_parser(
@@ -377,6 +468,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_session_options(pcs)
     pcs.set_defaults(fn=_cmd_cache_stats)
 
+    pcache = sub.add_parser(
+        "cache", help="manage a persistent plan cache (sqlite file)"
+    )
+    cache_sub = pcache.add_subparsers(dest="cache_command", required=True)
+    c_stats = cache_sub.add_parser(
+        "stats", help="entry count and persisted hit/miss statistics"
+    )
+    c_stats.add_argument("path", help="cache file (or sqlite:PATH spec)")
+    c_clear = cache_sub.add_parser(
+        "clear", help="drop every entry and reset the statistics"
+    )
+    c_clear.add_argument("path", help="cache file (or sqlite:PATH spec)")
+    c_export = cache_sub.add_parser(
+        "export", help="write all entries to a portable file"
+    )
+    c_export.add_argument("path", help="cache file (or sqlite:PATH spec)")
+    c_export.add_argument("output", help="destination export file")
+    c_import = cache_sub.add_parser(
+        "import", help="merge an exported file into a cache"
+    )
+    c_import.add_argument("path", help="cache file (or sqlite:PATH spec)")
+    c_import.add_argument("input", help="export file to merge in")
+    pcache.set_defaults(fn=_cmd_cache_group)
+
     ps = sub.add_parser("sort", help="run a sample sort")
     ps.add_argument("--n", type=int, default=100_000)
     ps.add_argument("--speeds", type=float, nargs="+", default=[1.0, 1.0, 1.0, 1.0])
@@ -406,6 +521,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         # like argparse does (message + exit 2), not as a traceback
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # downstream pager/head closed our stdout; exit quietly like
+        # other well-behaved unix CLIs
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

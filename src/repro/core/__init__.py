@@ -66,7 +66,15 @@ from repro.core.pipeline import (
     execute_all,
     plan_request,
 )
-from repro.core.cache import CacheStats, PlanCache
+from repro.core.cache import (
+    CacheStats,
+    MemoryPlanCache,
+    PlanCache,
+    PlanStore,
+    SQLitePlanCache,
+    TieredPlanCache,
+    cache_from_spec,
+)
 from repro.core.vectorize import (
     VectorGroup,
     batch_capable,
@@ -115,6 +123,11 @@ __all__ = [
     "plan_request",
     "CacheStats",
     "PlanCache",
+    "PlanStore",
+    "MemoryPlanCache",
+    "SQLitePlanCache",
+    "TieredPlanCache",
+    "cache_from_spec",
     "VectorGroup",
     "batch_capable",
     "plan_batch_requests",

@@ -1,4 +1,4 @@
-"""Content-keyed plan cache for :class:`~repro.core.session.PlannerSession`.
+"""Plan storage: content-keyed caches for :class:`PlannerSession`.
 
 The Figure-4 protocol answers the *same* planning query many times
 (100 trials × several strategies × repeated renders), and a service
@@ -12,20 +12,58 @@ where *params* are first filtered down to what the strategy actually
 accepts (:func:`repro.core.pipeline.supported_kwargs`).  Two requests
 that differ only in a parameter the strategy ignores therefore share
 one entry — e.g. ``imbalance_target`` never fragments the ``het``
-cache.  Entries are LRU-evicted beyond ``max_entries``; hit/miss
-statistics are kept for sweep tables and the ``repro cache-stats``
-readout.
+cache.
+
+Storage is pluggable behind the :class:`PlanStore` protocol (registry
+kind ``"cache"``):
+
+* :class:`MemoryPlanCache` (``memory``) — the in-process LRU; entries
+  beyond ``max_entries`` are evicted oldest-first and counted.
+* :class:`SQLitePlanCache` (``sqlite``) — a durable, shareable store:
+  one row per content key (:func:`encode_key` digest), the pickled
+  :class:`~repro.core.pipeline.PlanResult` as the value, and hit/miss
+  counters persisted alongside so ``repro cache stats`` reports across
+  runs.  Safe for concurrent readers/writers across threads *and*
+  processes (WAL journal, per-thread connections, single-statement
+  atomic updates).
+* :class:`TieredPlanCache` (``tiered``) — memory front, disk behind:
+  reads try memory first and *promote* disk hits, writes go through to
+  both tiers, and :attr:`CacheStats.tier_hits` breaks hits down per
+  tier.
+
+Any store can warm any other (entries are path- and tier-agnostic), so
+a killed 100-trial sweep restarted against the same sqlite file
+replays its finished points as disk hits — see
+``run_figure4(cache="sqlite:...")`` and the kill/resume integration
+test.  :func:`cache_from_spec` parses the CLI's ``--cache`` specs
+(``memory[:SIZE]`` / ``sqlite:PATH`` / ``tiered:PATH``).
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import sqlite3
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Mapping
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Hashable,
+    Mapping,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
 import numpy as np
 
 from repro.core.pipeline import PlanRequest, PlanResult, supported_kwargs
+from repro.registry import register
 from repro.util.tables import format_table
 
 
@@ -93,15 +131,43 @@ def plan_cache_key(
     )
 
 
+def encode_key(key: Hashable) -> str:
+    """A stable hex digest of a plan content key, for durable stores.
+
+    For built-in strategies, content keys are nested tuples of
+    primitives (str / bytes / float / int / bool / None — see
+    :func:`freeze_value`), whose ``repr`` is deterministic across
+    processes and Python runs, unlike ``hash()`` (salted per process).
+    The sha256 of that repr is therefore usable as a database primary
+    key shared between processes and sessions.
+
+    Limitation: a custom param value that survives
+    :func:`freeze_value` as a bare object falls back to its ``repr``
+    here — if that repr embeds a memory address (the ``object``
+    default), the digest differs per process and durable lookups
+    degrade to misses (never wrong hits).  Plugin params that should
+    cache across restarts need a content-stable ``repr``.
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
 @dataclass(frozen=True)
 class CacheStats:
-    """Cumulative hit/miss counters plus current occupancy."""
+    """Cumulative hit/miss counters plus current occupancy.
+
+    ``max_entries == 0`` means the store is unbounded (durable
+    backends never evict).  ``tier_hits`` is populated by tiered
+    stores: a ``(tier name, hits)`` breakdown of where the hits landed
+    — e.g. a resumed sweep shows its replayed points as ``disk`` hits.
+    """
 
     hits: int
     misses: int
     entries: int
     max_entries: int
     evictions: int
+    #: per-tier hit breakdown, e.g. (("memory", 40), ("disk", 2))
+    tier_hits: Tuple[Tuple[str, int], ...] = ()
 
     @property
     def lookups(self) -> int:
@@ -113,7 +179,8 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def render(self) -> str:
-        return format_table(
+        capacity = str(self.max_entries) if self.max_entries else "unbounded"
+        table = format_table(
             ["lookups", "hits", "misses", "hit rate", "entries", "evictions"],
             [
                 [
@@ -121,15 +188,63 @@ class CacheStats:
                     self.hits,
                     self.misses,
                     f"{100 * self.hit_rate:.1f}%",
-                    f"{self.entries}/{self.max_entries}",
+                    f"{self.entries}/{capacity}",
                     self.evictions,
                 ]
             ],
             title="Plan cache statistics",
         )
+        if self.tier_hits:
+            breakdown = ", ".join(
+                f"{name}={hits}" for name, hits in self.tier_hits
+            )
+            table += f"\ntier hits: {breakdown}"
+        return table
 
 
-class PlanCache:
+@runtime_checkable
+class PlanStore(Protocol):
+    """What a session needs from a plan cache, wherever it lives.
+
+    Implementations must make ``get``/``put`` safe for whatever
+    concurrency they advertise (the built-in memory store is
+    single-thread by contract — sessions do all cache traffic on the
+    calling thread; the sqlite store is also safe across threads and
+    processes).  ``stats`` must count every ``get`` as exactly one hit
+    or miss so ``hits + misses == lookups`` holds under interleaving.
+    """
+
+    def get(self, key: Hashable) -> PlanResult | None: ...
+
+    def put(self, key: Hashable, result: PlanResult) -> None: ...
+
+    def clear(self) -> None: ...
+
+    def __len__(self) -> int: ...
+
+    @property
+    def stats(self) -> CacheStats: ...
+
+
+class BasePlanStore:
+    """Shared helpers: session keying and a no-op ``close``."""
+
+    def key_for(
+        self, request: PlanRequest, factory: Callable[..., Any]
+    ) -> Hashable:
+        """The content key (:func:`plan_cache_key`) a session uses."""
+        return plan_cache_key(request, factory)
+
+    def close(self) -> None:
+        """Release any held resources (idempotent; memory stores no-op)."""
+
+
+@register(
+    "cache",
+    "memory",
+    summary="In-process LRU plan cache (per-session, non-persistent)",
+)
+class MemoryPlanCache(BasePlanStore):
     """An LRU map from plan content keys to :class:`PlanResult`.
 
     Not thread-safe by itself; sessions perform all cache traffic on
@@ -139,19 +254,22 @@ class PlanCache:
     equivalence contract), so a cache may be warmed by either and
     shared between sessions::
 
-        shared = PlanCache(max_entries=10_000)
+        shared = MemoryPlanCache(max_entries=10_000)
         a = PlannerSession(cache=shared)
         b = PlannerSession(cache=shared, backend="threaded")
 
-    ``key_for`` exposes the content key (platform fingerprint × N ×
-    strategy + factory origin × effective params) for external stores
-    that want to mirror the session keying.
+    ``put`` evicts least-recently-used entries beyond ``max_entries``
+    and counts them in ``stats.evictions``; evictions never touch the
+    hit/miss counters.  ``clear()`` drops every entry *and* resets all
+    statistics to zero.  ``key_for`` exposes the content key (platform
+    fingerprint × N × strategy + factory origin × effective params)
+    for external stores that want to mirror the session keying.
     """
 
     def __init__(self, max_entries: int = 4096) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
-        self.max_entries = max_entries
+        self.max_entries = int(max_entries)
         self._entries: OrderedDict[Hashable, PlanResult] = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -159,11 +277,6 @@ class PlanCache:
 
     def __len__(self) -> int:
         return len(self._entries)
-
-    def key_for(
-        self, request: PlanRequest, factory: Callable[..., Any]
-    ) -> Hashable:
-        return plan_cache_key(request, factory)
 
     def get(self, key: Hashable) -> PlanResult | None:
         """The cached result for ``key``, counting the hit or miss."""
@@ -198,3 +311,345 @@ class PlanCache:
             max_entries=self.max_entries,
             evictions=self._evictions,
         )
+
+
+#: the historical name; PR-2 code constructed ``PlanCache()`` directly
+PlanCache = MemoryPlanCache
+
+
+#: export file magic, checked BEFORE any unpickling so ``repro cache
+#: import`` rejects files that are not exports without executing them
+_EXPORT_MAGIC = b"repro-plan-cache:v1\n"
+_EXPORT_FORMAT = "repro-plan-cache"
+_EXPORT_VERSION = 1
+
+
+@register(
+    "cache",
+    "sqlite",
+    summary="Durable sqlite-backed plan cache, shareable across processes",
+)
+class SQLitePlanCache(BasePlanStore):
+    """A durable plan store: one sqlite file, shareable and resumable.
+
+    One row per content key — the :func:`encode_key` digest as primary
+    key, the pickled :class:`PlanResult` as the value — plus persisted
+    hit/miss counters, so statistics survive the process that earned
+    them and ``repro cache stats PATH`` reports across runs.
+
+    Concurrency: the journal runs in WAL mode (readers never block the
+    writer), every connection waits ``timeout`` seconds on a locked
+    database instead of failing, and each mutation is a single
+    atomic statement (``INSERT OR REPLACE`` / one-row ``UPDATE``), so
+    interleaved ``get``/``put`` traffic from many threads *or* many
+    processes loses no writes and keeps ``hits + misses`` equal to the
+    number of ``get`` calls.  Connections are per-thread (sqlite
+    objects must not cross threads) and re-opened after a fork.
+
+    The store is unbounded — durable caches are shared working sets,
+    not working memories — so ``stats.max_entries`` is 0 and nothing is
+    ever evicted; ``clear()`` (or ``repro cache clear``) is the
+    explicit reset.
+    """
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS plans (
+            key        TEXT PRIMARY KEY,
+            value      BLOB NOT NULL,
+            created_at REAL NOT NULL,
+            last_used  REAL NOT NULL
+        );
+        CREATE TABLE IF NOT EXISTS stats (
+            name  TEXT PRIMARY KEY,
+            value INTEGER NOT NULL
+        );
+        INSERT OR IGNORE INTO stats (name, value) VALUES ('hits', 0);
+        INSERT OR IGNORE INTO stats (name, value) VALUES ('misses', 0);
+    """
+
+    def __init__(self, path: str | Path, *, timeout: float = 30.0) -> None:
+        self.path = str(Path(path).expanduser())
+        self.timeout = float(timeout)
+        self._local = threading.local()
+        parent = Path(self.path).parent
+        if str(parent) not in ("", "."):
+            parent.mkdir(parents=True, exist_ok=True)
+        self._connection().executescript(self._SCHEMA)
+
+    # -- connection management -------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        """This thread's connection, reopened after thread start or fork."""
+        con = getattr(self._local, "con", None)
+        if con is not None and getattr(self._local, "pid", None) == os.getpid():
+            return con
+        con = sqlite3.connect(
+            self.path, timeout=self.timeout, isolation_level=None
+        )
+        con.execute("PRAGMA journal_mode=WAL")
+        con.execute(f"PRAGMA busy_timeout={int(self.timeout * 1000)}")
+        con.execute("PRAGMA synchronous=NORMAL")
+        self._local.con = con
+        self._local.pid = os.getpid()
+        return con
+
+    def close(self) -> None:
+        """Close this thread's connection (others close on GC)."""
+        con = getattr(self._local, "con", None)
+        if con is not None:
+            con.close()
+            self._local.con = None
+
+    # -- PlanStore --------------------------------------------------------
+
+    def __len__(self) -> int:
+        row = self._connection().execute("SELECT COUNT(*) FROM plans").fetchone()
+        return int(row[0])
+
+    def _count(self, name: str) -> None:
+        self._connection().execute(
+            "UPDATE stats SET value = value + 1 WHERE name = ?", (name,)
+        )
+
+    def get(self, key: Hashable) -> PlanResult | None:
+        # hits touch only the counter, not the row: the store never
+        # evicts, so per-hit recency writes would buy nothing and cost
+        # a write transaction on the hot (shared, multi-reader) path
+        digest = encode_key(key)
+        row = self._connection().execute(
+            "SELECT value FROM plans WHERE key = ?", (digest,)
+        ).fetchone()
+        if row is None:
+            self._count("misses")
+            return None
+        self._count("hits")
+        return pickle.loads(row[0])
+
+    def put(self, key: Hashable, result: PlanResult) -> None:
+        now = time.time()
+        self._connection().execute(
+            "INSERT OR REPLACE INTO plans (key, value, created_at, last_used)"
+            " VALUES (?, ?, ?, ?)",
+            (
+                encode_key(key),
+                pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
+                now,
+                now,
+            ),
+        )
+
+    def clear(self) -> None:
+        """Drop every entry and zero the persisted statistics."""
+        con = self._connection()
+        con.execute("DELETE FROM plans")
+        con.execute("UPDATE stats SET value = 0")
+
+    @property
+    def stats(self) -> CacheStats:
+        con = self._connection()
+        counters = dict(con.execute("SELECT name, value FROM stats"))
+        return CacheStats(
+            hits=int(counters.get("hits", 0)),
+            misses=int(counters.get("misses", 0)),
+            entries=len(self),
+            max_entries=0,
+            evictions=0,
+        )
+
+    # -- portability (repro cache export / import) ------------------------
+
+    def export_file(self, destination: str | Path) -> int:
+        """Write every row to a portable export; returns the row count.
+
+        The file is a magic header followed by a pickled payload with
+        a format marker and version, and raw ``(digest, blob)`` rows —
+        no plan is unpickled in transit.
+        """
+        rows = self._connection().execute(
+            "SELECT key, value, created_at, last_used FROM plans"
+        ).fetchall()
+        payload = {
+            "format": _EXPORT_FORMAT,
+            "version": _EXPORT_VERSION,
+            "rows": rows,
+        }
+        with open(destination, "wb") as fh:
+            fh.write(_EXPORT_MAGIC)
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        return len(rows)
+
+    def import_file(self, source: str | Path) -> int:
+        """Merge an exported payload into this store; returns rows merged.
+
+        The magic header is checked *before* any unpickling, so a file
+        that is not a plan-cache export is rejected without executing
+        anything from it.  (A pickle is still a pickle: only import
+        exports from sources you trust.)  Imported rows overwrite
+        same-key rows — plans are pure, so any two values under one
+        content key are interchangeable.
+        """
+        with open(source, "rb") as fh:
+            magic = fh.read(len(_EXPORT_MAGIC))
+            if magic != _EXPORT_MAGIC:
+                raise ValueError(
+                    f"{source!s} is not a repro plan-cache export "
+                    "(missing header)"
+                )
+            try:
+                payload = pickle.load(fh)
+            except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
+                raise ValueError(
+                    f"{source!s} is not a repro plan-cache export ({exc})"
+                ) from None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _EXPORT_FORMAT
+        ):
+            raise ValueError(
+                f"{source!s} is not a repro plan-cache export"
+            )
+        if payload.get("version") != _EXPORT_VERSION:
+            raise ValueError(
+                f"unsupported export version {payload.get('version')!r} "
+                f"(expected {_EXPORT_VERSION})"
+            )
+        rows = payload.get("rows")
+        if not isinstance(rows, list) or not all(
+            isinstance(row, (tuple, list)) and len(row) == 4 for row in rows
+        ):
+            raise ValueError(
+                f"{source!s} is not a repro plan-cache export (bad rows)"
+            )
+        try:
+            self._connection().executemany(
+                "INSERT OR REPLACE INTO plans"
+                " (key, value, created_at, last_used) VALUES (?, ?, ?, ?)",
+                rows,
+            )
+        except sqlite3.Error as exc:
+            raise ValueError(
+                f"{source!s} is not a repro plan-cache export ({exc})"
+            ) from None
+        return len(rows)
+
+
+@register(
+    "cache",
+    "tiered",
+    summary="Memory front + durable sqlite behind (write-through)",
+)
+class TieredPlanCache(BasePlanStore):
+    """Two-level store: a fast memory front over a durable back tier.
+
+    * ``get`` tries memory first; a disk hit is *promoted* into memory
+      so the hot working set converges to RAM speed while the full
+      history stays on disk.
+    * ``put`` writes through to both tiers, so a killed process loses
+      nothing that was ever planned.
+    * ``stats`` reports the combined view — a lookup is a hit if either
+      tier had it — with the per-tier breakdown in
+      :attr:`CacheStats.tier_hits`.
+
+    Constructed from a path (fresh memory front, sqlite behind) or
+    from two existing stores::
+
+        TieredPlanCache("plans.db")
+        TieredPlanCache(disk=warm_sqlite, memory=MemoryPlanCache(512))
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        memory: MemoryPlanCache | None = None,
+        disk: SQLitePlanCache | None = None,
+        max_entries: int = 4096,
+    ) -> None:
+        if disk is None:
+            if path is None:
+                raise ValueError(
+                    "TieredPlanCache needs a sqlite path or a disk store"
+                )
+            disk = SQLitePlanCache(path)
+        self.memory = memory if memory is not None else MemoryPlanCache(max_entries)
+        self.disk = disk
+
+    def __len__(self) -> int:
+        return len(self.disk)
+
+    def get(self, key: Hashable) -> PlanResult | None:
+        hit = self.memory.get(key)
+        if hit is not None:
+            return hit
+        hit = self.disk.get(key)
+        if hit is not None:
+            # promote: the next lookup of a warm key stays in memory
+            self.memory.put(key, hit)
+        return hit
+
+    def put(self, key: Hashable, result: PlanResult) -> None:
+        self.memory.put(key, result)
+        self.disk.put(key, result)
+
+    def clear(self) -> None:
+        self.memory.clear()
+        self.disk.clear()
+
+    def close(self) -> None:
+        self.disk.close()
+
+    @property
+    def stats(self) -> CacheStats:
+        mem = self.memory.stats
+        disk = self.disk.stats
+        # every tiered get is one memory lookup; the memory misses that
+        # the disk answered become hits in the combined view
+        return CacheStats(
+            hits=mem.hits + disk.hits,
+            misses=disk.misses,
+            entries=disk.entries,
+            max_entries=0,
+            evictions=mem.evictions,
+            tier_hits=(("memory", mem.hits), ("disk", disk.hits)),
+        )
+
+
+def cache_from_spec(spec: "str | PlanStore") -> PlanStore:
+    """Resolve a ``--cache`` spec to a store through the registry.
+
+    Accepted forms (``repro list cache`` names the kinds):
+
+    * ``memory`` or ``memory:SIZE`` — in-process LRU (SIZE entries);
+    * ``sqlite:PATH`` — durable store at PATH;
+    * ``tiered:PATH`` — memory front over a durable store at PATH.
+
+    An already-constructed store passes through unchanged, so APIs can
+    accept ``cache="sqlite:plans.db"`` and ``cache=my_store`` alike.
+    Malformed specs raise :class:`~repro.registry.RegistryError` — a
+    *user* error the CLI reports without a traceback, like an unknown
+    component name.
+    """
+    if not isinstance(spec, str):
+        return spec
+    from repro import registry
+    from repro.registry import RegistryError
+
+    name, _, arg = spec.partition(":")
+    name = name or "memory"
+    factory = registry.get("cache", name)  # unknown names fail clean here
+    try:
+        # a store whose constructor rejects the spec argument is a
+        # user error, not a traceback: memory takes an integer size,
+        # sqlite/tiered need a path, plugin stores declare their own
+        # shape
+        if name == "memory" and arg:
+            try:
+                max_entries = int(arg)
+            except ValueError:
+                raise ValueError(
+                    f"memory cache size must be an integer, got {arg!r}"
+                ) from None
+            return factory(max_entries=max_entries)
+        return factory(arg) if arg else factory()
+    except (TypeError, ValueError) as exc:
+        raise RegistryError(f"bad cache spec {spec!r}: {exc}") from None

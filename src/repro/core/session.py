@@ -46,7 +46,13 @@ from typing import Any, List, Mapping, Sequence
 
 from repro import registry
 from repro.core.backends import Backend
-from repro.core.cache import CacheStats, PlanCache
+from repro.core.cache import (
+    CacheStats,
+    MemoryPlanCache,
+    PlanStore,
+    cache_from_spec,
+    plan_cache_key,
+)
 from repro.core.pipeline import (
     PlanRequest,
     PlanResult,
@@ -66,9 +72,16 @@ class PlannerSession:
         Name of a registered execution backend (``repro list backend``),
         or an already-constructed :class:`~repro.core.backends.Backend`.
     cache:
-        ``True`` (default) for a fresh :class:`PlanCache`, ``False`` to
-        plan every request anew, or a :class:`PlanCache` instance to
-        share one cache between sessions.
+        ``True`` (default) for a fresh in-process
+        :class:`~repro.core.cache.MemoryPlanCache`, ``False`` to plan
+        every request anew, a spec string resolved through the
+        ``cache`` registry kind (``"memory"`` / ``"sqlite:PATH"`` /
+        ``"tiered:PATH"``, see
+        :func:`~repro.core.cache.cache_from_spec`), or any
+        :class:`~repro.core.cache.PlanStore` instance — share one
+        store between sessions, or hand over a durable
+        :class:`~repro.core.cache.SQLitePlanCache` so plans survive
+        the process and sweeps resume from disk.
     jobs:
         Worker cap forwarded to the backend (``None`` = its default).
     vectorize:
@@ -90,7 +103,7 @@ class PlannerSession:
         self,
         backend: str | Backend = "serial",
         *,
-        cache: bool | PlanCache = True,
+        cache: bool | str | PlanStore = True,
         jobs: int | None = None,
         vectorize: bool = True,
         **default_params: Any,
@@ -101,10 +114,16 @@ class PlannerSession:
         else:
             self.backend = backend
             self.backend_name = getattr(backend, "name", type(backend).__name__)
+        # a store built here from a spec string is session-owned and
+        # closed with the session; an instance passed in may be shared
+        # between sessions, so its lifecycle stays with the caller
+        self._owns_cache = isinstance(cache, str)
         if cache is True:
-            self._cache: PlanCache | None = PlanCache()
+            self._cache: PlanStore | None = MemoryPlanCache()
         elif cache is False or cache is None:
             self._cache = None
+        elif isinstance(cache, str):
+            self._cache = cache_from_spec(cache)
         else:
             self._cache = cache
         self.vectorize = bool(vectorize)
@@ -113,8 +132,17 @@ class PlannerSession:
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
-        """Release backend workers (idempotent; cache survives)."""
+        """Release backend workers (idempotent).
+
+        A shared cache instance survives — only a store this session
+        built itself from a spec string (``cache="sqlite:..."``) has
+        its connections released here; its file of course persists.
+        """
         self.backend.shutdown()
+        if self._owns_cache and self._cache is not None:
+            closer = getattr(self._cache, "close", None)
+            if closer is not None:
+                closer()
 
     def __enter__(self) -> "PlannerSession":
         return self
@@ -169,7 +197,10 @@ class PlannerSession:
             if self._cache is None:
                 misses.append((i, None, req))
                 continue
-            key = self._cache.key_for(req, factory)
+            # keying lives with the session, not the store: any
+            # PlanStore (memory, sqlite, tiered, plugin) sees the same
+            # content keys, so stores can warm each other
+            key = plan_cache_key(req, factory)
             hit = self._cache.get(key)
             if hit is not None:
                 results[i] = replace(
@@ -237,8 +268,8 @@ class PlannerSession:
     # -- cache -----------------------------------------------------------
 
     @property
-    def cache(self) -> PlanCache | None:
-        """The session's plan cache (``None`` when caching is off)."""
+    def cache(self) -> PlanStore | None:
+        """The session's plan store (``None`` when caching is off)."""
         return self._cache
 
     def cache_stats(self) -> CacheStats | None:

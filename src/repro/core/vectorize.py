@@ -39,6 +39,14 @@ produced by either path are therefore interchangeable; the tier-1
 equivalence suite (``tests/core/test_vectorize.py``) enforces this for
 every built-in strategy and backend.
 
+The contract extends to *plan storage*: the session writes every
+batch-planned result through its :class:`~repro.core.cache.PlanStore`
+under the same content key the scalar path uses (grouping reuses the
+cache's :func:`~repro.core.cache.frozen_effective_params`), so a
+tiered or sqlite-backed store filled by a vectorised sweep replays
+identically into a scalar one and vice versa — batched fills
+write through every tier exactly like scalar fills do.
+
 :func:`plan_request_group` is module-level and its :class:`VectorGroup`
 argument carries only picklable :class:`~repro.core.pipeline.PlanRequest`
 objects, so the ``process`` backend can ship whole groups to workers

@@ -20,7 +20,10 @@ Expected shapes (what the benchmarks assert):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.core.cache import PlanStore
 
 import numpy as np
 
@@ -153,7 +156,7 @@ def run_figure4(
     session: PlannerSession | None = None,
     backend: str = "serial",
     jobs: int | None = None,
-    cache: bool = True,
+    cache: "bool | str | PlanStore" = True,
     vectorize: bool = True,
 ) -> Figure4Result:
     """Reproduce one panel of Figure 4.
@@ -167,6 +170,15 @@ def run_figure4(
     homogeneous panel, where every trial is content-identical) hit the
     plan cache instead of re-planning — pass ``cache=False`` to plan
     every trial anew (e.g. to measure real per-trial planning time).
+
+    ``cache`` also accepts a spec string or any
+    :class:`~repro.core.cache.PlanStore`, which makes the sweep
+    *resumable*: trials draw their platforms from seed-derived RNGs, so
+    rerunning a killed sweep with ``cache="sqlite:plans.db"`` (same
+    seed/protocol, same path) replays every already-planned point as a
+    disk hit and only plans the remainder — the resumed panel is
+    identical to an uninterrupted run.
+
     ``vectorize`` sets the fresh session's batched-kernel routing
     (:mod:`repro.core.vectorize`); either setting yields the same
     panel, per the vectorisation equivalence contract.

@@ -10,7 +10,10 @@ measured ρ grows without bound in k, and the bounds hold.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.core.cache import PlanStore
 
 from repro.core.bounds import half_fast_rho_bound, half_fast_rho_simple
 from repro.core.session import PlannerSession
@@ -53,14 +56,26 @@ def run_rho_experiment(
     p: int = 20,
     N: float = 10_000.0,
     session: PlannerSession | None = None,
+    backend: str = "serial",
+    jobs: int | None = None,
+    cache: "bool | str | PlanStore" = True,
+    vectorize: bool = True,
 ) -> RhoResult:
     """Experiment E6 of DESIGN.md.
 
     All (k, strategy) cells plan through one session — repeated runs
-    (e.g. a report regenerating the table) are pure cache hits.
+    (e.g. a report regenerating the table) are pure cache hits.  When
+    no ``session`` is given, one is built from ``backend`` / ``jobs``
+    / ``cache`` / ``vectorize`` exactly like
+    :func:`~repro.experiments.figure4.run_figure4`; the platforms are
+    deterministic in (k, p), so ``cache="sqlite:PATH"`` makes the
+    table resumable — a rerun against the same path replays finished
+    (k, strategy) cells from disk.
     """
     own_session = session is None
-    session = session or PlannerSession()
+    session = session or PlannerSession(
+        backend=backend, jobs=jobs, cache=cache, vectorize=vectorize
+    )
     rows = []
     for k in ks:
         speeds = half_fast_speeds(p, k=float(k))

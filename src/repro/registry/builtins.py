@@ -42,6 +42,7 @@ PROVIDER_MODULES: dict[str, tuple[str, ...]] = {
         "repro.mapreduce.scheduler",
     ),
     "backend": ("repro.core.backends",),
+    "cache": ("repro.core.cache",),
 }
 
 

@@ -33,6 +33,7 @@ KINDS: Tuple[str, ...] = (
     "dlt_solver",
     "simulation",
     "backend",
+    "cache",
 )
 
 #: the entry-point group third-party distributions register under

@@ -1,0 +1,194 @@
+"""Property-based tests for plan-cache keying and sqlite round-trips.
+
+The cache key machinery is the correctness spine of every plan store:
+if ``freeze_value`` / ``plan_cache_key`` were order-sensitive the same
+query would fragment into many entries; if they collided, a sweep
+would silently serve the *wrong plan*.  Hypothesis drives both
+directions, plus the durable round-trip: what goes into a
+:class:`SQLitePlanCache` must come back content-equal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import (
+    SQLitePlanCache,
+    encode_key,
+    freeze_value,
+    plan_cache_key,
+)
+from repro.core.pipeline import PlanRequest, plan_request
+from repro.platform.star import StarPlatform
+
+# -- draw strategies ---------------------------------------------------------
+
+#: scalar parameter values whose repr/equality is exact (no NaN: it
+#: breaks equality by design and can never reach a cache key usefully)
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+
+#: nested parameter values: scalars, lists and string-keyed dicts
+param_values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+#: parameter dicts as a request would carry them
+param_dicts = st.dictionaries(
+    st.text(min_size=1, max_size=8), param_values, max_size=5
+)
+
+#: small positive speed vectors (platform identity)
+speed_lists = st.lists(
+    st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+#: a full key draw: (speeds, N, strategy name, params)
+key_draws = st.tuples(
+    speed_lists,
+    st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    st.sampled_from(["het", "hom", "hom/k", "custom-x"]),
+    param_dicts,
+)
+
+
+def accepts_everything(**params):
+    """A factory with ``**kwargs``: every request param joins the key."""
+
+
+def key_of(draw):
+    speeds, n, strategy, params = draw
+    request = PlanRequest(
+        platform=StarPlatform.from_speeds(speeds),
+        N=n,
+        strategy=strategy,
+        params=params,
+    )
+    return plan_cache_key(request, accepts_everything)
+
+
+# -- freeze_value ------------------------------------------------------------
+
+
+@given(value=param_values)
+def test_freeze_value_deterministic(value):
+    """Freezing the same content twice yields the same hashable."""
+    frozen = freeze_value(value)
+    assert frozen == freeze_value(value)
+    hash(frozen)  # must actually be hashable
+
+
+@given(params=st.dictionaries(st.text(max_size=6), scalars, max_size=6))
+def test_freeze_value_dict_order_insensitive(params):
+    """Two dicts with the same items freeze identically in any order."""
+    backward = dict(reversed(list(params.items())))
+    assert freeze_value(params) == freeze_value(backward)
+
+
+@given(value=param_values)
+def test_freeze_value_ndarray_content_keyed(value):
+    arr = np.arange(6, dtype=float)
+    frozen = freeze_value({"w": arr, "v": value})
+    assert frozen == freeze_value({"v": value, "w": arr.copy()})
+    assert frozen != freeze_value({"v": value, "w": arr + 1.0})
+
+
+# -- plan_cache_key ----------------------------------------------------------
+
+
+@given(draw=key_draws)
+def test_plan_cache_key_deterministic(draw):
+    """The same (platform, N, strategy, params) always keys the same."""
+    assert key_of(draw) == key_of(draw)
+    # and the durable digest is stable too
+    assert encode_key(key_of(draw)) == encode_key(key_of(draw))
+
+
+@given(draw=key_draws)
+def test_plan_cache_key_param_order_insensitive(draw):
+    speeds, n, strategy, params = draw
+    reordered = dict(reversed(list(params.items())))
+    assert key_of(draw) == key_of((speeds, n, strategy, reordered))
+
+
+@given(a=key_draws, b=key_draws)
+def test_plan_cache_key_collision_free(a, b):
+    """Distinct (platform, N, strategy, params) draws never share a key.
+
+    Two draws are content-equal only if every component is; otherwise
+    their keys — and their sqlite digests — must differ.
+    """
+    same_content = (
+        a[0] == b[0]
+        and float(a[1]) == float(b[1])
+        and a[2] == b[2]
+        and freeze_value(a[3]) == freeze_value(b[3])
+    )
+    if same_content:
+        assert key_of(a) == key_of(b)
+    else:
+        assert key_of(a) != key_of(b)
+        assert encode_key(key_of(a)) != encode_key(key_of(b))
+
+
+# -- sqlite round-trip -------------------------------------------------------
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    speeds=st.lists(
+        st.floats(min_value=0.5, max_value=10.0, allow_nan=False),
+        min_size=2,
+        max_size=6,
+    ),
+    n=st.floats(min_value=100.0, max_value=10_000.0, allow_nan=False),
+    strategy=st.sampled_from(["het", "hom"]),
+)
+def test_sqlite_roundtrip_preserves_plan_result(tmp_path, speeds, n, strategy):
+    """put → get through sqlite returns a content-equal PlanResult."""
+    from repro import registry
+
+    request = PlanRequest(
+        platform=StarPlatform.from_speeds(speeds), N=n, strategy=strategy
+    )
+    factory = registry.get("strategy", strategy)
+    key = plan_cache_key(request, factory)
+    result = plan_request(request)
+
+    store = SQLitePlanCache(tmp_path / "roundtrip.db")
+    try:
+        store.put(key, result)
+        loaded = store.get(key)
+    finally:
+        store.close()
+
+    assert loaded is not None
+    assert loaded.request.strategy == result.request.strategy
+    assert loaded.request.N == result.request.N
+    assert loaded.plan.comm_volume == result.plan.comm_volume
+    assert loaded.plan.imbalance == result.plan.imbalance
+    assert np.array_equal(loaded.plan.speeds, result.plan.speeds)
+    assert np.array_equal(loaded.plan.finish_times, result.plan.finish_times)
+    # detail may hold ndarrays — compare via the freezing machinery
+    assert freeze_value(loaded.plan.detail) == freeze_value(result.plan.detail)
+    assert loaded.elapsed_s == result.elapsed_s
+    # the reloaded plan answers the same content key
+    assert plan_cache_key(loaded.request, factory) == key

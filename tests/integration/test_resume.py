@@ -1,0 +1,148 @@
+"""Kill/resume acceptance: an interrupted Figure-4 sweep picks up
+where it died and reproduces the uninterrupted run exactly.
+
+The protocol draws each trial's platform from a seed-derived RNG, so
+the sweep's planning queries are deterministic in (seed, protocol).
+Every planned point is written through to the sqlite store *before*
+the sweep advances, so a crash loses at most the in-flight point:
+rerunning against the same cache file replays finished points as disk
+hits and only plans the tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.cache import SQLitePlanCache, TieredPlanCache
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.rho import run_rho_experiment
+
+PROTOCOL = dict(processors=(4, 6), trials=8, seed=2026, N=800.0)
+
+
+class SimulatedCrash(RuntimeError):
+    """Stands in for a SIGKILL mid-sweep."""
+
+
+class CrashingStore:
+    """A store that dies after ``survive_puts`` writes — mid-sweep.
+
+    Wraps a real :class:`SQLitePlanCache`, so everything written before
+    the "crash" is durably on disk, exactly like a killed process.
+    """
+
+    def __init__(self, inner: SQLitePlanCache, survive_puts: int) -> None:
+        self.inner = inner
+        self.remaining = survive_puts
+
+    def get(self, key):
+        return self.inner.get(key)
+
+    def put(self, key, result):
+        if self.remaining <= 0:
+            raise SimulatedCrash("sweep killed mid-trial")
+        self.remaining -= 1
+        self.inner.put(key, result)
+
+    def clear(self):
+        self.inner.clear()
+
+    def __len__(self):
+        return len(self.inner)
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+
+def panels_equal(a, b) -> bool:
+    return (
+        a.processors == b.processors
+        and set(a.means) == set(b.means)
+        and all(np.array_equal(a.means[n], b.means[n]) for n in a.means)
+        and all(np.array_equal(a.stds[n], b.stds[n]) for n in a.stds)
+    )
+
+
+def test_killed_figure4_sweep_resumes_exactly(tmp_path, capsys):
+    # the ground truth: one uninterrupted run, plain in-memory cache
+    reference = run_figure4("uniform", **PROTOCOL)
+
+    # run against a durable store that crashes after 10 planned points
+    path = tmp_path / "sweep.db"
+    crashing = CrashingStore(SQLitePlanCache(path), survive_puts=10)
+    with pytest.raises(SimulatedCrash):
+        run_figure4("uniform", cache=crashing, **PROTOCOL)
+    crashing.inner.close()
+
+    survivors = SQLitePlanCache(path)
+    assert 0 < len(survivors) <= 10  # partial progress is on disk
+    lookups_before = survivors.stats.lookups
+    survivors.close()
+
+    # resume: same protocol, same file — finished points replay from
+    # disk, and the final panel matches the uninterrupted run exactly
+    resumed = run_figure4("uniform", cache=f"sqlite:{path}", **PROTOCOL)
+    assert panels_equal(reference, resumed)
+
+    store = SQLitePlanCache(path)
+    stats = store.stats
+    store.close()
+    assert stats.hits > 0, "no disk hits: the resume replanned everything"
+    assert stats.lookups > lookups_before
+
+    # the acceptance readout: `repro cache stats PATH` reports the hits
+    assert cli_main(["cache", "stats", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Plan cache statistics" in out
+    assert f"{stats.hits}" in out
+
+
+def test_resumed_sweep_only_plans_the_tail(tmp_path):
+    """Second full run against a warm store is 100% disk hits."""
+    path = tmp_path / "warm.db"
+    first = run_figure4("uniform", cache=f"sqlite:{path}", **PROTOCOL)
+    store = SQLitePlanCache(path)
+    entries = len(store)
+    misses_after_first = store.stats.misses
+    store.close()
+
+    second = run_figure4("uniform", cache=f"sqlite:{path}", **PROTOCOL)
+    assert panels_equal(first, second)
+
+    store = SQLitePlanCache(path)
+    stats = store.stats
+    store.close()
+    # the warm pass planned nothing new: same rows, no new misses
+    assert stats.misses == misses_after_first
+    assert len(SQLitePlanCache(path)) == entries
+    assert stats.hits >= entries
+
+
+def test_tiered_resume_reports_disk_tier_hits(tmp_path):
+    """Resuming through a tiered store lands the replay on the disk tier."""
+    path = tmp_path / "tiered.db"
+    run_figure4("uniform", cache=f"sqlite:{path}", **PROTOCOL)
+
+    tiered = TieredPlanCache(path)
+    resumed = run_figure4("uniform", cache=tiered, **PROTOCOL)
+    tiers = dict(tiered.stats.tier_hits)
+    tiered.close()
+    assert tiers["disk"] > 0
+    assert resumed.trials == PROTOCOL["trials"]
+
+
+def test_rho_table_resumes_from_disk(tmp_path):
+    """The rho experiment's cache spec makes its table resumable too."""
+    path = tmp_path / "rho.db"
+    ks = (1, 4, 16)
+    first = run_rho_experiment(ks=ks, p=6, cache=f"sqlite:{path}")
+    second = run_rho_experiment(ks=ks, p=6, cache=f"sqlite:{path}")
+    assert [r.measured_rho for r in first.rows] == [
+        r.measured_rho for r in second.rows
+    ]
+    store = SQLitePlanCache(path)
+    assert store.stats.hits > 0
+    store.close()
