@@ -1,0 +1,160 @@
+"""Benchmarks for the planning service layer (server + remote clients).
+
+Two questions the service tentpole must answer with numbers:
+
+* **remote batch throughput** — how many requests/second does a remote
+  session push through a plan server, against the in-process serial
+  baseline?  (The wire adds latency; the server's backend and store
+  amortise it — the point is that the overhead is bounded and the
+  results identical.)
+* **warm shared-cache speedup** — two *separate client processes*
+  planning the same batch against one server: the first fills the
+  shared store, the second must be served from it and finish faster
+  having planned nothing.
+
+Both emit ``BENCH {...}`` JSON lines for CI trend tracking, like the
+batch-planning and plan-store benchmarks.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pipeline import PlanRequest
+from repro.core.session import PlannerSession
+from repro.platform.star import StarPlatform
+from repro.service.server import PlanServer
+
+SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def _requests(count=48, p=48, seed=11):
+    """Distinct heterogeneous instances, heavy enough to time planning."""
+    rng = np.random.default_rng(seed)
+    return [
+        PlanRequest(
+            platform=StarPlatform.from_speeds(
+                rng.uniform(1.0, 10.0, size=p).tolist()
+            ),
+            N=2000.0,
+            strategy="het",
+        )
+        for _ in range(count)
+    ]
+
+
+def test_remote_batch_throughput():
+    """Remote planning must return the serial baseline's plans exactly;
+    report both paths' requests/second."""
+    requests = _requests()
+
+    with PlannerSession(cache=False) as local:
+        start = time.perf_counter()
+        baseline = local.plan_batch(requests)
+        serial_s = time.perf_counter() - start
+
+    with PlanServer(port=0, backend="serial", cache=False) as server:
+        with PlannerSession(
+            backend=f"remote:{server.host}:{server.port}", cache=False
+        ) as remote:
+            start = time.perf_counter()
+            shipped = remote.plan_batch(requests)
+            remote_s = time.perf_counter() - start
+
+    for a, b in zip(baseline, shipped):
+        assert np.isclose(a.comm_volume, b.comm_volume, rtol=1e-12)
+
+    print()
+    print(
+        "BENCH "
+        + json.dumps(
+            {
+                "name": "service_remote_batch_throughput",
+                "requests": len(requests),
+                "serial_s": round(serial_s, 4),
+                "remote_s": round(remote_s, 4),
+                "serial_req_per_s": round(len(requests) / serial_s, 1),
+                "remote_req_per_s": round(len(requests) / remote_s, 1),
+                "overhead_x": round(remote_s / serial_s, 2),
+            }
+        )
+    )
+    # the wire may cost, but not catastrophically: same order of magnitude
+    assert remote_s < serial_s * 10, (
+        f"remote planning {remote_s / serial_s:.1f}x slower than serial"
+    )
+
+
+_CLIENT_SNIPPET = """\
+import json, sys, time
+from repro.core.pipeline import PlanRequest
+from repro.core.session import PlannerSession
+import numpy as np
+from repro.platform.star import StarPlatform
+
+url = sys.argv[1]
+rng = np.random.default_rng(11)
+requests = [
+    PlanRequest(
+        platform=StarPlatform.from_speeds(rng.uniform(1.0, 10.0, size=48).tolist()),
+        N=2000.0,
+        strategy="het",
+    )
+    for _ in range(48)
+]
+session = PlannerSession(cache=url)
+start = time.perf_counter()
+results = session.plan_batch(requests)
+elapsed = time.perf_counter() - start
+cached = sum(1 for r in results if r.cached)
+session.close()
+print(json.dumps({"elapsed_s": elapsed, "cached": cached, "n": len(results)}))
+"""
+
+
+def _run_client(url: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CLIENT_SNIPPET, url],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+        timeout=300,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_warm_shared_cache_across_processes():
+    """Client process 2 must be served from the store client process 1
+    warmed — zero planning, faster wall-clock."""
+    with PlanServer(port=0, cache="memory") as server:
+        url = f"http://{server.host}:{server.port}"
+        cold = _run_client(url)
+        warm = _run_client(url)
+
+    assert cold["cached"] == 0 and cold["n"] == 48
+    assert warm["cached"] == 48, f"warm run replanned: {warm}"
+
+    print()
+    print(
+        "BENCH "
+        + json.dumps(
+            {
+                "name": "service_warm_shared_cache",
+                "requests": cold["n"],
+                "cold_s": round(cold["elapsed_s"], 4),
+                "warm_s": round(warm["elapsed_s"], 4),
+                "speedup": round(cold["elapsed_s"] / warm["elapsed_s"], 2),
+            }
+        )
+    )
+    assert warm["elapsed_s"] < cold["elapsed_s"], (
+        "shared-store hits were slower than planning"
+    )

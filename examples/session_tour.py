@@ -9,7 +9,7 @@ Walks the `PlannerSession` API end to end in a few seconds:
 3. a batch of requests fanned out on the `threaded` backend (and the
    guarantee that every backend returns identical plans);
 4. cache statistics, ignored-parameter sharing and invalidation;
-5. where the old free functions went (deprecation path).
+5. where the old free functions went (removed in 2.0).
 
 Run: ``python examples/session_tour.py``
 """
@@ -84,14 +84,15 @@ def main() -> None:
     print(f"after clear_cache(): {len(session.cache)} entries")
     print()
 
-    # --- 5. the deprecation path --------------------------------------
+    # --- 5. the old free functions ------------------------------------
     print(
-        "repro.core.pipeline.execute/execute_all still work but emit\n"
-        "DeprecationWarning (removal: repro 2.0) and delegate to the\n"
-        "default session — new code uses PlannerSession (or passes\n"
-        "session=... to the plan_outer_product / compare_strategies\n"
-        "façade).  See the README's migration notes, and\n"
-        "examples/batch_planning.py for the vectorised batch path."
+        "repro.core.pipeline.execute/execute_all were removed in repro\n"
+        "2.0 as their DeprecationWarning announced — use\n"
+        "PlannerSession.plan/.sweep (or pass session=... to the\n"
+        "plan_outer_product / compare_strategies façade).  See the\n"
+        "README's migration notes, examples/batch_planning.py for the\n"
+        "vectorised batch path, and examples/remote_planning.py for\n"
+        "offloading to a plan server."
     )
 
 

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""CI smoke for the planning service: serve → remote panel → shared hits.
+
+Boots ``repro serve`` on an ephemeral port with a durable (sqlite)
+store, runs the same small Figure-4 panel from two *separate client
+processes* with ``--backend remote:HOST:PORT`` and no local cache, and
+then asserts:
+
+1. the two panels render identically (remote planning is
+   deterministic and the resumed run replays the first one's points);
+2. ``/cache/stats`` reports disk hits — the second client was served
+   from the store the first one warmed, which is the whole point of
+   the shared planning tier.
+
+Exits non-zero on any failure; prints a BENCH-style JSON line with the
+observed hit counts so CI logs are grep-able.
+
+Run: ``python scripts/service_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PANEL_ARGS = [
+    "figure4",
+    "--model",
+    "uniform",
+    "--processors",
+    "10",
+    "--trials",
+    "3",
+    "--no-cache",  # clients stay cold; all sharing happens server-side
+]
+
+
+def client_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    return env
+
+
+def run_cli(args: list[str]) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=client_env(),
+        timeout=300,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"client command {args} failed ({proc.returncode}):\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    return proc.stdout
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as tmp:
+        store = Path(tmp) / "plans.db"
+        server = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--cache",
+                f"sqlite:{store}",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=client_env(),
+        )
+        try:
+            banner = server.stdout.readline()
+            match = re.search(r"listening on (http://[\d.]+:\d+)", banner)
+            if not match:
+                raise SystemExit(f"no server banner, got: {banner!r}")
+            url = match.group(1)
+            address = url.removeprefix("http://")
+
+            health = json.loads(
+                urllib.request.urlopen(f"{url}/healthz", timeout=10).read()
+            )
+            assert health["status"] == "ok", health
+
+            first = run_cli(PANEL_ARGS + ["--backend", f"remote:{address}"])
+            stats_after_first = json.loads(
+                urllib.request.urlopen(f"{url}/cache/stats", timeout=10).read()
+            )
+            second = run_cli(PANEL_ARGS + ["--backend", f"remote:{address}"])
+            stats = json.loads(
+                urllib.request.urlopen(f"{url}/cache/stats", timeout=10).read()
+            )
+
+            assert first == second, "remote panels differ between clients"
+            disk_hits = stats["hits"] - stats_after_first["hits"]
+            assert stats["entries"] > 0, stats
+            assert disk_hits > 0, (
+                f"second client produced no shared-store hits: {stats}"
+            )
+            print(
+                "BENCH "
+                + json.dumps(
+                    {
+                        "name": "service_smoke",
+                        "entries": stats["entries"],
+                        "first_run_misses": stats_after_first["misses"],
+                        "second_run_disk_hits": disk_hits,
+                    }
+                )
+            )
+            print("service smoke OK")
+            return 0
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait()
+            time.sleep(0.1)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,12 @@ Batched / concurrent / cached planning goes through a session
     from repro import PlannerSession
     with PlannerSession(backend="threaded") as session:
         sweep = session.sweep(platform, N=10_000)
+
+Planning also runs as a network service (:mod:`repro.service`,
+``examples/remote_planning.py``): ``repro serve`` exposes a session
+over HTTP, ``PlannerSession(backend="remote:HOST:PORT")`` offloads
+sweeps to it, and ``cache="http://HOST:PORT"`` shares its warm plan
+store across client processes.
 """
 
 from repro import registry
@@ -46,8 +52,6 @@ from repro.core import (
     SQLitePlanCache,
     TieredPlanCache,
     default_session,
-    execute,
-    execute_all,
     plan_request,
     available_strategies,
     plan_outer_product,
@@ -68,7 +72,7 @@ from repro.dlt import (
 from repro.partition import peri_sum_partition
 from repro.sorting import sample_sort
 
-__version__ = "1.1.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "registry",
@@ -84,8 +88,6 @@ __all__ = [
     "SQLitePlanCache",
     "TieredPlanCache",
     "default_session",
-    "execute",
-    "execute_all",
     "plan_request",
     "available_strategies",
     "plan_outer_product",

@@ -10,6 +10,10 @@ console script; ``python -m repro`` works too)::
     repro compare --speeds 1 2 4 8   # sweep every registered strategy
     repro compare --speeds 1 2 4 8 --backend threaded --jobs 4
     repro compare --speeds 1 2 4 8 --no-vectorize   # scalar misses
+    repro compare --speeds 1 2 4 8 --cost-model piecewise
+    repro serve --port 8640 --cache tiered:plans.db   # HTTP plan server
+    repro figure4 --backend remote:localhost:8640 --no-cache  # offload
+    repro compare --speeds 1 2 4 8 --cache http://localhost:8640
     repro cache-stats --speeds 1 2 4 8 --repeats 3
     repro figure4 --model uniform --trials 100 --backend process
     repro figure4 --trials 100 --cache sqlite:plans.db   # resumable
@@ -79,8 +83,9 @@ def _add_session_options(parser: argparse.ArgumentParser) -> None:
         type=str,
         default="serial",
         help=(
-            "execution backend routing the planning work "
-            "(see `repro list backend`; default: serial)"
+            "execution backend spec routing the planning work: a "
+            "registered name (`repro list backend`) or remote:HOST:PORT "
+            "to offload to a `repro serve` instance (default: serial)"
         ),
     )
     parser.add_argument(
@@ -94,10 +99,12 @@ def _add_session_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="SPEC",
         help=(
-            "plan store spec: memory[:SIZE], sqlite:PATH or tiered:PATH "
-            "(default: memory). A sqlite/tiered path persists plans, so "
-            "an interrupted sweep rerun against the same path resumes "
-            "from disk hits; inspect it with `repro cache stats PATH`"
+            "plan store spec: memory[:SIZE], sqlite:PATH, tiered:PATH, "
+            "http://HOST:PORT (a `repro serve` instance's shared store) "
+            "or tiered:http://HOST:PORT (memory front over it); default: "
+            "memory. A sqlite/tiered path persists plans, so an "
+            "interrupted sweep rerun against the same path resumes from "
+            "disk hits; inspect it with `repro cache stats PATH`"
         ),
     )
     parser.add_argument(
@@ -225,6 +232,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.platform.star import StarPlatform
 
     platform = StarPlatform.from_speeds(args.speeds)
+    model = None
+    if args.cost_model:
+        # resolve up front: a typo'd model name must fail before the
+        # sweep is planned (and before any table output), like unknown
+        # strategies and backends do
+        from repro import registry
+
+        model = registry.create("cost_model", args.cost_model)
     print(platform.describe())
     print()
     with _session_from_args(args) as session:
@@ -232,6 +247,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             platform, args.N, imbalance_target=args.imbalance_target
         )
         print(sweep.render())
+        if model is not None:
+            from repro.core.strategies import work_coverage
+
+            print()
+            print(
+                f"work coverage under cost model {args.cost_model!r} "
+                "(1 = linear; lower = one round covers less of the job):"
+            )
+            for name, res in sweep.results.items():
+                print(f"  {name:<8}{work_coverage(res.plan, model):.4f}")
     return 0
 
 
@@ -312,6 +337,40 @@ def _cmd_cache_group(args: argparse.Namespace) -> int:
                   f"into {store.path}")
     finally:
         store.close()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP plan server until interrupted."""
+    from repro.service.server import PlanServer
+
+    server = PlanServer(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        jobs=args.jobs,
+        cache=_cache_arg(args),
+        vectorize=args.vectorize,
+    )
+    print(f"repro plan server listening on {server.url}", flush=True)
+    print(
+        f"  backend={args.backend!r} cache={server.cache_spec!r} — "
+        "endpoints: /plan /plan_batch /cache/get /cache/put "
+        "/cache/stats /healthz",
+        flush=True,
+    )
+    print(
+        "  point clients at it: "
+        f"--backend remote:{server.host}:{server.port} "
+        f"or --cache http://{server.host}:{server.port}  (Ctrl-C stops)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -449,6 +508,16 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--speeds", type=float, nargs="+", required=True)
     pc.add_argument("--N", type=float, default=10_000.0)
     pc.add_argument("--imbalance-target", type=float, default=0.01)
+    pc.add_argument(
+        "--cost-model",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help=(
+            "also score every plan's work coverage under a registered "
+            "cost model (see `repro list cost_model`, e.g. piecewise)"
+        ),
+    )
     _add_session_options(pc)
     pc.set_defaults(fn=_cmd_compare)
 
@@ -492,6 +561,25 @@ def build_parser() -> argparse.ArgumentParser:
     c_import.add_argument("input", help="export file to merge in")
     pcache.set_defaults(fn=_cmd_cache_group)
 
+    psv = sub.add_parser(
+        "serve",
+        help="serve the planner over HTTP (/plan, /plan_batch, /cache/*)",
+    )
+    psv.add_argument(
+        "--host",
+        type=str,
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1 — trusted networks only)",
+    )
+    psv.add_argument(
+        "--port",
+        type=int,
+        default=8640,
+        help="TCP port (0 binds an ephemeral port; default: 8640)",
+    )
+    _add_session_options(psv)
+    psv.set_defaults(fn=_cmd_serve)
+
     ps = sub.add_parser("sort", help="run a sample sort")
     ps.add_argument("--n", type=int, default=100_000)
     ps.add_argument("--speeds", type=float, nargs="+", default=[1.0, 1.0, 1.0, 1.0])
@@ -512,13 +600,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     from repro.registry import RegistryError
+    from repro.service.client import PlanServiceError
 
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
-    except RegistryError as exc:
-        # unknown/duplicate component names are user errors: report them
-        # like argparse does (message + exit 2), not as a traceback
+    except (RegistryError, PlanServiceError) as exc:
+        # unknown/duplicate component names and unreachable plan
+        # servers are user errors: report them like argparse does
+        # (message + exit 2), not as a traceback
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:

@@ -57,21 +57,22 @@ from repro.core.strategies import (
     available_strategies,
     plan_outer_product,
     compare_strategies,
+    work_coverage,
 )
 from repro.core.pipeline import (
     PlanRequest,
     PlanResult,
     PlanSweep,
-    execute,
-    execute_all,
     plan_request,
 )
+from repro.core.backends import backend_from_spec
 from repro.core.cache import (
     CacheStats,
     MemoryPlanCache,
     PlanCache,
     PlanStore,
     SQLitePlanCache,
+    ThreadSafePlanStore,
     TieredPlanCache,
     cache_from_spec,
 )
@@ -115,17 +116,18 @@ __all__ = [
     "available_strategies",
     "plan_outer_product",
     "compare_strategies",
+    "work_coverage",
     "PlanRequest",
     "PlanResult",
     "PlanSweep",
-    "execute",
-    "execute_all",
     "plan_request",
+    "backend_from_spec",
     "CacheStats",
     "PlanCache",
     "PlanStore",
     "MemoryPlanCache",
     "SQLitePlanCache",
+    "ThreadSafePlanStore",
     "TieredPlanCache",
     "cache_from_spec",
     "VectorGroup",

@@ -27,6 +27,7 @@ spawn cost over a session's lifetime) and release it on ``shutdown()``
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, List, Sequence, TypeVar
 
@@ -89,6 +90,9 @@ class _PooledBackend(Backend):
     def __init__(self, jobs: int | None = None) -> None:
         super().__init__(jobs)
         self._executor: Executor | None = None
+        # plan servers drive one backend from many handler threads;
+        # guard the lazy spin-up so racing first calls share one pool
+        self._pool_lock = threading.Lock()
 
     def _make_executor(self) -> Executor:
         raise NotImplementedError
@@ -98,14 +102,17 @@ class _PooledBackend(Backend):
         if len(items) <= 1:
             # nothing to overlap; skip pool spin-up for single requests
             return [fn(item) for item in items]
-        if self._executor is None:
-            self._executor = self._make_executor()
-        return list(self._executor.map(fn, items))
+        with self._pool_lock:
+            if self._executor is None:
+                self._executor = self._make_executor()
+            executor = self._executor
+        return list(executor.map(fn, items))
 
     def shutdown(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        with self._pool_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
 
 
 @register(
@@ -149,6 +156,33 @@ def create_backend(name: str, jobs: int | None = None) -> Backend:
     from repro import registry
 
     return registry.create("backend", name, jobs=jobs)
+
+
+def backend_from_spec(
+    spec: "str | Backend", jobs: int | None = None
+) -> Backend:
+    """Resolve a ``--backend`` spec to a backend through the registry.
+
+    A bare name (``serial`` / ``threaded`` / ``process`` / ``asyncio``)
+    instantiates that backend; ``name:ARG`` passes the remainder to the
+    factory — the service layer's ``remote:HOST:PORT`` is the built-in
+    user.  An already-constructed backend passes through unchanged, so
+    APIs accept ``backend="remote:host:9000"`` and ``backend=my_backend``
+    alike.  Malformed specs raise
+    :class:`~repro.registry.RegistryError` — a user error the CLI
+    reports without a traceback, like an unknown component name.
+    """
+    if not isinstance(spec, str):
+        return spec
+    from repro import registry
+    from repro.registry import RegistryError
+
+    name, _, arg = spec.partition(":")
+    factory = registry.get("backend", name)  # unknown names fail clean here
+    try:
+        return factory(arg, jobs=jobs) if arg else factory(jobs=jobs)
+    except (TypeError, ValueError) as exc:
+        raise RegistryError(f"bad backend spec {spec!r}: {exc}") from None
 
 
 def available_backends() -> Sequence[str]:

@@ -26,10 +26,16 @@ kind ``"cache"``):
   runs.  Safe for concurrent readers/writers across threads *and*
   processes (WAL journal, per-thread connections, single-statement
   atomic updates).
-* :class:`TieredPlanCache` (``tiered``) — memory front, disk behind:
-  reads try memory first and *promote* disk hits, writes go through to
-  both tiers, and :attr:`CacheStats.tier_hits` breaks hits down per
-  tier.
+* :class:`TieredPlanCache` (``tiered``) — memory front, a durable or
+  remote store behind: reads try memory first and *promote* back-tier
+  hits, writes go through to both tiers, and
+  :attr:`CacheStats.tier_hits` breaks hits down per tier.
+* ``http`` (:class:`repro.service.client.HTTPPlanCache`) — a plan
+  server's store, shared by many client processes; spec
+  ``http://HOST:PORT``, composable as ``tiered:http://HOST:PORT``.
+
+:class:`ThreadSafePlanStore` wraps any store in an RLock for callers
+that drive one session from many threads (the plan server does).
 
 Any store can warm any other (entries are path- and tier-agnostic), so
 a killed 100-trial sweep restarted against the same sqlite file
@@ -536,7 +542,7 @@ class SQLitePlanCache(BasePlanStore):
 @register(
     "cache",
     "tiered",
-    summary="Memory front + durable sqlite behind (write-through)",
+    summary="Memory front + sqlite or http store behind (write-through)",
 )
 class TieredPlanCache(BasePlanStore):
     """Two-level store: a fast memory front over a durable back tier.
@@ -559,18 +565,23 @@ class TieredPlanCache(BasePlanStore):
 
     def __init__(
         self,
-        path: str | Path | None = None,
+        path: "str | Path | None" = None,
         *,
         memory: MemoryPlanCache | None = None,
-        disk: SQLitePlanCache | None = None,
+        disk: "PlanStore | None" = None,
         max_entries: int = 4096,
     ) -> None:
         if disk is None:
             if path is None:
                 raise ValueError(
-                    "TieredPlanCache needs a sqlite path or a disk store"
+                    "TieredPlanCache needs a sqlite path or a back-tier store"
                 )
-            disk = SQLitePlanCache(path)
+            if isinstance(path, str) and path.startswith(("http:", "https:")):
+                # "tiered:http://HOST:PORT" — a local memory front over
+                # a plan server's shared store (repro.service.client)
+                disk = cache_from_spec(path)
+            else:
+                disk = SQLitePlanCache(path)
         self.memory = memory if memory is not None else MemoryPlanCache(max_entries)
         self.disk = disk
 
@@ -614,6 +625,50 @@ class TieredPlanCache(BasePlanStore):
         )
 
 
+class ThreadSafePlanStore(BasePlanStore):
+    """An RLock-serialised wrapper making any store safe to share.
+
+    The built-in memory store is single-thread by contract (sessions do
+    all cache traffic on the calling thread), but a *plan server* drives
+    one session from many HTTP handler threads at once.  Wrapping the
+    store serialises every ``get``/``put``/``stats`` so interleaved
+    clients keep ``hits + misses == lookups`` and never corrupt the LRU
+    order; stores that are already concurrency-safe (sqlite) lose
+    nothing but a cheap lock acquisition.
+    """
+
+    def __init__(self, store: PlanStore) -> None:
+        self.inner = store
+        self._lock = threading.RLock()
+
+    def get(self, key: Hashable) -> PlanResult | None:
+        with self._lock:
+            return self.inner.get(key)
+
+    def put(self, key: Hashable, result: PlanResult) -> None:
+        with self._lock:
+            self.inner.put(key, result)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.inner.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.inner)
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return self.inner.stats
+
+    def close(self) -> None:
+        with self._lock:
+            closer = getattr(self.inner, "close", None)
+            if closer is not None:
+                closer()
+
+
 def cache_from_spec(spec: "str | PlanStore") -> PlanStore:
     """Resolve a ``--cache`` spec to a store through the registry.
 
@@ -621,7 +676,10 @@ def cache_from_spec(spec: "str | PlanStore") -> PlanStore:
 
     * ``memory`` or ``memory:SIZE`` — in-process LRU (SIZE entries);
     * ``sqlite:PATH`` — durable store at PATH;
-    * ``tiered:PATH`` — memory front over a durable store at PATH.
+    * ``tiered:PATH`` — memory front over a durable store at PATH;
+    * ``http://HOST:PORT`` — a plan server's shared store
+      (:class:`repro.service.client.HTTPPlanCache`); prefix with
+      ``tiered:`` for a local memory front over it.
 
     An already-constructed store passes through unchanged, so APIs can
     accept ``cache="sqlite:plans.db"`` and ``cache=my_store`` alike.

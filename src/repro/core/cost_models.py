@@ -195,6 +195,68 @@ class NLogNCost(CostModel):
         return out
 
 
+@register("cost_model", "piecewise", section="§2")
+@dataclass(frozen=True)
+class PiecewiseCost(CostModel):
+    """Piecewise-linear work through ``(n, work)`` breakpoints.
+
+    Between breakpoints ``work`` interpolates linearly; beyond the last
+    one it extrapolates the final segment's slope.  The default models
+    the classic cache knee: unit work per data unit while a chunk fits
+    (``n <= 4096``), four units per data unit once it spills — a
+    *super-additive* workload (splitting a big chunk into cache-sized
+    ones genuinely reduces total work), i.e. the §2 shape realised as a
+    table instead of a formula.  Registered the decorator-only way: the
+    class plus ``@register`` is its entire integration — ``repro list
+    cost_model``, ``registry.create("cost_model", "piecewise")`` and
+    ``repro compare --cost-model piecewise`` all pick it up from here.
+    """
+
+    breakpoints: tuple = ((0.0, 0.0), (4096.0, 4096.0), (16384.0, 53248.0))
+    name: str = "piecewise"
+
+    def __post_init__(self) -> None:
+        points = tuple(
+            (float(n), float(work)) for n, work in self.breakpoints
+        )
+        if len(points) < 2:
+            raise ValueError(
+                f"piecewise cost needs >= 2 breakpoints, got {len(points)}"
+            )
+        ns = [n for n, _ in points]
+        works = [w for _, w in points]
+        if any(b <= a for a, b in zip(ns, ns[1:])):
+            raise ValueError(f"breakpoint sizes must strictly increase: {ns}")
+        if ns[0] < 0:
+            raise ValueError(f"breakpoint sizes must be >= 0, got {ns[0]}")
+        if any(b < a for a, b in zip(works, works[1:])) or works[0] < 0:
+            raise ValueError(
+                f"breakpoint work values must be >= 0 and non-decreasing: {works}"
+            )
+        object.__setattr__(self, "breakpoints", points)
+
+    def work(self, n: ArrayLike) -> ArrayLike:
+        arr = np.asarray(n, dtype=float)
+        ns = np.array([p[0] for p in self.breakpoints])
+        works = np.array([p[1] for p in self.breakpoints])
+        out = np.interp(arr, ns, works)
+        # np.interp clamps past the table; extend the last slope instead
+        slope = (works[-1] - works[-2]) / (ns[-1] - ns[-2])
+        out = np.where(arr > ns[-1], works[-1] + slope * (arr - ns[-1]), out)
+        if np.ndim(arr) == 0:
+            return float(out)
+        return out
+
+    @property
+    def is_linear(self) -> bool:
+        ns = np.array([p[0] for p in self.breakpoints])
+        works = np.array([p[1] for p in self.breakpoints])
+        slopes = np.diff(works) / np.diff(ns)
+        return bool(
+            np.allclose(slopes, slopes[0]) and np.isclose(works[0], slopes[0] * ns[0])
+        )
+
+
 @register("cost_model", "callable")
 @dataclass(frozen=True)
 class CallableCost(CostModel):

@@ -12,18 +12,18 @@ wraps the outcome — together with its communication lower bound — in a
 importable by name so process-pool backends can pickle it.  Almost all
 callers want :class:`repro.core.session.PlannerSession` instead, which
 routes batches of requests through an execution backend and a
-content-keyed plan cache.  The historical free functions
-:func:`execute` / :func:`execute_all` remain as deprecated shims over
-the process-wide default session.
+content-keyed plan cache.  (The historical free functions ``execute``
+/ ``execute_all`` were deprecated shims over the default session; they
+were removed in repro 2.0 as scheduled — see the README's migration
+notes for the one-line replacements.)
 """
 
 from __future__ import annotations
 
 import inspect
 import time
-import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping
 
 from repro import registry
 from repro.blocks.metrics import StrategyResult
@@ -221,54 +221,3 @@ def _sorted_results(
 ) -> dict[str, PlanResult]:
     """``results`` re-keyed in sorted strategy-name order."""
     return {name: results[name] for name in sorted(results)}
-
-
-def execute(request: PlanRequest) -> PlanResult:
-    """Deprecated shim: plan one request through the default session.
-
-    .. deprecated:: 1.1
-        Use :meth:`repro.core.session.PlannerSession.plan` (or the
-        module-level :func:`repro.core.session.default_session`), which
-        adds backend routing and plan caching.  Kept for source
-        compatibility; behaves exactly like
-        ``default_session().plan(request)``.  Scheduled for removal in
-        repro 2.0 — see the README's migration notes.
-    """
-    warnings.warn(
-        "repro.core.pipeline.execute() is deprecated and will be "
-        "removed in repro 2.0; use PlannerSession.plan() "
-        "(see repro.core.session and the README migration notes)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.core.session import default_session
-
-    return default_session().plan(request)
-
-
-def execute_all(
-    platform: StarPlatform,
-    N: float,
-    strategies: Sequence[str] | None = None,
-    **params: Any,
-) -> PlanSweep:
-    """Deprecated shim: sweep strategies through the default session.
-
-    .. deprecated:: 1.1
-        Use :meth:`repro.core.session.PlannerSession.sweep`, which adds
-        backend routing (``serial``/``threaded``/``process``) and plan
-        caching.  Kept for source compatibility; behaves exactly like
-        ``default_session().sweep(platform, N, strategies, **params)``.
-        Scheduled for removal in repro 2.0 — see the README's migration
-        notes.
-    """
-    warnings.warn(
-        "repro.core.pipeline.execute_all() is deprecated and will be "
-        "removed in repro 2.0; use PlannerSession.sweep() "
-        "(see repro.core.session and the README migration notes)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.core.session import default_session
-
-    return default_session().sweep(platform, N, strategies=strategies, **params)

@@ -35,8 +35,7 @@ computes, and sweeps iterate in sorted strategy order regardless of
 completion order.
 
 The module-level :func:`default_session` (serial, caching) backs the
-deprecated :func:`repro.core.pipeline.execute` / ``execute_all`` shims
-and the façade in :mod:`repro.core.strategies`.
+façade in :mod:`repro.core.strategies`.
 """
 
 from __future__ import annotations
@@ -45,7 +44,7 @@ from dataclasses import replace
 from typing import Any, List, Mapping, Sequence
 
 from repro import registry
-from repro.core.backends import Backend
+from repro.core.backends import Backend, backend_from_spec
 from repro.core.cache import (
     CacheStats,
     MemoryPlanCache,
@@ -109,7 +108,9 @@ class PlannerSession:
         **default_params: Any,
     ) -> None:
         if isinstance(backend, str):
-            self.backend: Backend = registry.create("backend", backend, jobs=jobs)
+            # spec form: a bare registered name, or "name:ARG" — e.g.
+            # "remote:HOST:PORT" plans through a repro plan server
+            self.backend: Backend = backend_from_spec(backend, jobs=jobs)
             self.backend_name = backend
         else:
             self.backend = backend
@@ -295,16 +296,15 @@ class PlannerSession:
         return replace(request, params=merged)
 
 
-#: lazily constructed process-wide session backing the deprecated shims
+#: lazily constructed process-wide session backing the façade helpers
 _default_session: PlannerSession | None = None
 
 
 def default_session() -> PlannerSession:
     """The process-wide session (serial backend, caching on).
 
-    Backs the deprecated :func:`repro.core.pipeline.execute` /
-    ``execute_all`` shims and the :mod:`repro.core.strategies` façade
-    when no explicit session is passed.
+    Backs the :mod:`repro.core.strategies` façade when no explicit
+    session is passed.
     """
     global _default_session
     if _default_session is None:

@@ -19,8 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Sequence
 
+import numpy as np
+
 from repro import registry
 from repro.blocks.metrics import StrategyResult
+from repro.core.cost_models import CostModel
 from repro.core.pipeline import PlanRequest
 from repro.core.session import PlannerSession, default_session
 from repro.platform.star import StarPlatform
@@ -66,6 +69,47 @@ def plan_outer_product(
     return (session or default_session()).plan(request).plan
 
 
+def work_coverage(
+    plan: OuterProductPlan, cost_model: "str | CostModel"
+) -> float:
+    """Fraction of the whole job's work one round of ``plan`` covers.
+
+    The §2 vanishing-fraction lens applied to a *concrete* plan: the
+    plan's chunks are scored under ``cost_model`` (a registered name or
+    a :class:`~repro.core.cost_models.CostModel` instance) as
+    :math:`\\sum_j \\text{work}(a_j) / \\text{work}(\\sum_j a_j)`.
+
+    Chunk sizes come from the plan itself: block strategies record
+    their chunk count (``detail["n_blocks"]`` — identical chunks by
+    construction), anything else is scored at its per-worker shares
+    recovered from the finish times (``amount_i = finish_i * s_i``, the
+    linear accounting every strategy uses).
+
+    Linear models score 1 for every plan; super-additive models score
+    below 1 — the more a strategy fragments the domain, the less of the
+    job one distribution round covers (``hom/k``'s many small blocks
+    fall furthest), which is exactly the no-free-lunch trade a
+    non-linear workload imposes on the Figure-4 strategies.
+    """
+    if isinstance(cost_model, str):
+        cost_model = registry.create("cost_model", cost_model)
+    shares = np.asarray(plan.finish_times, dtype=float) * np.asarray(
+        plan.speeds, dtype=float
+    )
+    total = float(shares.sum())
+    if total <= 0.0:
+        return 1.0
+    n_blocks = int(plan.detail.get("n_blocks", 0))
+    if n_blocks > 0:
+        amounts = np.full(n_blocks, total / n_blocks)
+    else:
+        amounts = shares
+    whole = float(cost_model.work(total))
+    if whole == 0.0:
+        return 1.0
+    return float(np.sum(cost_model.work(amounts))) / whole
+
+
 @dataclass(frozen=True)
 class StrategyComparison:
     """Every compared strategy on one instance, ready for a table row."""
@@ -90,6 +134,17 @@ class StrategyComparison:
                 f"missing {sorted(missing)}"
             )
         return self.plans["hom"].comm_volume / self.plans["het"].comm_volume
+
+    def work_coverage(
+        self, cost_model: "str | CostModel"
+    ) -> Dict[str, float]:
+        """Per-strategy :func:`work_coverage` under one cost model."""
+        if isinstance(cost_model, str):
+            cost_model = registry.create("cost_model", cost_model)
+        return {
+            name: work_coverage(plan, cost_model)
+            for name, plan in self.plans.items()
+        }
 
     def summary(self) -> str:
         lines = [f"Outer product N={self.N:g}:"]

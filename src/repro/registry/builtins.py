@@ -41,8 +41,15 @@ PROVIDER_MODULES: dict[str, tuple[str, ...]] = {
         "repro.simulate.affinity",
         "repro.mapreduce.scheduler",
     ),
-    "backend": ("repro.core.backends",),
-    "cache": ("repro.core.cache",),
+    "backend": (
+        "repro.core.backends",
+        "repro.service.asyncio_backend",
+        "repro.service.client",
+    ),
+    "cache": (
+        "repro.core.cache",
+        "repro.service.client",
+    ),
 }
 
 

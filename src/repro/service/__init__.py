@@ -1,0 +1,49 @@
+"""repro.service — the planning service layer (client/server, stdlib-only).
+
+Turns the planner into a network service on top of the PR-2 session
+seam and the PR-4 plan-store protocol:
+
+* :mod:`repro.service.wire` — the versioned envelope every binary
+  payload travels in (magic header before any unpickling).
+* :mod:`repro.service.server` — :class:`PlanServer` / ``repro serve``:
+  a :class:`~repro.core.session.PlannerSession` behind a stdlib
+  threading HTTP server (``/plan``, ``/plan_batch``, ``/cache/*``,
+  ``/healthz``).
+* :mod:`repro.service.client` — :class:`RemoteBackend` (``backend``
+  kind, spec ``remote:HOST:PORT``) ships planning items to a server;
+  :class:`HTTPPlanCache` (``cache`` kind, spec ``http://HOST:PORT``)
+  makes the server's store a shared cache tier for many client
+  processes.
+* :mod:`repro.service.asyncio_backend` — :class:`AsyncioBackend`
+  (``backend`` kind, name ``asyncio``): bounded event-loop fan-out,
+  awaitable inside servers.
+
+The remote components register under the ordinary ``backend`` /
+``cache`` kinds, so every existing planning path — sessions, the
+Figure-4 / ρ experiments, the CLI — offloads by switching a spec
+string, and the service contract is the session contract: results are
+bit-identical to local planning (the vectorise suite's ``rtol=1e-12``
+envelope), cache entries are interchangeable with every other store.
+"""
+
+from repro.service.asyncio_backend import AsyncioBackend
+from repro.service.client import (
+    HTTPPlanCache,
+    PlanServiceError,
+    RemoteBackend,
+    ServiceClient,
+)
+from repro.service.server import PlanServer
+from repro.service.wire import WIRE_FORMAT, WIRE_VERSION, WireError
+
+__all__ = [
+    "AsyncioBackend",
+    "HTTPPlanCache",
+    "PlanServer",
+    "PlanServiceError",
+    "RemoteBackend",
+    "ServiceClient",
+    "WIRE_FORMAT",
+    "WIRE_VERSION",
+    "WireError",
+]

@@ -1,0 +1,113 @@
+"""An event-loop execution backend for services (registry name ``asyncio``).
+
+The ``serial`` / ``threaded`` / ``process`` backends all assume they own
+the calling thread.  A *service* does not: an asyncio server wants to
+await planning work from inside its event loop without blocking it, and
+it wants a hard bound on how many planning calls run at once so one fat
+``/plan_batch`` cannot starve every other connection.
+
+:class:`AsyncioBackend` provides both faces of that coin:
+
+* :meth:`AsyncioBackend.amap` — the native coroutine: awaitable from a
+  running event loop, fanning items out to a private thread pool under
+  an ``asyncio.Semaphore`` (``jobs`` permits, so concurrency is bounded
+  even when the item list is huge).  NumPy releases the GIL inside its
+  kernels, so planning really overlaps.
+* :meth:`AsyncioBackend.map` — the ordinary synchronous
+  :class:`~repro.core.backends.Backend` contract, implemented as
+  ``asyncio.run(self.amap(...))``.  This is what makes
+  ``PlannerSession(backend="asyncio")`` a drop-in: sweeps and batches
+  behave exactly like every other backend (order-preserving, identical
+  results), they just fan out through an event loop.
+
+Like the pooled backends, the worker pool persists across calls and is
+released by ``shutdown()`` / ``session.close()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, TypeVar
+
+from repro.core.backends import Backend
+from repro.registry import register
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@register(
+    "backend",
+    "asyncio",
+    summary="Event-loop fan-out with bounded concurrency (for services)",
+)
+class AsyncioBackend(Backend):
+    """Bounded event-loop ``map``: awaitable inside servers, sync outside.
+
+    ``jobs`` caps both the thread pool and the semaphore, so at most
+    ``jobs`` planning calls are in flight however many items a batch
+    carries (default: the ``threaded`` backend's ``min(32, cpus + 4)``).
+    """
+
+    name = "asyncio"
+
+    def __init__(self, jobs: int | None = None) -> None:
+        super().__init__(jobs)
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def limit(self) -> int:
+        """The concurrency bound ``amap`` enforces."""
+        return self.jobs or min(32, (os.cpu_count() or 1) + 4)
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.limit,
+                    thread_name_prefix="repro-aplan",
+                )
+            return self._executor
+
+    async def amap(
+        self, fn: Callable[[T], R], items: Iterable[T]
+    ) -> List[R]:
+        """Await ``fn`` over ``items`` with at most ``limit`` in flight.
+
+        Order-preserving like every backend ``map``; usable directly
+        from server coroutines (``await backend.amap(plan_request,
+        requests)``) while other connections keep being served.
+        """
+        loop = asyncio.get_running_loop()
+        semaphore = asyncio.Semaphore(self.limit)
+        executor = self._ensure_executor()
+
+        async def run_one(item: T) -> R:
+            async with semaphore:
+                return await loop.run_in_executor(executor, fn, item)
+
+        return list(await asyncio.gather(*(run_one(item) for item in items)))
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
+        if len(items) <= 1:
+            # nothing to overlap; skip loop + pool spin-up
+            return [fn(item) for item in items]
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            return asyncio.run(self.amap(fn, items))
+        raise RuntimeError(
+            "AsyncioBackend.map() called from a running event loop; "
+            "await AsyncioBackend.amap(fn, items) instead"
+        )
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None

@@ -1,0 +1,314 @@
+"""Clients for the plan server: remote backend + network plan store.
+
+Two registered components let any existing planning path offload to a
+:class:`~repro.service.server.PlanServer` by switching one spec string:
+
+* :class:`RemoteBackend` (kind ``backend``, spec ``remote:HOST:PORT``)
+  — implements the ordinary backend contract by shipping its items
+  (picklable :class:`~repro.core.pipeline.PlanRequest`\\ s and
+  :class:`~repro.core.vectorize.VectorGroup`\\ s, exactly what sessions
+  hand every backend) to the server's ``/plan_batch`` and returning the
+  planned results in order.  ``PlannerSession(backend="remote:...")``,
+  ``run_figure4(backend="remote:...")`` and ``repro figure4 --backend
+  remote:...`` therefore offload whole sweeps with no other change.
+* :class:`HTTPPlanCache` (kind ``cache``, spec ``http://HOST:PORT``) —
+  a :class:`~repro.core.cache.PlanStore` whose entries live in the
+  server's store, one ``/cache/get`` / ``/cache/put`` per lookup, so
+  many client *processes* share one warm cache.  Compose it with
+  :class:`~repro.core.cache.TieredPlanCache` for a local memory front
+  (``cache="tiered:http://HOST:PORT"``): hot keys are answered from
+  RAM, the shared tier fills and serves everything else.
+
+Both ride :class:`ServiceClient`, a stdlib ``urllib`` HTTP client with
+a per-call timeout and bounded retry.  Retry fires only on *transport*
+failures (connection refused, resets, timeouts) — planning is pure, so
+re-sending a request can change nothing but latency.  Protocol-level
+errors never retry: the server's 4xx/5xx JSON error bodies and wire
+version mismatches surface as :class:`PlanServiceError` /
+:class:`~repro.service.wire.WireError` immediately, carrying the
+server's own message.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Hashable, Iterable, List, TypeVar
+
+from repro.core.backends import Backend
+from repro.core.cache import BasePlanStore, CacheStats
+from repro.core.pipeline import PlanRequest, PlanResult, plan_request
+from repro.core.vectorize import plan_work_item
+from repro.registry import register
+from repro.service import wire
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: transport errors worth retrying: the request may never have reached
+#: a healthy server (refused/reset/timeout); planning is pure, so a
+#: duplicate delivery is harmless
+_RETRYABLE = (urllib.error.URLError, ConnectionError, socket.timeout, TimeoutError)
+
+
+class PlanServiceError(RuntimeError):
+    """Talking to the plan server failed (after any retries)."""
+
+
+def service_url(address: str) -> str:
+    """Normalise an address/spec fragment into a base URL.
+
+    Accepts ``HOST:PORT``, ``http://HOST:PORT``, and the ``//HOST:PORT``
+    form a ``cache`` spec leaves after ``http:`` is split off.
+    """
+    address = address.strip().rstrip("/")
+    if not address:
+        raise ValueError("empty plan-server address")
+    if address.startswith("//"):
+        address = address[2:]
+    if not address.startswith(("http://", "https://")):
+        address = f"http://{address}"
+    return address
+
+
+class ServiceClient:
+    """Thin HTTP client every service-side component shares.
+
+    ``timeout`` bounds each attempt; ``retries`` extra attempts are made
+    on transport errors, sleeping ``retry_wait * attempt`` between them
+    (linear backoff keeps worst-case latency predictable).
+    """
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        timeout: float = 30.0,
+        retries: int = 2,
+        retry_wait: float = 0.2,
+    ) -> None:
+        self.base_url = service_url(address)
+        self.timeout = float(timeout)
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.retries = int(retries)
+        self.retry_wait = float(retry_wait)
+
+    # -- transport -------------------------------------------------------
+
+    def _request(
+        self, path: str, data: bytes | None, content_type: str | None
+    ) -> bytes:
+        url = f"{self.base_url}{path}"
+        headers = {wire.VERSION_HEADER: str(wire.WIRE_VERSION)}
+        if content_type:
+            headers["Content-Type"] = content_type
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(url, data=data, headers=headers)
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                    return resp.read()
+            except urllib.error.HTTPError as exc:
+                # the server answered: a protocol error, never retried
+                raise PlanServiceError(
+                    f"{url} -> HTTP {exc.code}: {_error_message(exc)}"
+                ) from None
+            except _RETRYABLE as exc:
+                last_error = exc
+                if attempt < self.retries:
+                    time.sleep(self.retry_wait * (attempt + 1))
+        raise PlanServiceError(
+            f"cannot reach plan server at {self.base_url} "
+            f"after {self.retries + 1} attempt(s): {last_error}"
+        ) from None
+
+    def post(self, path: str, payload: Any) -> Any:
+        """POST an envelope, return the response envelope's payload."""
+        body = self._request(path, wire.pack(payload), wire.CONTENT_TYPE)
+        return wire.unpack(body)
+
+    def get_json(self, path: str) -> dict:
+        """GET a JSON control endpoint (``/healthz``, ``/cache/stats``)."""
+        return json.loads(self._request(path, None, None).decode("utf-8"))
+
+    # -- service calls ---------------------------------------------------
+
+    def plan(self, request: PlanRequest) -> PlanResult:
+        return self.post("/plan", request)
+
+    def plan_items(self, items: List[Any]) -> List[Any]:
+        return self.post("/plan_batch", list(items))
+
+    def cache_get(self, key: Hashable) -> PlanResult | None:
+        return self.post("/cache/get", key)
+
+    def cache_put(self, key: Hashable, result: PlanResult) -> None:
+        self._request("/cache/put", wire.pack((key, result)), wire.CONTENT_TYPE)
+
+    def cache_clear(self) -> None:
+        self._request("/cache/clear", b"", wire.CONTENT_TYPE)
+
+    def cache_stats(self) -> dict:
+        return self.get_json("/cache/stats")
+
+    def healthz(self) -> dict:
+        return self.get_json("/healthz")
+
+
+def _error_message(exc: urllib.error.HTTPError) -> str:
+    """The server's JSON ``error`` field, or the raw body on surprise."""
+    try:
+        body = exc.read().decode("utf-8", errors="replace")
+        return json.loads(body).get("error", body.strip())
+    except Exception:
+        return exc.reason if isinstance(exc.reason, str) else str(exc.reason)
+
+
+#: the planners sessions route through backends; a remote backend ships
+#: the *items* instead and lets the server apply the equivalent planner
+_SHIPPABLE_PLANNERS: tuple[Callable[..., Any], ...] = (
+    plan_request,
+    plan_work_item,
+)
+
+
+@register(
+    "backend",
+    "remote",
+    summary="Ship planning items to a repro plan server (remote:HOST:PORT)",
+)
+class RemoteBackend(Backend):
+    """Dispatch planning work to a :class:`PlanServer` over HTTP.
+
+    The backend contract is ``map(fn, items)``; a remote backend cannot
+    ship arbitrary ``fn``, so it accepts exactly the planners sessions
+    use (:func:`~repro.core.pipeline.plan_request` and the vectorised
+    :func:`~repro.core.vectorize.plan_work_item`) and posts the *items*
+    to ``/plan_batch`` — the server plans them through its own session,
+    which is what makes its store a shared warm cache.  Any other ``fn``
+    raises ``TypeError`` rather than silently planning the wrong thing.
+
+    ``jobs`` is accepted for interface parity but concurrency lives
+    server-side (the server's backend fans each batch out).
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        address: str,
+        jobs: int | None = None,
+        *,
+        timeout: float = 60.0,
+        retries: int = 2,
+        retry_wait: float = 0.2,
+    ) -> None:
+        super().__init__(jobs)
+        self.client = ServiceClient(
+            address, timeout=timeout, retries=retries, retry_wait=retry_wait
+        )
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
+        if not items:
+            return []
+        if fn not in _SHIPPABLE_PLANNERS:
+            raise TypeError(
+                "RemoteBackend can only ship the session planners "
+                "(plan_request / plan_work_item); got "
+                f"{getattr(fn, '__name__', fn)!r}"
+            )
+        return self.client.plan_items(items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RemoteBackend {self.client.base_url}>"
+
+
+@register(
+    "cache",
+    "http",
+    summary="Client for a plan server's shared store (http://HOST:PORT)",
+)
+class HTTPPlanCache(BasePlanStore):
+    """A :class:`~repro.core.cache.PlanStore` living on a plan server.
+
+    ``get`` / ``put`` / ``clear`` are one HTTP call each against the
+    server's store, so every client process pointing the same URL reads
+    and warms one cache.  ``stats`` is the *server's* view — counters
+    aggregate every client's traffic, which is the point of a shared
+    tier (per-sweep hit deltas in one client are approximate whenever
+    other clients are planning concurrently).
+
+    A lookup round-trip costs an HTTP exchange; for hot working sets
+    put a local LRU in front::
+
+        PlannerSession(cache="tiered:http://HOST:PORT")
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 30.0,
+        retries: int = 2,
+        retry_wait: float = 0.2,
+    ) -> None:
+        self.client = ServiceClient(
+            url, timeout=timeout, retries=retries, retry_wait=retry_wait
+        )
+
+    @property
+    def url(self) -> str:
+        return self.client.base_url
+
+    def get(self, key: Hashable) -> PlanResult | None:
+        return self.client.cache_get(key)
+
+    def put(self, key: Hashable, result: PlanResult) -> None:
+        self.client.cache_put(key, result)
+
+    def clear(self) -> None:
+        self.client.cache_clear()
+
+    def __len__(self) -> int:
+        from repro.service.server import stats_from_payload
+
+        stats = stats_from_payload(self.client.cache_stats())
+        # a cacheless server has no entries to count; stats itself
+        # raises instead, because reading counters there is a misuse
+        return stats.entries if stats is not None else 0
+
+    @property
+    def stats(self) -> CacheStats:
+        from repro.service.server import stats_from_payload
+
+        stats = stats_from_payload(self.client.cache_stats())
+        if stats is None:
+            raise PlanServiceError(
+                f"plan server at {self.url} runs without a cache"
+            )
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<HTTPPlanCache {self.url}>"
+
+
+@register(
+    "cache",
+    "https",
+    summary="TLS variant of the http plan-store client (https://HOST:PORT)",
+)
+def https_plan_cache(url: str, **kwargs: Any) -> HTTPPlanCache:
+    """Rebuild the scheme a ``https://...`` cache spec split off.
+
+    ``cache_from_spec`` partitions a spec at its first colon, so the
+    factory receives ``//HOST:PORT`` and must restore the right scheme
+    itself (:class:`HTTPPlanCache` would default to plain http).
+    """
+    if url.startswith("//"):
+        url = f"https:{url}"
+    return HTTPPlanCache(url, **kwargs)

@@ -1,0 +1,352 @@
+"""The HTTP plan server: ``repro serve`` (stdlib-only, no new deps).
+
+One process owns a :class:`~repro.core.session.PlannerSession` — with
+any registered backend and any registered plan store behind it — and
+serves it to the network:
+
+==================  ====  =================================================
+endpoint            verb  payload
+==================  ====  =================================================
+``/healthz``        GET   JSON liveness: status, versions, backend, cache
+``/cache/stats``    GET   JSON :class:`~repro.core.cache.CacheStats` view
+``/plan``           POST  envelope(PlanRequest) → envelope(PlanResult)
+``/plan_batch``     POST  envelope([PlanRequest | VectorGroup, ...]) →
+                          envelope([PlanResult | [PlanResult, ...], ...])
+``/cache/get``      POST  envelope(key) → envelope(PlanResult | None)
+``/cache/put``      POST  envelope((key, PlanResult)) → JSON ack
+``/cache/clear``    POST  (empty) → JSON ack
+==================  ====  =================================================
+
+Binary payloads are the versioned envelopes of :mod:`repro.service.wire`
+(magic header checked before unpickling, wire-version mismatches fail
+loudly); control/inspection endpoints are plain JSON so ``curl`` works.
+
+``/plan`` and ``/plan_batch`` route through the server's session, so
+every result a client ever asked for lands in the server's plan store —
+that store is the *shared warm cache* many hosts converge on, whether
+they reach it implicitly (``backend="remote:HOST:PORT"`` ships whole
+planning items here) or explicitly (``cache="http://HOST:PORT"`` reads
+and writes it entry by entry via ``/cache/get`` / ``/cache/put``).
+
+Concurrency: the HTTP layer is thread-per-connection
+(:class:`http.server.ThreadingHTTPServer`), the session's store is
+wrapped in :class:`~repro.core.cache.ThreadSafePlanStore`, and the
+session's backend fans each batch out as usual — so concurrent clients
+plan concurrently and still see one consistent cache.  Failure
+semantics: malformed envelopes and unknown component names are ``400``
+with a JSON error body (client mistakes), planning crashes are ``500``
+(server truthfully relays the exception message); clients retry only
+transport-level failures — see :mod:`repro.service.client`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, List, Sequence
+
+from repro.core.cache import (
+    CacheStats,
+    MemoryPlanCache,
+    PlanStore,
+    ThreadSafePlanStore,
+    cache_from_spec,
+)
+from repro.core.pipeline import PlanRequest
+from repro.core.session import PlannerSession
+from repro.core.vectorize import VectorGroup
+from repro.registry import RegistryError
+from repro.service import wire
+
+
+def stats_payload(stats: CacheStats | None) -> dict:
+    """The JSON view of a store's statistics ``/cache/stats`` serves."""
+    if stats is None:
+        return {"cache": "off"}
+    return {
+        "cache": "on",
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "lookups": stats.lookups,
+        "hit_rate": stats.hit_rate,
+        "entries": stats.entries,
+        "max_entries": stats.max_entries,
+        "evictions": stats.evictions,
+        "tier_hits": {name: hits for name, hits in stats.tier_hits},
+    }
+
+
+def stats_from_payload(payload: dict) -> CacheStats | None:
+    """Rebuild a :class:`CacheStats` from the ``/cache/stats`` JSON."""
+    if payload.get("cache") != "on":
+        return None
+    return CacheStats(
+        hits=int(payload.get("hits", 0)),
+        misses=int(payload.get("misses", 0)),
+        entries=int(payload.get("entries", 0)),
+        max_entries=int(payload.get("max_entries", 0)),
+        evictions=int(payload.get("evictions", 0)),
+        tier_hits=tuple(
+            (str(name), int(hits))
+            for name, hits in payload.get("tier_hits", {}).items()
+        ),
+    )
+
+
+class _PlanHandler(BaseHTTPRequestHandler):
+    """Routes one connection's requests onto the owning :class:`PlanServer`."""
+
+    protocol_version = "HTTP/1.1"
+
+    # the ThreadingHTTPServer subclass below carries the PlanServer
+    @property
+    def planner(self) -> "PlanServer":
+        return self.server.planner  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # planning servers sit in benchmarks and tests; per-request
+        # access logging is the caller's job, not stderr spam
+        pass
+
+    # -- plumbing --------------------------------------------------------
+
+    def _body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _reply(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header(wire.VERSION_HEADER, str(wire.WIRE_VERSION))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_json(self, code: int, payload: dict) -> None:
+        self._reply(
+            code,
+            json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n",
+            "application/json",
+        )
+
+    def _reply_envelope(self, payload: Any) -> None:
+        self._reply(200, wire.pack(payload), wire.CONTENT_TYPE)
+
+    # -- routes ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            if self.path == "/healthz":
+                self._reply_json(200, self.planner.health_payload())
+            elif self.path == "/cache/stats":
+                self._reply_json(
+                    200, stats_payload(self.planner.session.cache_stats())
+                )
+            else:
+                self._reply_json(404, {"error": f"no such endpoint {self.path}"})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply_json(500, {"error": str(exc)})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            if self.path == "/plan":
+                request = wire.unpack(self._body())
+                if not isinstance(request, PlanRequest):
+                    raise wire.WireError(
+                        f"/plan expects a PlanRequest, got {type(request).__name__}"
+                    )
+                self._reply_envelope(self.planner.session.plan(request))
+            elif self.path == "/plan_batch":
+                items = wire.unpack(self._body())
+                self._reply_envelope(self.planner.plan_items(items))
+            elif self.path == "/cache/get":
+                key = wire.unpack(self._body())
+                self._reply_envelope(self.planner.store().get(key))
+            elif self.path == "/cache/put":
+                key, result = wire.unpack(self._body())
+                self.planner.store().put(key, result)
+                self._reply_json(200, {"stored": True})
+            elif self.path == "/cache/clear":
+                self.planner.store().clear()
+                self._reply_json(200, {"cleared": True})
+            else:
+                self._reply_json(404, {"error": f"no such endpoint {self.path}"})
+        except (wire.WireError, RegistryError, TypeError, ValueError) as exc:
+            # client mistakes: bad envelope, unknown strategy, cache off
+            self._reply_json(400, {"error": str(exc)})
+        except Exception as exc:
+            # a genuine planning crash; relay the message truthfully
+            self._reply_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+class _ThreadingPlanServer(ThreadingHTTPServer):
+    daemon_threads = True
+    #: set by PlanServer right after construction
+    planner: "PlanServer"
+
+
+class PlanServer:
+    """A planning session behind an HTTP front (see module docstring).
+
+    Parameters mirror :class:`~repro.core.session.PlannerSession`:
+    ``backend`` / ``jobs`` pick the execution backend the *server* fans
+    batches out on (``asyncio`` and ``threaded`` suit a server; even
+    ``remote:...`` works, chaining servers), ``cache`` is any store
+    spec — ``sqlite:PATH`` or ``tiered:PATH`` make the shared store
+    durable, which is what lets a restarted server keep serving disk
+    hits.  ``port=0`` binds an ephemeral port (read it back from
+    ``.port`` / the ``repro serve`` banner).
+
+    Use as a context manager or call :meth:`close`; :meth:`start` runs
+    the accept loop on a daemon thread (tests, embedding),
+    :meth:`serve_forever` runs it in the calling thread (the CLI).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        backend: str = "serial",
+        jobs: int | None = None,
+        cache: "bool | str | PlanStore" = True,
+        vectorize: bool = True,
+    ) -> None:
+        if cache is True:
+            store: PlanStore | None = MemoryPlanCache()
+        elif cache is False or cache is None:
+            store = None
+        else:
+            store = cache_from_spec(cache)
+        # handler threads all drive one session; the store is the only
+        # mutable state they share, so serialise it and nothing else
+        self._store = ThreadSafePlanStore(store) if store is not None else None
+        self.session = PlannerSession(
+            backend=backend,
+            cache=self._store if self._store is not None else False,
+            jobs=jobs,
+            vectorize=vectorize,
+        )
+        self.cache_spec = cache if isinstance(cache, str) else (
+            "off" if store is None else type(store).__name__
+        )
+        self._http = _ThreadingPlanServer((host, port), _PlanHandler)
+        self._http.planner = self
+        self.host, self.port = self._http.server_address[:2]
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    # -- handler-facing API ----------------------------------------------
+
+    def store(self) -> PlanStore:
+        """The shared store, or a clean error when caching is off."""
+        if self._store is None:
+            raise ValueError(
+                "this plan server runs without a cache (--no-cache); "
+                "/cache endpoints are unavailable"
+            )
+        return self._store
+
+    def plan_items(
+        self, items: Sequence["PlanRequest | VectorGroup"]
+    ) -> List[Any]:
+        """Plan a ``/plan_batch`` item list through the session.
+
+        Mirrors what a local backend's ``map(plan_work_item, items)``
+        returns — a :class:`PlanResult` per scalar request, a list per
+        :class:`VectorGroup` — but routes through the server session so
+        every planned item lands in (and is served from) the shared
+        store.  All items are flattened into *one* ``plan_batch`` call,
+        so the server's backend fans the whole wire batch out (and its
+        vectorise pass may fuse groups the client sent separately —
+        results are contract-equal either way).
+        """
+        if not isinstance(items, (list, tuple)):
+            raise wire.WireError(
+                f"/plan_batch expects a list of items, got {type(items).__name__}"
+            )
+        flat: List[PlanRequest] = []
+        group_sizes: List[int | None] = []
+        for item in items:
+            if isinstance(item, VectorGroup):
+                group_sizes.append(len(item.requests))
+                flat.extend(item.requests)
+            elif isinstance(item, PlanRequest):
+                group_sizes.append(None)
+                flat.append(item)
+            else:
+                raise wire.WireError(
+                    "plan_batch items must be PlanRequest or VectorGroup, "
+                    f"got {type(item).__name__}"
+                )
+        results = self.session.plan_batch(flat)
+        outputs: List[Any] = []
+        position = 0
+        for size in group_sizes:
+            if size is None:
+                outputs.append(results[position])
+                position += 1
+            else:
+                outputs.append(results[position:position + size])
+                position += size
+        return outputs
+
+    def health_payload(self) -> dict:
+        from repro import __version__
+
+        return {
+            "status": "ok",
+            "service": wire.WIRE_FORMAT,
+            "wire_version": wire.WIRE_VERSION,
+            "version": __version__,
+            "backend": self.session.backend_name,
+            "cache": self.cache_spec,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "PlanServer":
+        """Serve on a daemon thread and return immediately."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._http.serve_forever,
+                name="repro-plan-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve in the calling thread until :meth:`close` / interrupt."""
+        self._http.serve_forever()
+
+    def close(self) -> None:
+        """Stop accepting, release the socket and the session (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._http.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._http.server_close()
+        self.session.close()
+        if self._store is not None:
+            self._store.close()
+
+    def __enter__(self) -> "PlanServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PlanServer {self.url} backend={self.session.backend_name!r} "
+            f"cache={self.cache_spec!r}>"
+        )

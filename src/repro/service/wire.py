@@ -1,0 +1,85 @@
+"""The plan service's wire format: a versioned pickle envelope.
+
+Every binary payload the service moves — a
+:class:`~repro.core.pipeline.PlanRequest`, a
+:class:`~repro.core.vectorize.VectorGroup`, a list of
+:class:`~repro.core.pipeline.PlanResult`\\ s, a plan-cache key — travels
+as one *envelope*::
+
+    repro-plan-wire:v1\\n          <- magic line, checked BEFORE unpickling
+    pickle({"format":  "repro-plan-service",
+            "version": 1,
+            "payload": <the object>})
+
+The magic line makes accidental cross-talk (posting a cache export, an
+HTML error page, or a newer wire version at an endpoint) fail with a
+clean :class:`WireError` *without* executing anything from the body —
+the same header-before-pickle discipline ``repro cache import`` uses.
+The version field is how the format evolves: bump
+:data:`WIRE_VERSION` when the payload contract changes, and old
+clients/servers reject the mismatch loudly instead of mis-decoding.
+
+Trust model: an envelope body is still a pickle, and unpickling runs
+code.  The plan service is built for *trusted* networks — one team's
+hosts sharing a warm planning tier — not for the open internet; do not
+point a server at untrusted clients or a client at untrusted servers.
+(The same caveat has applied to ``repro cache import`` since PR 4.)
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+#: dotted format name embedded in every envelope
+WIRE_FORMAT = "repro-plan-service"
+#: bump on any payload-contract change; both ends must match
+WIRE_VERSION = 1
+#: magic first line; checked before any unpickling happens
+WIRE_MAGIC = b"repro-plan-wire:v1\n"
+#: content type the HTTP endpoints speak for binary envelopes
+CONTENT_TYPE = "application/x-repro-plan"
+#: HTTP header advertising the sender's wire version
+VERSION_HEADER = "X-Repro-Wire-Version"
+
+
+class WireError(ValueError):
+    """The bytes on the wire are not a valid envelope (or wrong version)."""
+
+
+def pack(payload: Any) -> bytes:
+    """Wrap ``payload`` in a magic-prefixed, versioned envelope."""
+    return WIRE_MAGIC + pickle.dumps(
+        {"format": WIRE_FORMAT, "version": WIRE_VERSION, "payload": payload},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def unpack(data: bytes) -> Any:
+    """Validate an envelope and return its payload.
+
+    The magic prefix is checked before any unpickling, so arbitrary
+    bytes posted at a service endpoint (or a service response read by
+    something that is not a service client) are rejected without
+    executing anything from them.
+    """
+    if not data.startswith(WIRE_MAGIC):
+        raise WireError(
+            "not a repro plan-service envelope (missing "
+            f"{WIRE_MAGIC!r} header)"
+        )
+    try:
+        envelope = pickle.loads(data[len(WIRE_MAGIC):])
+    except Exception as exc:  # pickle raises a small zoo of types
+        raise WireError(f"undecodable plan-service envelope ({exc})") from None
+    if not isinstance(envelope, dict) or envelope.get("format") != WIRE_FORMAT:
+        raise WireError("not a repro plan-service envelope (bad format field)")
+    version = envelope.get("version")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"wire version mismatch: peer speaks {version!r}, "
+            f"this end speaks {WIRE_VERSION} — upgrade the older side"
+        )
+    if "payload" not in envelope:
+        raise WireError("not a repro plan-service envelope (no payload)")
+    return envelope["payload"]

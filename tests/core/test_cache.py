@@ -224,7 +224,7 @@ class TestTieredStore:
         assert "tier hits" in stats.render()
 
     def test_needs_path_or_disk(self):
-        with pytest.raises(ValueError, match="path or a disk store"):
+        with pytest.raises(ValueError, match="path or a back-tier store"):
             TieredPlanCache()
 
 
@@ -267,7 +267,9 @@ class TestSpecsAndKeys:
         assert len(encode_key(key_a)) == 64  # sha256 hex
 
     def test_registry_kind_lists_builtin_stores(self):
-        assert registry.available("cache") == ("memory", "sqlite", "tiered")
+        assert {"memory", "sqlite", "tiered", "http"} <= set(
+            registry.available("cache")
+        )
 
 
 class TestCacheStatsRender:

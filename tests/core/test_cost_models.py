@@ -10,6 +10,7 @@ from repro.core.cost_models import (
     CallableCost,
     LinearCost,
     NLogNCost,
+    PiecewiseCost,
     PowerLawCost,
 )
 
@@ -133,3 +134,55 @@ class TestInverseGeneric:
         assert cost.work(max(n, 1.0000001)) == pytest.approx(
             max(target, 0.0), rel=1e-4, abs=1e-4
         ) or n <= 1.0
+
+
+class TestPiecewiseCost:
+    """The decorator-registered piecewise-linear model (ROADMAP item)."""
+
+    def test_registered_under_cost_model_kind(self):
+        from repro import registry
+
+        assert "piecewise" in registry.available("cost_model")
+        model = registry.create("cost_model", "piecewise")
+        assert isinstance(model, PiecewiseCost)
+
+    def test_interpolates_between_breakpoints(self):
+        cost = PiecewiseCost(breakpoints=((0, 0), (10, 10), (20, 50)))
+        assert cost.work(5.0) == pytest.approx(5.0)
+        assert cost.work(10.0) == pytest.approx(10.0)
+        assert cost.work(15.0) == pytest.approx(30.0)
+
+    def test_extrapolates_last_slope(self):
+        cost = PiecewiseCost(breakpoints=((0, 0), (10, 10), (20, 50)))
+        # final segment has slope 4, so it keeps climbing at 4/unit
+        assert cost.work(30.0) == pytest.approx(50.0 + 4.0 * 10.0)
+
+    def test_vectorised(self):
+        cost = PiecewiseCost(breakpoints=((0, 0), (10, 10), (20, 50)))
+        out = cost.work(np.array([5.0, 15.0, 30.0]))
+        assert np.allclose(out, [5.0, 30.0, 90.0])
+
+    def test_default_is_superadditive(self):
+        """The cache-knee default destroys work when chunks are split —
+        the §2 shape realised as a table."""
+        cost = PiecewiseCost()
+        assert cost.split_loss(100_000.0, 8) > 0.0
+        assert not cost.is_linear
+
+    def test_colinear_breakpoints_report_linear(self):
+        assert PiecewiseCost(breakpoints=((0, 0), (5, 10), (10, 20))).is_linear
+
+    def test_inverse_bisection_roundtrip(self):
+        cost = PiecewiseCost()
+        target = cost.work(9999.0)
+        assert cost.inverse(target) == pytest.approx(9999.0, rel=1e-6)
+
+    def test_rejects_bad_breakpoints(self):
+        with pytest.raises(ValueError, match=">= 2 breakpoints"):
+            PiecewiseCost(breakpoints=((0, 0),))
+        with pytest.raises(ValueError, match="strictly increase"):
+            PiecewiseCost(breakpoints=((0, 0), (0, 5)))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            PiecewiseCost(breakpoints=((0, 0), (5, 10), (10, 5)))
+        with pytest.raises(ValueError, match=">= 0"):
+            PiecewiseCost(breakpoints=((-1, 0), (5, 10)))

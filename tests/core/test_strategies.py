@@ -67,3 +67,31 @@ class TestSubsetComparison:
         )
         with pytest.raises(ValueError, match="missing \\['hom'\\]"):
             cmp.rho
+
+
+class TestWorkCoverage:
+    """The --cost-model column: §2's vanishing fraction on real plans."""
+
+    def test_linear_model_scores_one_for_every_strategy(
+        self, heterogeneous_platform
+    ):
+        cmp = compare_strategies(heterogeneous_platform, 1000.0)
+        coverage = cmp.work_coverage("linear")
+        assert set(coverage) == set(cmp.plans)
+        for value in coverage.values():
+            assert value == pytest.approx(1.0)
+
+    def test_piecewise_penalises_fragmentation(self, heterogeneous_platform):
+        """hom cuts many identical blocks, het one rectangle per worker;
+        a super-additive model must score hom's round strictly lower."""
+        cmp = compare_strategies(heterogeneous_platform, 100.0)
+        coverage = cmp.work_coverage("piecewise")
+        assert 0.0 < coverage["hom"] < coverage["het"] <= 1.0
+
+    def test_accepts_model_instances(self, heterogeneous_platform):
+        from repro.core.cost_models import PowerLawCost
+        from repro.core.strategies import work_coverage
+
+        plan = plan_outer_product(heterogeneous_platform, 100.0, strategy="het")
+        value = work_coverage(plan, PowerLawCost(alpha=2.0))
+        assert 0.0 < value < 1.0

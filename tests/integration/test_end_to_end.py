@@ -24,7 +24,7 @@ from repro.matmul import (
 
 class TestPublicAPI:
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "2.0.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:

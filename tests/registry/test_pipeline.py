@@ -5,11 +5,10 @@ import pytest
 from repro.core.pipeline import (
     PlanRequest,
     PlanResult,
-    execute,
-    execute_all,
     plan_request,
     supported_kwargs,
 )
+from repro.core.session import default_session
 
 
 class TestSupportedKwargs:
@@ -34,9 +33,9 @@ class TestSupportedKwargs:
         assert supported_kwargs(factory, {"a": 1}) == {}
 
 
-class TestExecute:
+class TestSessionPlan:
     def test_single_request(self, heterogeneous_platform):
-        result = execute(
+        result = default_session().plan(
             PlanRequest(platform=heterogeneous_platform, N=1000.0, strategy="het")
         )
         assert isinstance(result, PlanResult)
@@ -50,7 +49,7 @@ class TestExecute:
         assert "planned in" in summary or "served from cache" in summary
 
     def test_params_routed_to_accepting_strategy(self, heterogeneous_platform):
-        result = execute(
+        result = default_session().plan(
             PlanRequest(
                 platform=heterogeneous_platform,
                 N=1000.0,
@@ -65,7 +64,7 @@ class TestExecute:
         self, heterogeneous_platform
     ):
         with pytest.raises(ValueError, match="unknown strategy 'nope'"):
-            execute(
+            default_session().plan(
                 PlanRequest(
                     platform=heterogeneous_platform, N=100.0, strategy="nope"
                 )
@@ -77,13 +76,13 @@ class TestExecute:
         assert req.with_strategy("hom").N == req.N
 
 
-class TestExecuteAll:
+class TestSessionSweep:
     def test_sweeps_every_registered_strategy(self, heterogeneous_platform):
-        sweep = execute_all(heterogeneous_platform, 1000.0)
+        sweep = default_session().sweep(heterogeneous_platform, 1000.0)
         assert set(sweep.results) == {"hom", "hom/k", "het"}
 
     def test_best_is_lowest_comm_volume(self, heterogeneous_platform):
-        sweep = execute_all(heterogeneous_platform, 1000.0)
+        sweep = default_session().sweep(heterogeneous_platform, 1000.0)
         best = sweep.best
         assert all(
             best.comm_volume <= r.comm_volume for r in sweep.results.values()
@@ -92,53 +91,53 @@ class TestExecuteAll:
         assert best.strategy == "het"
 
     def test_subset_selection(self, heterogeneous_platform):
-        sweep = execute_all(
+        sweep = default_session().sweep(
             heterogeneous_platform, 1000.0, strategies=("hom", "het")
         )
         assert set(sweep.results) == {"hom", "het"}
 
     def test_render_mentions_every_strategy(self, heterogeneous_platform):
-        text = execute_all(heterogeneous_platform, 500.0).render()
+        text = default_session().sweep(heterogeneous_platform, 500.0).render()
         for name in ("hom", "hom/k", "het"):
             assert name in text
         assert "ratio to LB" in text
 
     def test_empty_sweep_best_raises_cleanly(self, heterogeneous_platform):
-        sweep = execute_all(heterogeneous_platform, 100.0, strategies=())
+        sweep = default_session().sweep(
+            heterogeneous_platform, 100.0, strategies=()
+        )
         with pytest.raises(ValueError, match="empty sweep"):
             sweep.best
 
     def test_ratios_match_plans(self, heterogeneous_platform):
-        sweep = execute_all(heterogeneous_platform, 1000.0)
+        sweep = default_session().sweep(heterogeneous_platform, 1000.0)
         for name, res in sweep.results.items():
             assert sweep.ratios[name] == res.plan.ratio_to_lower_bound
 
     def test_iteration_order_sorted(self, heterogeneous_platform):
         """Serial and concurrent backends must render identical tables."""
-        sweep = execute_all(
+        sweep = default_session().sweep(
             heterogeneous_platform, 1000.0, strategies=("hom/k", "het", "hom")
         )
         assert list(sweep.results) == ["het", "hom", "hom/k"]
 
 
-class TestDeprecatedShims:
-    """execute/execute_all warn and delegate to the default session."""
+class TestShimsRemoved:
+    """The 1.x ``execute`` / ``execute_all`` shims are gone in 2.0."""
 
-    def test_execute_warns(self, heterogeneous_platform):
-        with pytest.warns(DeprecationWarning, match="PlannerSession.plan"):
-            execute(PlanRequest(platform=heterogeneous_platform, N=100.0))
+    def test_pipeline_no_longer_exports_shims(self):
+        import repro.core.pipeline as pipeline
 
-    def test_execute_all_warns(self, heterogeneous_platform):
-        with pytest.warns(DeprecationWarning, match="PlannerSession.sweep"):
-            execute_all(heterogeneous_platform, 100.0)
+        assert not hasattr(pipeline, "execute")
+        assert not hasattr(pipeline, "execute_all")
 
-    def test_shim_matches_raw_planner(self, heterogeneous_platform):
-        request = PlanRequest(platform=heterogeneous_platform, N=1234.0)
-        raw = plan_request(request)
-        with pytest.warns(DeprecationWarning):
-            shimmed = execute(request)
-        assert shimmed.comm_volume == raw.comm_volume
-        assert shimmed.ratio_to_lower_bound == raw.ratio_to_lower_bound
+    def test_package_no_longer_exports_shims(self):
+        import repro
+
+        assert not hasattr(repro, "execute")
+        assert not hasattr(repro, "execute_all")
+        assert "execute" not in repro.__all__
+        assert "execute_all" not in repro.__all__
 
 
 class TestRawPlanner:

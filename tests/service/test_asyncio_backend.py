@@ -1,0 +1,123 @@
+"""Tests for the asyncio execution backend."""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro import registry
+from repro.core.pipeline import PlanRequest
+from repro.core.session import PlannerSession
+from repro.platform.star import StarPlatform
+from repro.service.asyncio_backend import AsyncioBackend
+
+
+class TestRegistration:
+    def test_registered_under_backend_kind(self):
+        assert "asyncio" in registry.available("backend")
+
+    def test_session_spec(self):
+        with PlannerSession(backend="asyncio", jobs=2) as session:
+            assert isinstance(session.backend, AsyncioBackend)
+            assert session.backend.limit == 2
+
+
+class TestMap:
+    def test_order_preserving(self):
+        backend = AsyncioBackend(jobs=4)
+        try:
+            assert backend.map(lambda x: x * x, range(10)) == [
+                x * x for x in range(10)
+            ]
+        finally:
+            backend.shutdown()
+
+    def test_single_item_skips_loop(self):
+        backend = AsyncioBackend()
+        try:
+            assert backend.map(lambda x: x + 1, [41]) == [42]
+            assert backend._executor is None  # no pool was spun up
+        finally:
+            backend.shutdown()
+
+    def test_bounded_concurrency(self):
+        """Never more than ``jobs`` items in flight at once."""
+        backend = AsyncioBackend(jobs=3)
+        lock = threading.Lock()
+        state = {"now": 0, "peak": 0}
+        barrier_delay = 0.01
+
+        def tracked(item):
+            import time
+
+            with lock:
+                state["now"] += 1
+                state["peak"] = max(state["peak"], state["now"])
+            time.sleep(barrier_delay)
+            with lock:
+                state["now"] -= 1
+            return item
+
+        try:
+            assert backend.map(tracked, range(12)) == list(range(12))
+        finally:
+            backend.shutdown()
+        assert 1 <= state["peak"] <= 3
+
+    def test_map_inside_running_loop_raises_with_guidance(self):
+        backend = AsyncioBackend(jobs=2)
+
+        async def call_sync_map():
+            backend.map(lambda x: x, [1, 2])
+
+        try:
+            with pytest.raises(RuntimeError, match="amap"):
+                asyncio.run(call_sync_map())
+        finally:
+            backend.shutdown()
+
+    def test_amap_awaitable_from_running_loop(self):
+        backend = AsyncioBackend(jobs=2)
+
+        async def go():
+            return await backend.amap(lambda x: x * 2, [1, 2, 3])
+
+        try:
+            assert asyncio.run(go()) == [2, 4, 6]
+        finally:
+            backend.shutdown()
+
+
+class TestPlanningEquivalence:
+    def test_sweep_matches_serial(self, heterogeneous_platform):
+        with PlannerSession() as serial, PlannerSession(
+            backend="asyncio", jobs=4
+        ) as aio:
+            a = serial.sweep(heterogeneous_platform, 5000.0)
+            b = aio.sweep(heterogeneous_platform, 5000.0)
+        assert list(a.results) == list(b.results)
+        for name in a.results:
+            assert np.isclose(
+                a.results[name].comm_volume,
+                b.results[name].comm_volume,
+                rtol=1e-12,
+            )
+
+    def test_batch_matches_serial(self, heterogeneous_platform):
+        requests = [
+            PlanRequest(
+                platform=StarPlatform.from_speeds([1.0, s]), N=float(n),
+                strategy=strategy,
+            )
+            for s in (2.0, 3.0)
+            for n in (500, 1000)
+            for strategy in ("hom", "het")
+        ]
+        with PlannerSession(cache=False) as serial, PlannerSession(
+            backend="asyncio", cache=False, jobs=4
+        ) as aio:
+            a = serial.plan_batch(requests)
+            b = aio.plan_batch(requests)
+        for x, y in zip(a, b):
+            assert np.isclose(x.comm_volume, y.comm_volume, rtol=1e-12)

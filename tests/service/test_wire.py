@@ -1,0 +1,58 @@
+"""Tests for the versioned service wire format."""
+
+import pickle
+
+import pytest
+
+from repro.service import wire
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        payload = {"anything": [1, 2.5, "three"], "nested": (None, True)}
+        assert wire.unpack(wire.pack(payload)) == payload
+
+    def test_magic_prefix_present(self):
+        assert wire.pack(1).startswith(wire.WIRE_MAGIC)
+
+    def test_rejects_arbitrary_bytes_without_unpickling(self):
+        # a pickle bomb without the magic header must fail on the header
+        # check alone — Bomb.__reduce__ would raise if it ever ran
+        class Bomb:
+            def __reduce__(self):
+                return (pytest.fail, ("unpickled a non-envelope body!",))
+
+        with pytest.raises(wire.WireError, match="missing"):
+            wire.unpack(pickle.dumps(Bomb()))
+
+    def test_rejects_truncated_envelope(self):
+        data = wire.pack(["payload"])
+        with pytest.raises(wire.WireError, match="undecodable"):
+            wire.unpack(data[: len(wire.WIRE_MAGIC) + 4])
+
+    def test_rejects_wrong_format_field(self):
+        body = wire.WIRE_MAGIC + pickle.dumps(
+            {"format": "something-else", "version": wire.WIRE_VERSION,
+             "payload": 1}
+        )
+        with pytest.raises(wire.WireError, match="bad format"):
+            wire.unpack(body)
+
+    def test_rejects_version_mismatch_both_directions(self):
+        for version in (wire.WIRE_VERSION - 1, wire.WIRE_VERSION + 1):
+            body = wire.WIRE_MAGIC + pickle.dumps(
+                {"format": wire.WIRE_FORMAT, "version": version, "payload": 1}
+            )
+            with pytest.raises(wire.WireError, match="version mismatch"):
+                wire.unpack(body)
+
+    def test_rejects_missing_payload(self):
+        body = wire.WIRE_MAGIC + pickle.dumps(
+            {"format": wire.WIRE_FORMAT, "version": wire.WIRE_VERSION}
+        )
+        with pytest.raises(wire.WireError, match="no payload"):
+            wire.unpack(body)
+
+    def test_none_payload_is_legal(self):
+        # /cache/get misses return an envelope whose payload is None
+        assert wire.unpack(wire.pack(None)) is None

@@ -148,3 +148,57 @@ class TestCommands:
         main(["--seed", "7", "sort", "--n", "5000"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestCompareCostModel:
+    def test_coverage_column_printed(self, capsys):
+        rc = main(
+            ["compare", "--speeds", "1", "2", "4", "--N", "100",
+             "--cost-model", "piecewise"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "work coverage under cost model 'piecewise'" in out
+
+    def test_unknown_cost_model_is_clean_error(self, capsys):
+        rc = main(
+            ["compare", "--speeds", "1", "2", "--cost-model", "nope"]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown cost_model" in err
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8640
+        assert args.backend == "serial"
+
+    def test_serve_accepts_session_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--backend", "threaded",
+             "--cache", "memory:64", "--jobs", "2"]
+        )
+        assert args.port == 0
+        assert args.cache == "memory:64"
+
+
+class TestBackendSpecs:
+    def test_unknown_backend_spec_is_clean_error(self, capsys):
+        rc = main(
+            ["compare", "--speeds", "1", "2", "--backend", "nope:arg"]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown backend" in err
+
+    def test_unreachable_remote_backend_reports_cleanly(self, capsys):
+        rc = main(
+            ["compare", "--speeds", "1", "2",
+             "--backend", "remote:127.0.0.1:9", "--no-cache"]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "cannot reach plan server" in err
