@@ -140,6 +140,119 @@ def test_batch_vectorised_speedup():
     assert speedup >= 3.0, f"vectorised path only {speedup:.1f}x faster"
 
 
+def test_batch_partition_kernel_speedup():
+    """Scalar vs stacked-DP partitioning for PERI-SUM and PERI-MAX.
+
+    64 distinct p=64 speed vectors partitioned one-by-one vs through
+    the ``partition_batch`` kernels; partitions asserted bit-identical
+    (the vectorisation contract) and each kernel >= 3x faster, with a
+    ``BENCH {...}`` JSON line per objective.
+    """
+    from repro.partition.column_based import (
+        peri_sum_partition,
+        peri_sum_partition_batch,
+    )
+    from repro.partition.perimax import (
+        peri_max_partition,
+        peri_max_partition_batch,
+    )
+
+    rng = np.random.default_rng(2013)
+    speeds = [make_speeds("uniform", 64, rng) for _ in range(64)]
+    vecs = [x / x.sum() for x in speeds]
+
+    for name, scalar, batch in (
+        ("peri-sum", peri_sum_partition, peri_sum_partition_batch),
+        ("peri-max", peri_max_partition, peri_max_partition_batch),
+    ):
+        scalar_s = min(
+            _timed(lambda: [scalar(v) for v in vecs]) for _ in range(3)
+        )
+        batch_s = min(_timed(lambda: batch(vecs)) for _ in range(3))
+        for v, part in zip(vecs, batch(vecs)):
+            assert part == scalar(v)  # bit-identical rectangles
+        speedup = scalar_s / batch_s
+        print()
+        print(
+            "BENCH "
+            + json.dumps(
+                {
+                    "name": f"batch_partition_speedup_{name}",
+                    "vectors": len(vecs),
+                    "p": 64,
+                    "scalar_s": round(scalar_s, 4),
+                    "batch_s": round(batch_s, 4),
+                    "speedup": round(speedup, 2),
+                }
+            )
+        )
+        assert speedup >= 3.0, f"{name} kernel only {speedup:.1f}x faster"
+
+
+def test_batch_nonlinear_solver_speedup():
+    """Scalar vs stacked bisection for the §2 nonlinear DLT solvers.
+
+    64 heterogeneous p=8 instances solved one-by-one vs through the
+    ``plan_batch`` kernels; allocations asserted within the rtol=1e-12
+    contract and each kernel >= 3x faster, with a ``BENCH {...}`` JSON
+    line per model.
+    """
+    from repro.dlt.nonlinear_solver import (
+        solve_nonlinear_one_port,
+        solve_nonlinear_one_port_batch,
+        solve_nonlinear_parallel,
+        solve_nonlinear_parallel_batch,
+    )
+
+    rng = np.random.default_rng(2013)
+    platforms = [
+        StarPlatform.from_speeds(make_speeds("uniform", 8, rng))
+        for _ in range(64)
+    ]
+    Ns = [float(1_000 + 100 * i) for i in range(64)]
+
+    for name, scalar, batch in (
+        ("parallel", solve_nonlinear_parallel, solve_nonlinear_parallel_batch),
+        ("one_port", solve_nonlinear_one_port, solve_nonlinear_one_port_batch),
+    ):
+        scalar_s = _timed(
+            lambda: [scalar(pl, N, alpha=2.0) for pl, N in zip(platforms, Ns)]
+        )
+        batch_s = min(
+            _timed(lambda: batch(platforms, Ns, alpha=2.0)) for _ in range(3)
+        )
+        for pl, N, alloc in zip(platforms, Ns, batch(platforms, Ns, alpha=2.0)):
+            expected = scalar(pl, N, alpha=2.0)
+            assert np.allclose(
+                alloc.amounts, expected.amounts, rtol=1e-12, atol=1e-12
+            )
+            assert np.allclose(
+                alloc.finish, expected.finish, rtol=1e-12, atol=1e-12
+            )
+        speedup = scalar_s / batch_s
+        print()
+        print(
+            "BENCH "
+            + json.dumps(
+                {
+                    "name": f"batch_nonlinear_speedup_{name}",
+                    "instances": len(platforms),
+                    "p": 8,
+                    "scalar_s": round(scalar_s, 4),
+                    "batch_s": round(batch_s, 4),
+                    "speedup": round(speedup, 2),
+                }
+            )
+        )
+        assert speedup >= 3.0, f"{name} kernel only {speedup:.1f}x faster"
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
 def test_fig4c_lognormal(benchmark, figure4_protocol):
     result = benchmark.pedantic(
         _run_panel,

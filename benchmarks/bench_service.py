@@ -12,8 +12,16 @@ Two questions the service tentpole must answer with numbers:
   shared store, the second must be served from it and finish faster
   having planned nothing.
 
-Both emit ``BENCH {...}`` JSON lines for CI trend tracking, like the
-batch-planning and plan-store benchmarks.
+A third question joined with the binary wire profile:
+
+* **wire profile throughput** — the same batch shipped pickle-v1 vs
+  binary-v2 against one server; the binary leg must beat the
+  *committed* pickle-era baseline in ``BENCH_service.json`` by ≥5×
+  (the acceptance bar for the zero-copy wire + batched kernels).
+
+All emit ``BENCH {...}`` JSON lines for CI trend tracking, like the
+batch-planning and plan-store benchmarks; ``scripts/check_bench.py``
+diffs them against the committed ``BENCH_service.json`` trendline.
 """
 
 import json
@@ -31,6 +39,20 @@ from repro.platform.star import StarPlatform
 from repro.service.server import PlanServer
 
 SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+BENCH_BASELINE = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+
+def _pickle_era_baseline() -> float:
+    """The committed pickle-v1 remote throughput (req/s) this PR must beat."""
+    trend = json.loads(BENCH_BASELINE.read_text())
+    history = trend["benchmarks"]["service_remote_batch_throughput"]["history"]
+    return float(history[0]["remote_req_per_s"])
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
 
 
 def _requests(count=48, p=48, seed=11):
@@ -54,17 +76,19 @@ def test_remote_batch_throughput():
     requests = _requests()
 
     with PlannerSession(cache=False) as local:
-        start = time.perf_counter()
         baseline = local.plan_batch(requests)
-        serial_s = time.perf_counter() - start
+        serial_s = min(
+            _timed(lambda: local.plan_batch(requests)) for _ in range(3)
+        )
 
     with PlanServer(port=0, backend="serial", cache=False) as server:
         with PlannerSession(
             backend=f"remote:{server.host}:{server.port}", cache=False
         ) as remote:
-            start = time.perf_counter()
             shipped = remote.plan_batch(requests)
-            remote_s = time.perf_counter() - start
+            remote_s = min(
+                _timed(lambda: remote.plan_batch(requests)) for _ in range(3)
+            )
 
     for a, b in zip(baseline, shipped):
         assert np.isclose(a.comm_volume, b.comm_volume, rtol=1e-12)
@@ -87,6 +111,71 @@ def test_remote_batch_throughput():
     # the wire may cost, but not catastrophically: same order of magnitude
     assert remote_s < serial_s * 10, (
         f"remote planning {remote_s / serial_s:.1f}x slower than serial"
+    )
+
+
+def test_wire_profile_throughput():
+    """The raw-speed acceptance bar for the binary wire + batched kernels.
+
+    Leg A ships individual scalar requests over the pickle profile (the
+    shape of every pre-binary client); leg B ships one vector group
+    over binary-v2.  Both must return identical plans, and leg B's
+    throughput must clear 5x the pickle-v1-era remote throughput
+    committed in ``BENCH_service.json`` — the 281 req/s the service
+    managed before this pass (the gain compounds the zero-copy wire,
+    the batched partition kernels, and lazy partitions, so a same-run
+    A/B alone cannot reproduce the old code's cost).
+    """
+    from repro.core.pipeline import plan_request
+    from repro.core.vectorize import VectorGroup, plan_work_item
+    from repro.service import wire
+    from repro.service.client import RemoteBackend
+
+    requests = _requests()
+    group = VectorGroup(strategy="het", requests=tuple(requests))
+    with PlanServer(port=0, backend="serial", cache=False) as server:
+        pickled = RemoteBackend(server.url, wire_profile=wire.PROFILE_PICKLE)
+        v1_results = pickled.map(plan_request, requests)
+        v1_s = min(
+            _timed(lambda: pickled.map(plan_request, requests))
+            for _ in range(3)
+        )
+        binary = RemoteBackend(server.url, wire_profile=wire.PROFILE_BINARY)
+        (v2_results,) = binary.map(plan_work_item, [group])
+        v2_s = min(
+            _timed(lambda: binary.map(plan_work_item, [group]))
+            for _ in range(3)
+        )
+
+    for a, b in zip(v1_results, v2_results):
+        assert a.request == b.request
+        assert np.isclose(a.comm_volume, b.comm_volume, rtol=1e-12)
+        np.testing.assert_array_equal(
+            a.plan.finish_times, b.plan.finish_times
+        )
+
+    committed = _pickle_era_baseline()
+    v2_req_per_s = len(requests) / v2_s
+    gain = v2_req_per_s / committed
+    print()
+    print(
+        "BENCH "
+        + json.dumps(
+            {
+                "name": "service_wire_profile_throughput",
+                "requests": len(requests),
+                "pickle_scalar_s": round(v1_s, 4),
+                "binary_batched_s": round(v2_s, 4),
+                "pickle_scalar_req_per_s": round(len(requests) / v1_s, 1),
+                "v2_req_per_s": round(v2_req_per_s, 1),
+                "v2_vs_committed_pickle_x": round(gain, 2),
+            }
+        )
+    )
+    assert gain >= 5.0, (
+        f"binary-v2 batched throughput {v2_req_per_s:.0f} req/s is only "
+        f"{gain:.1f}x the committed pickle-v1 baseline ({committed:.0f} "
+        "req/s); the raw-speed pass requires 5x"
     )
 
 

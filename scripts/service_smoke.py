@@ -3,14 +3,16 @@
 
 Boots ``repro serve`` on an ephemeral port with a durable (sqlite)
 store, runs the same small Figure-4 panel from two *separate client
-processes* with ``--backend remote:HOST:PORT`` and no local cache, and
-then asserts:
+processes* with ``--backend remote:HOST:PORT`` and no local cache —
+one client per wire profile (``REPRO_WIRE=pickle-v1`` then
+``REPRO_WIRE=binary-v2``) — and then asserts:
 
 1. the two panels render identically (remote planning is
-   deterministic and the resumed run replays the first one's points);
-2. ``/cache/stats`` reports disk hits — the second client was served
-   from the store the first one warmed, which is the whole point of
-   the shared planning tier.
+   deterministic regardless of the envelope profile on the wire);
+2. ``/cache/stats`` reports disk hits — the binary-v2 client was
+   served from the store the pickle-v1 client warmed, so cache
+   entries are profile-agnostic;
+3. ``/healthz`` advertises both wire profiles for the handshake.
 
 Exits non-zero on any failure; prints a BENCH-style JSON line with the
 observed hit counts so CI logs are grep-able.
@@ -51,12 +53,15 @@ def client_env() -> dict:
     return env
 
 
-def run_cli(args: list[str]) -> str:
+def run_cli(args: list[str], wire_profile: str | None = None) -> str:
+    env = client_env()
+    if wire_profile:
+        env["REPRO_WIRE"] = wire_profile
     proc = subprocess.run(
         [sys.executable, "-m", "repro", *args],
         capture_output=True,
         text=True,
-        env=client_env(),
+        env=env,
         timeout=300,
     )
     if proc.returncode != 0:
@@ -98,17 +103,23 @@ def main() -> int:
                 urllib.request.urlopen(f"{url}/healthz", timeout=10).read()
             )
             assert health["status"] == "ok", health
+            assert health["wire_profiles"] == ["binary-v2", "pickle-v1"], (
+                f"healthz must advertise both wire profiles: {health}"
+            )
 
-            first = run_cli(PANEL_ARGS + ["--backend", f"remote:{address}"])
+            remote = PANEL_ARGS + ["--backend", f"remote:{address}"]
+            first = run_cli(remote, wire_profile="pickle-v1")
             stats_after_first = json.loads(
                 urllib.request.urlopen(f"{url}/cache/stats", timeout=10).read()
             )
-            second = run_cli(PANEL_ARGS + ["--backend", f"remote:{address}"])
+            second = run_cli(remote, wire_profile="binary-v2")
             stats = json.loads(
                 urllib.request.urlopen(f"{url}/cache/stats", timeout=10).read()
             )
 
-            assert first == second, "remote panels differ between clients"
+            assert first == second, (
+                "remote panels differ between wire profiles"
+            )
             disk_hits = stats["hits"] - stats_after_first["hits"]
             assert stats["entries"] > 0, stats
             assert disk_hits > 0, (
@@ -119,6 +130,7 @@ def main() -> int:
                 + json.dumps(
                     {
                         "name": "service_smoke",
+                        "wire_profiles": health["wire_profiles"],
                         "entries": stats["entries"],
                         "first_run_misses": stats_after_first["misses"],
                         "second_run_disk_hits": disk_hits,

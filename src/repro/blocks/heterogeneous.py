@@ -22,6 +22,14 @@ from repro.registry import register
 from repro.util.validation import check_positive
 
 
+def _owner_areas(part, size: int) -> np.ndarray:
+    """Area per processor index, via the partition's coordinate arrays."""
+    _, _, w, h, owner = part.coords()
+    areas = np.empty(size)
+    areas[owner] = w * h
+    return areas
+
+
 @register(
     "strategy",
     "het",
@@ -51,10 +59,7 @@ class HeterogeneousBlocksStrategy:
         check_positive(N, "N")
         x = platform.normalized_speeds
         part = registry.create("partitioner", self.partitioner, x)
-        areas = np.empty(platform.size)
-        for rect in part:
-            areas[rect.owner] = rect.area
-        finish = areas * (N * N) * platform.cycle_times
+        finish = _owner_areas(part, platform.size) * (N * N) * platform.cycle_times
         return self._result(platform, float(N), part, finish)
 
     def plan_batch(
@@ -67,20 +72,28 @@ class HeterogeneousBlocksStrategy:
         The partition geometry depends only on the normalized speed
         vector, so requests on content-identical platforms (matching
         :meth:`~repro.platform.star.StarPlatform.fingerprint`) share one
-        partitioner run; their finish times come out of a single stacked
-        ``areas × N² × w`` NumPy product whose per-element op order
-        matches :meth:`plan` exactly, so batched plans are bit-identical
-        to scalar ones.  Called by :mod:`repro.core.vectorize` for
-        session batches; callable directly too.
+        partitioner run — and when the partitioner exposes a
+        ``partition_batch`` kernel (PERI-SUM and PERI-MAX do), ALL
+        distinct speed vectors go through one stacked DP call instead of
+        one partitioner run each.  Finish times come out of a single
+        stacked ``areas × N² × w`` NumPy product whose per-element op
+        order matches :meth:`plan` exactly, so batched plans are
+        bit-identical to scalar ones.  Called by
+        :mod:`repro.core.vectorize` for session batches; callable
+        directly too.
         """
         results: List[StrategyResult | None] = [None] * len(platforms)
-        for idxs in batch_platform_groups(platforms, Ns).values():
+        groups = list(batch_platform_groups(platforms, Ns).values())
+        factory = registry.get("partitioner", self.partitioner)
+        vectors = [platforms[idxs[0]].normalized_speeds for idxs in groups]
+        kernel = getattr(factory, "partition_batch", None)
+        if kernel is not None and len(vectors) > 1:
+            parts = kernel(vectors)
+        else:
+            parts = [factory(x) for x in vectors]
+        for idxs, part in zip(groups, parts):
             platform = platforms[idxs[0]]
-            x = platform.normalized_speeds
-            part = registry.create("partitioner", self.partitioner, x)
-            areas = np.empty(platform.size)
-            for rect in part:
-                areas[rect.owner] = rect.area
+            areas = _owner_areas(part, platform.size)
             Ns_g = np.array([float(Ns[i]) for i in idxs])
             # one stacked pass; row g is exactly areas * (N*N) * w
             finish_stack = (
@@ -102,9 +115,14 @@ class HeterogeneousBlocksStrategy:
         """Scale one partition to ``N`` and wrap it as a result."""
         scaled = part.scaled(N)
         comm = scaled.sum_half_perimeters
+        # same test as np.allclose(finish, finish[0], rtol=1e-9) without
+        # its per-call machinery (this runs once per planned request)
+        balanced = bool(
+            (np.abs(finish - finish[0]) <= 1e-8 + 1e-9 * abs(finish[0])).all()
+        )
         imbalance = (
             0.0
-            if np.allclose(finish, finish[0], rtol=1e-9)
+            if balanced
             else float((finish.max() - finish.min()) / finish.min())
         )
         return StrategyResult(

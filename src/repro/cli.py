@@ -351,10 +351,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=_cache_arg(args),
         vectorize=args.vectorize,
+        wire_mode=args.wire,
     )
     print(f"repro plan server listening on {server.url}", flush=True)
     print(
-        f"  backend={args.backend!r} cache={server.cache_spec!r} — "
+        f"  backend={args.backend!r} cache={server.cache_spec!r} "
+        f"wire={args.wire!r} ({', '.join(server.wire_profiles)}) — "
         "endpoints: /plan /plan_batch /cache/get /cache/put "
         "/cache/stats /healthz",
         flush=True,
@@ -576,6 +578,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8640,
         help="TCP port (0 binds an ephemeral port; default: 8640)",
+    )
+    psv.add_argument(
+        "--wire",
+        choices=("auto", "safe"),
+        default="auto",
+        help="wire profiles to accept: 'auto' speaks binary-v2 and legacy "
+        "pickle-v1; 'safe' refuses pickle entirely (binary-v2 only)",
     )
     _add_session_options(psv)
     psv.set_defaults(fn=_cmd_serve)

@@ -109,6 +109,52 @@ def rounds_to_finish(P: int, alpha: float, coverage: float = 0.99) -> int:
     return int(np.ceil(np.log(1.0 - coverage) / np.log(1.0 - frac)))
 
 
+def _check_sizes_array(Ps) -> np.ndarray:
+    P = np.asarray(Ps, dtype=float)
+    if P.ndim != 1 or P.size == 0:
+        raise ValueError(f"Ps must be a non-empty 1-D array, got shape {P.shape}")
+    if not np.all(np.isfinite(P)) or np.any(P < 1) or np.any(P != np.floor(P)):
+        raise ValueError("Ps must contain integers >= 1")
+    return P
+
+
+def partial_work_fraction_many(Ps, alpha: float) -> np.ndarray:
+    """Vectorised :func:`partial_work_fraction` over platform sizes.
+
+    One ``P ** (1 - alpha)`` array expression for a whole sweep of
+    platform sizes — the same elementwise op the scalar form applies,
+    so ``partial_work_fraction_many(Ps, alpha)[i]`` is bit-identical to
+    ``partial_work_fraction(Ps[i], alpha)``.
+    """
+    check_positive(alpha, "alpha")
+    return _check_sizes_array(Ps) ** (1.0 - alpha)
+
+
+def residual_fraction_many(Ps, alpha: float) -> np.ndarray:
+    """Vectorised :func:`residual_fraction`: ``1 - P**(1-alpha)``."""
+    return 1.0 - partial_work_fraction_many(Ps, alpha)
+
+
+def rounds_to_finish_many(
+    Ps, alpha: float, coverage: float = 0.99
+) -> np.ndarray:
+    """Vectorised :func:`rounds_to_finish` over platform sizes.
+
+    Same formula, one log/ceil pass; rows with full single-round
+    coverage report 1 exactly like the scalar early return.
+    """
+    check_positive(alpha, "alpha")
+    if not 0 < coverage < 1:
+        raise ValueError(f"coverage must be in (0, 1), got {coverage}")
+    frac = partial_work_fraction_many(Ps, alpha)
+    rounds = np.ones(frac.shape, dtype=int)
+    todo = frac < 1.0
+    rounds[todo] = np.ceil(
+        np.log(1.0 - coverage) / np.log(1.0 - frac[todo])
+    ).astype(int)
+    return rounds
+
+
 @dataclass(frozen=True)
 class DLTPhaseReport:
     """Everything §2 says about one DLT round on a homogeneous star."""

@@ -81,6 +81,36 @@ def batch_capable(factory: Callable[..., Any]) -> bool:
     return callable(getattr(factory, "plan_batch", None))
 
 
+def solve_dlt_batch(
+    solver: str,
+    platforms: Sequence[Any],
+    Ns: Sequence[float],
+    **params: Any,
+) -> List[Any]:
+    """Route a batch of DLT instances through a solver's batch kernel.
+
+    The DLT-solver counterpart of the strategy grouping seam: solvers
+    registered under ``dlt_solver`` may attach a ``plan_batch`` function
+    attribute (the §2 nonlinear solvers do), detected with the same
+    :func:`batch_capable` probe.  Batches of two or more instances go
+    through one stacked kernel call; singletons and plain solvers run
+    the scalar factory per instance — always correct, never required to
+    implement the kernel.  The vectorisation equivalence contract
+    (rtol ``1e-12``) applies to results from either path.
+    """
+    if len(platforms) != len(Ns):
+        raise ValueError(
+            f"{len(platforms)} platforms but {len(Ns)} load sizes"
+        )
+    factory = registry.get("dlt_solver", solver)
+    if len(platforms) > 1 and batch_capable(factory):
+        return factory.plan_batch(platforms, Ns, **params)
+    return [
+        factory(platform, N, **params)
+        for platform, N in zip(platforms, Ns)
+    ]
+
+
 def group_key(
     request: PlanRequest, factory: Callable[..., Any]
 ) -> Hashable:

@@ -106,6 +106,44 @@ def _amounts_parallel(
     )
 
 
+def _invert_finish_many(c, w, alpha: float, T) -> np.ndarray:
+    """Vectorised :func:`_invert_finish` over broadcastable arrays.
+
+    Runs the same bracketed bisection for every element at once.
+    ``T <= 0`` elements clamp to a zero-width bracket and come out 0,
+    matching the scalar early return.  Elements whose interval already
+    passed the tolerance keep bisecting until the whole batch has
+    converged — the interval only tightens further, so both paths land
+    within the bisection tolerance of the same root, which is what the
+    ``rtol=1e-12`` equivalence contract requires.  The loop body is
+    kept to a handful of elementwise NumPy ops (the convergence test
+    runs every fourth iteration) because the one-port solver calls this
+    on small arrays thousands of times per batch.
+    """
+    cc = np.asarray(c, dtype=float)
+    ww = np.asarray(w, dtype=float)
+    tt = np.asarray(T, dtype=float)
+    if not (cc.shape == ww.shape == tt.shape):
+        cc, ww, tt = np.broadcast_arrays(cc, ww, tt)
+    # T <= 0 → root 0, via an empty [0, 0] bracket (scalar early return)
+    tt = np.maximum(tt, 0.0)
+    # Upper bound: n <= T/c and n <= (T/w)**(1/alpha).
+    hi = np.minimum(tt / cc, (tt / ww) ** (1.0 / alpha))
+    lo = np.zeros_like(hi)
+    # numerical safety; cannot happen mathematically
+    early = cc * hi + ww * hi**alpha < tt
+    for i in range(_BISECT_ITERS):
+        mid = 0.5 * (lo + hi)
+        less = cc * mid + ww * mid**alpha < tt
+        lo = np.where(less, mid, lo)
+        hi = np.where(less, hi, mid)
+        if (i & 3) == 3 and (
+            (hi - lo) <= _REL_TOL * np.maximum(1.0, hi)
+        ).all():
+            break
+    return np.where(early, hi, 0.5 * (lo + hi))
+
+
 @register(
     "dlt_solver",
     "nonlinear-parallel",
@@ -231,6 +269,228 @@ def solve_nonlinear_one_port(
         partial_work=partial,
         total_work=float(N**alpha),
     )
+
+
+def _group_platforms_by_size(
+    platforms: Sequence[StarPlatform],
+) -> "dict[int, List[int]]":
+    by_p: dict[int, List[int]] = {}
+    for i, platform in enumerate(platforms):
+        by_p.setdefault(platform.size, []).append(i)
+    return by_p
+
+
+def _solve_parallel_stack(
+    C: np.ndarray, W: np.ndarray, alpha: float, Nv: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked parallel-links solve: one bisection for ``B`` instances.
+
+    Mirrors :func:`solve_nonlinear_parallel` exactly — same bracket,
+    same doubling, same outer bisection with per-instance freeze — but
+    every iteration updates all still-active rows of the ``(B, p)``
+    stack with one :func:`_invert_finish_many` call.
+    """
+    B = Nv.size
+    T_hi = np.min(C * Nv[:, None] + W * Nv[:, None] ** alpha, axis=1)
+    while True:
+        sums = _invert_finish_many(C, W, alpha, T_hi[:, None]).sum(axis=1)
+        need = sums < Nv
+        if not need.any():
+            break
+        T_hi[need] *= 2.0
+    T_lo = np.zeros(B)
+    active = np.ones(B, dtype=bool)
+    for _ in range(_BISECT_ITERS):
+        if not active.any():
+            break
+        T_mid = 0.5 * (T_lo + T_hi)
+        sums = _invert_finish_many(C, W, alpha, T_mid[:, None]).sum(axis=1)
+        less = sums < Nv
+        take_lo = active & less
+        take_hi = active & ~less
+        T_lo[take_lo] = T_mid[take_lo]
+        T_hi[take_hi] = T_mid[take_hi]
+        active &= (T_hi - T_lo) > _REL_TOL * np.maximum(1.0, T_hi)
+    T = 0.5 * (T_lo + T_hi)
+    amounts = _invert_finish_many(C, W, alpha, T[:, None])
+    amounts *= (Nv / amounts.sum(axis=1))[:, None]
+    finish = C * amounts + W * amounts**alpha
+    return amounts, finish
+
+
+def solve_nonlinear_parallel_batch(
+    platforms: Sequence[StarPlatform],
+    Ns: Sequence[float],
+    alpha: float = 2.0,
+) -> List[NonlinearAllocation]:
+    """Batch kernel: parallel-links allocations for many instances at once.
+
+    Vectorised objective: collapse the nested bisections — the outer
+    makespan search and the inner per-worker chunk inversions — into
+    stacked ``(B, p)`` NumPy sweeps shared by every same-size platform,
+    instead of ``B × p`` Python-level scalar bisections.  Per-element
+    freeze masks reproduce the scalar loops' early exits, so result
+    ``i`` matches ``solve_nonlinear_parallel(platforms[i], Ns[i],
+    alpha)`` within the bisection tolerance (rtol 1e-12 in tests).
+    Attached as ``solve_nonlinear_parallel.plan_batch`` for the
+    :mod:`repro.core.vectorize` grouping seam.
+    """
+    if len(platforms) != len(Ns):
+        raise ValueError(
+            f"{len(platforms)} platforms but {len(Ns)} load sizes"
+        )
+    check_positive(alpha, "alpha")
+    Nf = [check_positive(N, "N") for N in Ns]
+    results: List[NonlinearAllocation | None] = [None] * len(platforms)
+    for idxs in _group_platforms_by_size(platforms).values():
+        C = np.vstack([platforms[i].comm_times for i in idxs])
+        W = np.vstack([platforms[i].cycle_times for i in idxs])
+        Nv = np.array([Nf[i] for i in idxs])
+        amounts, finish = _solve_parallel_stack(C, W, alpha, Nv)
+        for row, i in enumerate(idxs):
+            a = amounts[row]
+            f = finish[row]
+            results[i] = NonlinearAllocation(
+                amounts=a,
+                finish=f,
+                makespan=float(f.max()),
+                alpha=float(alpha),
+                model="nonlinear/parallel-links",
+                partial_work=float(np.sum(a**alpha)),
+                total_work=float(Nf[i] ** alpha),
+            )
+    return results  # type: ignore[return-value]
+
+
+# Batch-kernel seam, probed via repro.core.vectorize.batch_capable.
+solve_nonlinear_parallel.plan_batch = solve_nonlinear_parallel_batch
+
+
+def _amounts_one_port_stack(
+    C: np.ndarray,
+    W: np.ndarray,
+    alpha: float,
+    T: np.ndarray,
+    order: np.ndarray,
+) -> np.ndarray:
+    """Stacked :func:`_amounts_one_port`: sequential over worker rank,
+    vectorised over the ``B`` instances at each rank.  An exhausted
+    budget yields a zero chunk and leaves the start offset unchanged,
+    which is exactly the scalar loop's early ``break``."""
+    B, p = C.shape
+    amounts = np.zeros((B, p))
+    start = np.zeros(B)
+    rows = np.arange(B)
+    for k in range(p):
+        idx = order[:, k]
+        n = _invert_finish_many(C[rows, idx], W[rows, idx], alpha, T - start)
+        amounts[rows, idx] = n
+        start = start + C[rows, idx] * n
+    return amounts
+
+
+def _solve_one_port_stack(
+    C: np.ndarray,
+    W: np.ndarray,
+    alpha: float,
+    Nv: np.ndarray,
+    order: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked one-port solve mirroring :func:`solve_nonlinear_one_port`."""
+    B, p = C.shape
+    T_hi = np.min(C * Nv[:, None] + W * Nv[:, None] ** alpha, axis=1)
+    while True:
+        sums = _amounts_one_port_stack(C, W, alpha, T_hi, order).sum(axis=1)
+        need = sums < Nv
+        if not need.any():
+            break
+        T_hi[need] *= 2.0
+    T_lo = np.zeros(B)
+    active = np.ones(B, dtype=bool)
+    for _ in range(_BISECT_ITERS):
+        if not active.any():
+            break
+        T_mid = 0.5 * (T_lo + T_hi)
+        sums = _amounts_one_port_stack(C, W, alpha, T_mid, order).sum(axis=1)
+        less = sums < Nv
+        take_lo = active & less
+        take_hi = active & ~less
+        T_lo[take_lo] = T_mid[take_lo]
+        T_hi[take_hi] = T_mid[take_hi]
+        active &= (T_hi - T_lo) > _REL_TOL * np.maximum(1.0, T_hi)
+    T = 0.5 * (T_lo + T_hi)
+    amounts = _amounts_one_port_stack(C, W, alpha, T, order)
+    amounts *= (Nv / amounts.sum(axis=1))[:, None]
+    finish = np.zeros((B, p))
+    start = np.zeros(B)
+    rows = np.arange(B)
+    for k in range(p):
+        idx = order[:, k]
+        start = start + C[rows, idx] * amounts[rows, idx]
+        finish[rows, idx] = start + W[rows, idx] * amounts[rows, idx] ** alpha
+    return amounts, finish
+
+
+def solve_nonlinear_one_port_batch(
+    platforms: Sequence[StarPlatform],
+    Ns: Sequence[float],
+    alpha: float = 2.0,
+    order: Sequence[int] | None = None,
+) -> List[NonlinearAllocation]:
+    """Batch kernel: one-port allocations for many instances at once.
+
+    Vectorised objective: run the nested bisections for every same-size
+    instance simultaneously — sequential only over the ``p`` worker
+    ranks, never over the ``B`` instances — with per-element freeze
+    masks standing in for the scalar early exits.  Result ``i`` matches
+    ``solve_nonlinear_one_port(platforms[i], Ns[i], alpha, order)``
+    within the bisection tolerance (rtol 1e-12 in tests).  An explicit
+    ``order`` requires all platforms to share one size; the default is
+    each platform's own stable non-decreasing-:math:`c_i` order.
+    Attached as ``solve_nonlinear_one_port.plan_batch``.
+    """
+    if len(platforms) != len(Ns):
+        raise ValueError(
+            f"{len(platforms)} platforms but {len(Ns)} load sizes"
+        )
+    check_positive(alpha, "alpha")
+    Nf = [check_positive(N, "N") for N in Ns]
+    if order is not None and len({pl.size for pl in platforms}) > 1:
+        raise ValueError(
+            "an explicit order requires platforms of equal size"
+        )
+    results: List[NonlinearAllocation | None] = [None] * len(platforms)
+    for p, idxs in _group_platforms_by_size(platforms).items():
+        C = np.vstack([platforms[i].comm_times for i in idxs])
+        W = np.vstack([platforms[i].cycle_times for i in idxs])
+        Nv = np.array([Nf[i] for i in idxs])
+        if order is None:
+            ord_stack = np.argsort(C, axis=1, kind="stable")
+        else:
+            row = np.asarray(order, dtype=int)
+            if sorted(row.tolist()) != list(range(p)):
+                raise ValueError(
+                    f"order must be a permutation of 0..{p - 1}"
+                )
+            ord_stack = np.broadcast_to(row, (len(idxs), p))
+        amounts, finish = _solve_one_port_stack(C, W, alpha, Nv, ord_stack)
+        for row_i, i in enumerate(idxs):
+            a = amounts[row_i]
+            f = finish[row_i]
+            results[i] = NonlinearAllocation(
+                amounts=a,
+                finish=f,
+                makespan=float(f.max()),
+                alpha=float(alpha),
+                model="nonlinear/one-port",
+                partial_work=float(np.sum(a**alpha)),
+                total_work=float(Nf[i] ** alpha),
+            )
+    return results  # type: ignore[return-value]
+
+
+# Batch-kernel seam, mirroring solve_nonlinear_parallel.plan_batch.
+solve_nonlinear_one_port.plan_batch = solve_nonlinear_one_port_batch
 
 
 def homogeneous_covered_fraction(P: int, alpha: float) -> float:

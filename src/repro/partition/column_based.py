@@ -28,13 +28,57 @@ contiguous arrangement.)
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Callable, List, Sequence
 
 import numpy as np
 
-from repro.partition.rectangle import Partition, Rectangle, stack_column
+from repro.partition.rectangle import Partition
 from repro.registry import register
 from repro.util.validation import check_probability_vector
+
+
+def _backtrack_groups(
+    order: np.ndarray, choice: np.ndarray, p: int
+) -> List[List[int]]:
+    """Recover the contiguous sorted-order groups from a DP choice row."""
+    groups: List[List[int]] = []
+    k = p
+    while k > 0:
+        j = int(choice[k])
+        groups.append([int(order[t]) for t in range(j, k)])
+        k = j
+    groups.reverse()
+    return groups
+
+
+def _column_groups_stacked(A: np.ndarray) -> List[List[List[int]]]:
+    """The PERI-SUM DP over every row of ``A`` in one stacked pass.
+
+    ``A`` is a ``(B, p)`` matrix of area vectors.  Each DP transition is
+    evaluated for all ``B`` rows with one elementwise NumPy expression
+    whose op order matches the scalar recurrence exactly, and ties are
+    broken by the same first-minimum ``argmin`` rule — so row ``b`` of
+    the output is bit-identical to ``column_groups(A[b])``.
+    """
+    B, p = A.shape
+    order = np.argsort(A, axis=1, kind="stable")
+    sorted_A = np.take_along_axis(A, order, axis=1)
+    prefix = np.concatenate(
+        [np.zeros((B, 1)), np.cumsum(sorted_A, axis=1)], axis=1
+    )
+    INF = float("inf")
+    f = np.full((B, p + 1), INF)
+    f[:, 0] = 0.0
+    choice = np.zeros((B, p + 1), dtype=int)
+    rows = np.arange(B)
+    for k in range(1, p + 1):
+        # vectorised transition over j = 0..k-1, for all rows at once
+        j = np.arange(k)
+        cand = f[:, :k] + (k - j) * (prefix[:, k : k + 1] - prefix[:, :k]) + 1.0
+        best = np.argmin(cand, axis=1)
+        f[:, k] = cand[rows, best]
+        choice[:, k] = best
+    return [_backtrack_groups(order[b], choice[b], p) for b in range(B)]
 
 
 def column_groups(areas: Sequence[float]) -> List[List[int]]:
@@ -48,33 +92,11 @@ def column_groups(areas: Sequence[float]) -> List[List[int]]:
     ``f(k) = min_{0 <= j < k}  f(j) + (k - j) * (S_k - S_j) + 1``
 
     where ``S`` are prefix sums of the sorted areas.  ``O(p^2)`` time.
+    Delegates to the stacked DP core with a single row, so the scalar
+    and batch paths share one implementation by construction.
     """
     a = check_probability_vector(areas, "areas")
-    p = a.size
-    order = np.argsort(a, kind="stable")
-    sorted_a = a[order]
-    prefix = np.concatenate([[0.0], np.cumsum(sorted_a)])
-
-    INF = float("inf")
-    f = np.full(p + 1, INF)
-    f[0] = 0.0
-    choice = np.zeros(p + 1, dtype=int)
-    for k in range(1, p + 1):
-        # vectorised transition over j = 0..k-1
-        j = np.arange(k)
-        cand = f[j] + (k - j) * (prefix[k] - prefix[j]) + 1.0
-        best = int(np.argmin(cand))
-        f[k] = float(cand[best])
-        choice[k] = best
-
-    groups: List[List[int]] = []
-    k = p
-    while k > 0:
-        j = int(choice[k])
-        groups.append([int(order[t]) for t in range(j, k)])
-        k = j
-    groups.reverse()
-    return groups
+    return _column_groups_stacked(a[None, :])[0]
 
 
 @register(
@@ -92,21 +114,110 @@ def peri_sum_partition(areas: Sequence[float]) -> Partition:
     chunk.
     """
     a = check_probability_vector(areas, "areas")
-    groups = column_groups(a)
-    rects: List[Rectangle] = []
-    x = 0.0
-    for g_idx, group in enumerate(groups):
-        width = float(sum(a[i] for i in group))
-        # Snap the final column to the right edge to kill float drift.
-        if g_idx == len(groups) - 1:
-            width = 1.0 - x
-        rects.extend(
-            stack_column(x, width, [a[i] for i in group], group)
-        )
-        x += width
-    part = Partition(tuple(rects), side=1.0)
+    return assemble_columns(a, column_groups(a))
+
+
+def assemble_columns(a: np.ndarray, groups: List[List[int]]) -> Partition:
+    """Build and validate the column geometry for a grouping of ``a``.
+
+    Shared by the scalar and batch partitioners (PERI-SUM and PERI-MAX
+    alike), so plans from either path go through the identical geometry
+    arithmetic — the bit-identity half of the vectorisation contract.
+
+    The whole layout (column widths and left edges, normalised heights,
+    stacking offsets, edge snaps) is computed as flat NumPy arrays over
+    all rectangles at once — the :func:`stack_column` math without the
+    per-column Python loop — and materialised through the fast
+    :meth:`Partition.from_arrays` constructor.
+    """
+    sizes = np.array([len(g) for g in groups], dtype=np.intp)
+    if sizes.size and sizes.min() <= 0:
+        raise ValueError("every column must hold at least one rectangle")
+    owners = np.concatenate([np.asarray(g, dtype=np.intp) for g in groups])
+    areas = a[owners]
+    bounds = np.concatenate([[0], np.cumsum(sizes)])
+    col_area = np.add.reduceat(areas, bounds[:-1])
+    lefts = np.concatenate([[0.0], np.cumsum(col_area[:-1])])
+    widths = col_area.copy()
+    # Snap the final column to the right edge to kill float drift.
+    widths[-1] = 1.0 - lefts[-1]
+    if widths.min() <= 0:
+        bad = float(widths[int(np.argmin(widths))])
+        raise ValueError(f"column width must be positive, got {bad}")
+    w_rect = np.repeat(widths, sizes)
+    x_rect = np.repeat(lefts, sizes)
+    heights = areas / w_rect
+    col_total = np.add.reduceat(heights, bounds[:-1])
+    if col_total.min() <= 0:
+        raise ValueError("column must have positive total area")
+    heights = heights * np.repeat(1.0 / col_total, sizes)
+    cum = np.cumsum(heights)
+    y_rect = cum - heights
+    y_rect = y_rect - np.repeat(y_rect[bounds[:-1]], sizes)
+    # Snap each column's last rectangle to the domain edge.
+    last = bounds[1:] - 1
+    heights[last] = 1.0 - y_rect[last]
+    part = Partition.from_arrays(x_rect, y_rect, w_rect, heights, owners)
     part.validate(expected_areas=a)
     return part
+
+
+def batch_partitions(
+    areas_batch: Sequence[Sequence[float]],
+    grouper: Callable[[np.ndarray], List[List[List[int]]]],
+) -> List[Partition]:
+    """Run a stacked column-DP ``grouper`` over many area vectors.
+
+    The shared machinery behind the ``partition_batch`` kernels:
+    vectors are validated individually, deduplicated on exact content
+    (duplicates share one frozen :class:`Partition`), grouped by length
+    so equal-size rows stack into one ``(B, p)`` DP call, and assembled
+    through :func:`assemble_columns` — the same geometry path the
+    scalar partitioners use.
+    """
+    vecs = [check_probability_vector(a, "areas") for a in areas_batch]
+    out: List[Partition | None] = [None] * len(vecs)
+    first_slot: dict[tuple[int, bytes], int] = {}
+    duplicates: dict[tuple[int, bytes], List[int]] = {}
+    for i, a in enumerate(vecs):
+        key = (a.size, a.tobytes())
+        if key in first_slot:
+            duplicates.setdefault(key, []).append(i)
+        else:
+            first_slot[key] = i
+    by_len: dict[int, List[int]] = {}
+    for (p, _), i in first_slot.items():
+        by_len.setdefault(p, []).append(i)
+    for idxs in by_len.values():
+        A = np.vstack([vecs[i][None, :] for i in idxs])
+        for groups, i in zip(grouper(A), idxs):
+            out[i] = assemble_columns(vecs[i], groups)
+    for key, extras in duplicates.items():
+        part = out[first_slot[key]]
+        for i in extras:
+            out[i] = part  # frozen partitions are safe to share
+    return out  # type: ignore[return-value]
+
+
+def peri_sum_partition_batch(
+    areas_batch: Sequence[Sequence[float]],
+) -> List[Partition]:
+    """Batch kernel: PERI-SUM partitions for many area vectors at once.
+
+    Vectorised objective: amortise the :math:`O(p^2)` column DP across
+    the whole batch — every transition runs as one stacked NumPy
+    expression over all distinct same-length vectors instead of one
+    Python-level DP per request.  Output ``i`` is bit-identical to
+    ``peri_sum_partition(areas_batch[i])`` (shared DP core, shared
+    geometry assembly), so cache entries from either path are
+    interchangeable.
+    """
+    return batch_partitions(areas_batch, _column_groups_stacked)
+
+
+# Batch-kernel seam: strategies (and repro.core.vectorize helpers) probe
+# for this attribute the same way batch_capable probes for plan_batch.
+peri_sum_partition.partition_batch = peri_sum_partition_batch
 
 
 def peri_sum_cost(areas: Sequence[float]) -> float:

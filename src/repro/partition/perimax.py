@@ -13,6 +13,10 @@ columns.  (Sorted-contiguous grouping is a standard heuristic here; for
 PERI-MAX it is not provably optimal among all column-based layouts, so
 this is labelled a heuristic and tests only check feasibility and
 domination over the trivial strip layout.)
+
+Ties between transition costs are broken by the first index attaining
+the minimum — the same ``argmin`` convention as the PERI-SUM DP — which
+lets the scalar and batch paths share one stacked NumPy kernel.
 """
 
 from __future__ import annotations
@@ -21,9 +25,51 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.partition.rectangle import Partition, Rectangle, stack_column
+from repro.partition.column_based import (
+    assemble_columns,
+    batch_partitions,
+    _backtrack_groups,
+)
+from repro.partition.rectangle import Partition
 from repro.registry import register
 from repro.util.validation import check_probability_vector
+
+
+def _perimax_groups_stacked(A: np.ndarray) -> List[List[List[int]]]:
+    """The PERI-MAX DP over every row of ``A`` in one stacked pass.
+
+    ``A`` is a ``(B, p)`` matrix of area vectors.  State
+    ``f(k) = min over groupings of the max column cost`` with transition
+    ``f(k) = min_j max(f(j), w_jk + a_max/w_jk)`` where
+    ``w_jk = S_k - S_j`` and ``a_max`` is the largest area of the sorted
+    group ``j..k-1`` (i.e. ``sorted_a[k-1]``).  Zero-width transitions
+    (possible when the smallest areas are exactly 0) are masked to
+    +inf, matching the scalar skip.  Every transition is one elementwise
+    expression over all rows, so row ``b`` is bit-identical to running
+    the DP on ``A[b]`` alone.
+    """
+    B, p = A.shape
+    order = np.argsort(A, axis=1, kind="stable")
+    sorted_A = np.take_along_axis(A, order, axis=1)
+    prefix = np.concatenate(
+        [np.zeros((B, 1)), np.cumsum(sorted_A, axis=1)], axis=1
+    )
+    INF = float("inf")
+    f = np.full((B, p + 1), INF)
+    f[:, 0] = 0.0
+    choice = np.zeros((B, p + 1), dtype=int)
+    rows = np.arange(B)
+    for k in range(1, p + 1):
+        width = prefix[:, k : k + 1] - prefix[:, :k]  # (B, k)
+        ok = width > 0
+        safe = np.where(ok, width, 1.0)
+        # Largest area in the (sorted) group j..k-1 is sorted_a[k-1].
+        col_cost = width + sorted_A[:, k - 1 : k] / safe
+        cand = np.maximum(f[:, :k], np.where(ok, col_cost, INF))
+        best = np.argmin(cand, axis=1)
+        f[:, k] = cand[rows, best]
+        choice[:, k] = best
+    return [_backtrack_groups(order[b], choice[b], p) for b in range(B)]
 
 
 @register(
@@ -34,45 +80,24 @@ from repro.util.validation import check_probability_vector
 def peri_max_partition(areas: Sequence[float]) -> Partition:
     """Column-based partition minimising the max half-perimeter (heuristic)."""
     a = check_probability_vector(areas, "areas")
-    p = a.size
-    order = np.argsort(a, kind="stable")
-    sorted_a = a[order]
-    prefix = np.concatenate([[0.0], np.cumsum(sorted_a)])
+    return assemble_columns(a, _perimax_groups_stacked(a[None, :])[0])
 
-    INF = float("inf")
-    f = np.full(p + 1, INF)  # f[k] = min over groupings of max column cost
-    f[0] = 0.0
-    choice = np.zeros(p + 1, dtype=int)
-    for k in range(1, p + 1):
-        best_cost, best_j = INF, 0
-        for j in range(k):
-            width = prefix[k] - prefix[j]
-            if width <= 0:
-                continue
-            # Largest area in the (sorted) group j..k-1 is sorted_a[k-1].
-            col_cost = width + float(sorted_a[k - 1]) / width
-            cost = max(f[j], col_cost)
-            if cost < best_cost - 1e-15:
-                best_cost, best_j = cost, j
-        f[k] = best_cost
-        choice[k] = best_j
 
-    groups: List[List[int]] = []
-    k = p
-    while k > 0:
-        j = int(choice[k])
-        groups.append([int(order[t]) for t in range(j, k)])
-        k = j
-    groups.reverse()
+def peri_max_partition_batch(
+    areas_batch: Sequence[Sequence[float]],
+) -> List[Partition]:
+    """Batch kernel: PERI-MAX partitions for many area vectors at once.
 
-    rects: List[Rectangle] = []
-    x = 0.0
-    for g_idx, group in enumerate(groups):
-        width = float(sum(a[i] for i in group))
-        if g_idx == len(groups) - 1:
-            width = 1.0 - x
-        rects.extend(stack_column(x, width, [a[i] for i in group], group))
-        x += width
-    part = Partition(tuple(rects), side=1.0)
-    part.validate(expected_areas=a)
-    return part
+    Vectorised objective: amortise the :math:`O(p^2)` max-cost column DP
+    across the batch — each transition evaluates for all distinct
+    same-length vectors in one stacked NumPy expression rather than a
+    Python double loop per request.  Output ``i`` is bit-identical to
+    ``peri_max_partition(areas_batch[i])`` (shared DP core, shared
+    geometry assembly), so cache entries from either path are
+    interchangeable.
+    """
+    return batch_partitions(areas_batch, _perimax_groups_stacked)
+
+
+# Batch-kernel seam, mirroring peri_sum_partition.partition_batch.
+peri_max_partition.partition_batch = peri_max_partition_batch

@@ -84,20 +84,124 @@ class Rectangle:
         return max(0, lo), min(n, hi)
 
 
-@dataclass(frozen=True)
+def build_rectangles(
+    x: np.ndarray,
+    y: np.ndarray,
+    w: np.ndarray,
+    h: np.ndarray,
+    owners: np.ndarray,
+) -> tuple[Rectangle, ...]:
+    """Construct rectangles from coordinate arrays on the fast path.
+
+    Writes fields straight into each instance ``__dict__`` instead of
+    going through the frozen-dataclass ``__init__`` (one
+    ``object.__setattr__`` per field) — the builder is called with
+    thousands of rectangles per planning batch, where that overhead is
+    the dominant construction cost.  The negative-extent invariant of
+    ``Rectangle.__post_init__`` is enforced once, on the arrays.
+    """
+    if w.size and (w.min() < 0 or h.min() < 0):
+        bad = int(np.argmax((w < 0) | (h < 0)))
+        raise ValueError(f"negative extent: w={w[bad]}, h={h[bad]}")
+    new = Rectangle.__new__
+    rects = []
+    for xi, yi, wi, hi, oi in zip(
+        x.tolist(), y.tolist(), w.tolist(), h.tolist(), owners.tolist()
+    ):
+        r = new(Rectangle)
+        d = r.__dict__
+        d["x"] = xi
+        d["y"] = yi
+        d["w"] = wi
+        d["h"] = hi
+        d["owner"] = oi
+        rects.append(r)
+    return tuple(rects)
+
+
 class Partition:
-    """A set of rectangles tiling a ``side × side`` square domain."""
+    """A set of rectangles tiling a ``side × side`` square domain.
 
-    rectangles: tuple[Rectangle, ...]
-    side: float = 1.0
+    The canonical geometry is five coordinate arrays (:meth:`coords`);
+    the ``rectangles`` tuple is materialised lazily on first access, so
+    hot planning paths that only need array queries (validation, the
+    half-perimeter objectives, scaling) never pay per-rectangle object
+    construction.  Instances are immutable in use — treat them as
+    frozen values, exactly like the dataclass this used to be.
+    """
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "rectangles", tuple(self.rectangles))
-        if self.side <= 0:
-            raise ValueError(f"side must be positive, got {self.side}")
+    __slots__ = ("_rects", "_coords", "side")
+
+    def __init__(
+        self, rectangles: Iterable[Rectangle], side: float = 1.0
+    ) -> None:
+        if side <= 0:
+            raise ValueError(f"side must be positive, got {side}")
+        self._rects: tuple[Rectangle, ...] | None = tuple(rectangles)
+        self._coords = None
+        self.side = float(side)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        x: np.ndarray,
+        y: np.ndarray,
+        w: np.ndarray,
+        h: np.ndarray,
+        owners: np.ndarray,
+        side: float = 1.0,
+    ) -> "Partition":
+        """Build a partition straight from coordinate arrays.
+
+        The fast-path constructor used by the batch kernels and the
+        binary wire: no :class:`Rectangle` objects are created until
+        somebody actually iterates the partition.
+        """
+        if side <= 0:
+            raise ValueError(f"side must be positive, got {side}")
+        w = np.asarray(w, dtype=float)
+        h = np.asarray(h, dtype=float)
+        if w.size and (w.min() < 0 or h.min() < 0):
+            bad = int(np.argmax((w < 0) | (h < 0)))
+            raise ValueError(f"negative extent: w={w[bad]}, h={h[bad]}")
+        part = object.__new__(cls)
+        part._rects = None
+        part._coords = (
+            np.asarray(x, dtype=float),
+            np.asarray(y, dtype=float),
+            w,
+            h,
+            np.asarray(owners, dtype=np.intp),
+        )
+        part.side = float(side)
+        return part
+
+    @property
+    def rectangles(self) -> tuple[Rectangle, ...]:
+        if self._rects is None:
+            self._rects = build_rectangles(*self._coords)
+        return self._rects
+
+    def __reduce__(self):
+        # Pickle the compact array form; rectangles rebuild lazily.
+        x, y, w, h, owner = self.coords()
+        return (_partition_from_arrays, (x, y, w, h, owner, self.side))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return self.side == other.side and self.rectangles == other.rectangles
+
+    def __hash__(self) -> int:
+        return hash((self.rectangles, self.side))
+
+    def __repr__(self) -> str:
+        return f"Partition(rectangles={self.rectangles!r}, side={self.side!r})"
 
     def __len__(self) -> int:
-        return len(self.rectangles)
+        if self._rects is not None:
+            return len(self._rects)
+        return int(self._coords[0].size)
 
     def __iter__(self):
         return iter(self.rectangles)
@@ -105,19 +209,41 @@ class Partition:
     def __getitem__(self, i: int) -> Rectangle:
         return self.rectangles[i]
 
+    def coords(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(x, y, w, h, owner)`` column arrays, built once per partition.
+
+        The geometry queries below (and the vectorised :meth:`validate`)
+        all run off these arrays instead of per-rectangle Python
+        attribute access; the partition is frozen in use, so the cache
+        never goes stale.
+        """
+        if self._coords is None:
+            r = self._rects
+            self._coords = (
+                np.array([q.x for q in r], dtype=float),
+                np.array([q.y for q in r], dtype=float),
+                np.array([q.w for q in r], dtype=float),
+                np.array([q.h for q in r], dtype=float),
+                np.array([q.owner for q in r], dtype=np.intp),
+            )
+        return self._coords
+
     @property
     def areas(self) -> np.ndarray:
-        return np.array([r.area for r in self.rectangles])
+        _, _, w, h, _ = self.coords()
+        return w * h
 
     @property
     def sum_half_perimeters(self) -> float:
         """The PERI-SUM objective :math:`\\hat C = \\sum_i (w_i + h_i)`."""
-        return float(sum(r.half_perimeter for r in self.rectangles))
+        _, _, w, h, _ = self.coords()
+        return float(np.sum(w + h))
 
     @property
     def max_half_perimeter(self) -> float:
         """The PERI-MAX objective :math:`\\max_i (w_i + h_i)`."""
-        return float(max(r.half_perimeter for r in self.rectangles))
+        _, _, w, h, _ = self.coords()
+        return float(np.max(w + h))
 
     def by_owner(self) -> dict[int, Rectangle]:
         """Map owner (processor index) → rectangle."""
@@ -129,9 +255,18 @@ class Partition:
         return out
 
     def scaled(self, factor: float) -> "Partition":
-        """Scale to an ``(side*factor)``-sized domain (e.g. ``N × N``)."""
-        return Partition(
-            tuple(r.scaled(factor) for r in self.rectangles),
+        """Scale to an ``(side*factor)``-sized domain (e.g. ``N × N``).
+
+        Runs on the cached coordinate arrays — one elementwise multiply
+        per axis, the same per-field arithmetic as
+        :meth:`Rectangle.scaled` — then rebuilds through the fast
+        constructor path.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        x, y, w, h, owner = self.coords()
+        return Partition.from_arrays(
+            x * factor, y * factor, w * factor, h * factor, owner,
             side=self.side * factor,
         )
 
@@ -147,23 +282,27 @@ class Partition:
         area matches ``expected_areas`` by owner index.
         """
         total_area = self.side * self.side
-        for r in self.rectangles:
-            if (
-                r.x < -atol
-                or r.y < -atol
-                or r.x2 > self.side + atol
-                or r.y2 > self.side + atol
-            ):
-                raise ValueError(f"rectangle {r} exceeds the domain")
-        # Pairwise overlap is O(p^2) but p <= a few hundred here.
-        rects = self.rectangles
-        for i in range(len(rects)):
-            for j in range(i + 1, len(rects)):
-                if rects[i].overlaps(rects[j], atol=atol):
-                    raise ValueError(
-                        f"rectangles {i} and {j} overlap: "
-                        f"{rects[i]} vs {rects[j]}"
-                    )
+        x, y, w, h, owner = self.coords()
+        x2, y2 = x + w, y + h
+        out = (x < -atol) | (y < -atol) | (x2 > self.side + atol) | (y2 > self.side + atol)
+        if out.any():
+            r = self.rectangles[int(np.argmax(out))]
+            raise ValueError(f"rectangle {r} exceeds the domain")
+        # Pairwise overlap via one broadcast intersection matrix — the
+        # same positive-area test as Rectangle.overlaps, O(p^2) in NumPy
+        # instead of Python (this check used to dominate het planning).
+        ix = np.minimum(x2[:, None], x2[None, :]) - np.maximum(x[:, None], x[None, :])
+        iy = np.minimum(y2[:, None], y2[None, :]) - np.maximum(y[:, None], y[None, :])
+        clash = (ix > atol) & (iy > atol)
+        np.fill_diagonal(clash, False)  # self-intersection is not overlap
+        if clash.any():
+            # symmetric matrix: report the lexicographically first i < j
+            i, j = (int(v) for v in np.argwhere(clash)[0])
+            rects = self.rectangles
+            raise ValueError(
+                f"rectangles {i} and {j} overlap: "
+                f"{rects[i]} vs {rects[j]}"
+            )
         covered = float(self.areas.sum())
         if abs(covered - total_area) > atol * max(1.0, total_area):
             raise ValueError(
@@ -171,15 +310,26 @@ class Partition:
             )
         if expected_areas is not None:
             expected = np.asarray(expected_areas, dtype=float)
+            bad = (owner < 0) | (owner >= expected.size)
+            if bad.any():
+                raise ValueError(
+                    f"owner {self.rectangles[int(np.argmax(bad))].owner} "
+                    f"out of range"
+                )
             got = np.empty_like(expected)
-            for r in self.rectangles:
-                if not 0 <= r.owner < expected.size:
-                    raise ValueError(f"owner {r.owner} out of range")
-                got[r.owner] = r.area
-            if not np.allclose(got, expected, atol=atol, rtol=1e-6):
+            got[owner] = w * h
+            # same test as np.allclose(got, expected, atol, rtol=1e-6)
+            # without its per-call machinery (this runs on every plan)
+            close = np.abs(got - expected) <= atol + 1e-6 * np.abs(expected)
+            if not close.all():
                 raise ValueError(
                     f"areas {got} do not match prescription {expected}"
                 )
+
+
+def _partition_from_arrays(x, y, w, h, owner, side) -> Partition:
+    """Module-level unpickle target for :meth:`Partition.__reduce__`."""
+    return Partition.from_arrays(x, y, w, h, owner, side=side)
 
 
 def stack_column(

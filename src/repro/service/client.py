@@ -32,6 +32,7 @@ server's own message.
 from __future__ import annotations
 
 import json
+import os
 import socket
 import time
 import urllib.error
@@ -80,6 +81,18 @@ class ServiceClient:
     ``timeout`` bounds each attempt; ``retries`` extra attempts are made
     on transport errors, sleeping ``retry_wait * attempt`` between them
     (linear backoff keeps worst-case latency predictable).
+
+    ``wire_profile`` picks the envelope format requests are packed in:
+    ``"binary-v2"`` (typed, zero-copy), ``"pickle-v1"`` (legacy), or
+    ``"auto"`` (default) to negotiate the best profile both ends speak.
+    ``None`` reads the ``REPRO_WIRE`` environment variable, falling
+    back to ``auto`` — so CLI sweeps pick a profile without new flags.
+    The handshake is lazy: the first envelope call GETs ``/healthz``
+    and checks the server's advertised ``wire_profiles`` (a server
+    predating profiles counts as pickle-v1 only); asking for a profile
+    the server refuses — e.g. a pickle-v1 client against a ``--wire
+    safe`` server — raises :class:`PlanServiceError` with the server's
+    accepted list, *before* any payload is shipped.
     """
 
     def __init__(
@@ -89,6 +102,7 @@ class ServiceClient:
         timeout: float = 30.0,
         retries: int = 2,
         retry_wait: float = 0.2,
+        wire_profile: str | None = None,
     ) -> None:
         self.base_url = service_url(address)
         self.timeout = float(timeout)
@@ -96,14 +110,66 @@ class ServiceClient:
             raise ValueError(f"retries must be >= 0, got {retries}")
         self.retries = int(retries)
         self.retry_wait = float(retry_wait)
+        if wire_profile is None:
+            wire_profile = os.environ.get("REPRO_WIRE", "auto")
+        if wire_profile != "auto" and wire_profile not in wire.PROFILES:
+            raise ValueError(
+                f"unknown wire profile {wire_profile!r}; pick 'auto' or "
+                f"one of {wire.PROFILES}"
+            )
+        self.requested_profile = wire_profile
+        self._active_profile: str | None = None
+
+    # -- wire-profile handshake ------------------------------------------
+
+    def wire_profile(self) -> str:
+        """The profile envelopes travel in (negotiated on first use)."""
+        if self._active_profile is None:
+            advertised = self._server_profiles()
+            if self.requested_profile == "auto":
+                for profile in wire.PROFILES:  # preference order
+                    if profile in advertised:
+                        self._active_profile = profile
+                        break
+                else:
+                    raise PlanServiceError(
+                        f"no common wire profile with {self.base_url}: "
+                        f"server speaks {advertised}, this client speaks "
+                        f"{list(wire.PROFILES)}"
+                    )
+            elif self.requested_profile not in advertised:
+                raise PlanServiceError(
+                    f"plan server at {self.base_url} does not accept wire "
+                    f"profile {self.requested_profile!r} (it accepts: "
+                    f"{', '.join(advertised)}) — likely a --wire safe "
+                    "server refusing pickle; switch this client to "
+                    f"{wire.PROFILE_BINARY!r} or REPRO_WIRE=binary-v2"
+                )
+            else:
+                self._active_profile = self.requested_profile
+        return self._active_profile
+
+    def _server_profiles(self) -> List[str]:
+        health = self.healthz()
+        advertised = health.get("wire_profiles")
+        if advertised is None:
+            # a pre-profile server: it speaks pickle-v1 and nothing else
+            return [wire.PROFILE_PICKLE]
+        return [str(p) for p in advertised]
 
     # -- transport -------------------------------------------------------
 
     def _request(
-        self, path: str, data: bytes | None, content_type: str | None
+        self,
+        path: str,
+        data: bytes | None,
+        content_type: str | None,
+        profile: str | None = None,
     ) -> bytes:
         url = f"{self.base_url}{path}"
         headers = {wire.VERSION_HEADER: str(wire.WIRE_VERSION)}
+        if profile:
+            headers[wire.PROFILE_HEADER] = profile
         if content_type:
             headers["Content-Type"] = content_type
         last_error: Exception | None = None
@@ -127,9 +193,17 @@ class ServiceClient:
         ) from None
 
     def post(self, path: str, payload: Any) -> Any:
-        """POST an envelope, return the response envelope's payload."""
-        body = self._request(path, wire.pack(payload), wire.CONTENT_TYPE)
-        return wire.unpack(body)
+        """POST an envelope, return the response envelope's payload.
+
+        Packed in the negotiated wire profile; the server answers in
+        the same profile (decoded by magic line, so a response can
+        never be mis-read as the wrong format).
+        """
+        profile = self.wire_profile()
+        body = self._request(
+            path, wire.pack_as(payload, profile), wire.CONTENT_TYPE, profile
+        )
+        return wire.unpack_any(body)
 
     def get_json(self, path: str) -> dict:
         """GET a JSON control endpoint (``/healthz``, ``/cache/stats``)."""
@@ -147,10 +221,18 @@ class ServiceClient:
         return self.post("/cache/get", key)
 
     def cache_put(self, key: Hashable, result: PlanResult) -> None:
-        self._request("/cache/put", wire.pack((key, result)), wire.CONTENT_TYPE)
+        profile = self.wire_profile()
+        self._request(
+            "/cache/put",
+            wire.pack_as((key, result), profile),
+            wire.CONTENT_TYPE,
+            profile,
+        )
 
     def cache_clear(self) -> None:
-        self._request("/cache/clear", b"", wire.CONTENT_TYPE)
+        self._request(
+            "/cache/clear", b"", wire.CONTENT_TYPE, self.wire_profile()
+        )
 
     def cache_stats(self) -> dict:
         return self.get_json("/cache/stats")
@@ -206,10 +288,15 @@ class RemoteBackend(Backend):
         timeout: float = 60.0,
         retries: int = 2,
         retry_wait: float = 0.2,
+        wire_profile: str | None = None,
     ) -> None:
         super().__init__(jobs)
         self.client = ServiceClient(
-            address, timeout=timeout, retries=retries, retry_wait=retry_wait
+            address,
+            timeout=timeout,
+            retries=retries,
+            retry_wait=retry_wait,
+            wire_profile=wire_profile,
         )
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
@@ -256,9 +343,14 @@ class HTTPPlanCache(BasePlanStore):
         timeout: float = 30.0,
         retries: int = 2,
         retry_wait: float = 0.2,
+        wire_profile: str | None = None,
     ) -> None:
         self.client = ServiceClient(
-            url, timeout=timeout, retries=retries, retry_wait=retry_wait
+            url,
+            timeout=timeout,
+            retries=retries,
+            retry_wait=retry_wait,
+            wire_profile=wire_profile,
         )
 
     @property

@@ -20,6 +20,13 @@ endpoint            verb  payload
 Binary payloads are the versioned envelopes of :mod:`repro.service.wire`
 (magic header checked before unpickling, wire-version mismatches fail
 loudly); control/inspection endpoints are plain JSON so ``curl`` works.
+Each request names its wire profile (``pickle-v1`` or the typed
+zero-copy ``binary-v2``) in the :data:`~repro.service.wire.PROFILE_HEADER`
+header — or implicitly via the body's magic line — and the server
+answers in the same profile, so old v1 clients keep working.  With
+``wire_mode="safe"`` (``repro serve --wire safe``) pickle envelopes
+are refused with a 400 before anything is unpickled; ``/healthz``
+advertises the accepted profiles so clients negotiate up front.
 
 ``/plan`` and ``/plan_batch`` route through the server's session, so
 every result a client ever asked for lands in the server's plan store —
@@ -120,6 +127,9 @@ class _PlanHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.send_header(wire.VERSION_HEADER, str(wire.WIRE_VERSION))
+        self.send_header(
+            wire.PROFILE_HEADER, ",".join(self.planner.wire_profiles)
+        )
         self.end_headers()
         self.wfile.write(body)
 
@@ -130,8 +140,42 @@ class _PlanHandler(BaseHTTPRequestHandler):
             "application/json",
         )
 
-    def _reply_envelope(self, payload: Any) -> None:
-        self._reply(200, wire.pack(payload), wire.CONTENT_TYPE)
+    def _request_profile(self, body: bytes) -> str:
+        """The wire profile this request speaks (header, else magic).
+
+        Requests with an empty body (``/cache/clear``) carry no magic
+        line, so the :data:`~repro.service.wire.PROFILE_HEADER` the
+        clients send decides; bodies decide for headerless v1 clients.
+        A profile the server refuses (``--wire safe`` vs pickle) fails
+        here with a clear, actionable message — before any unpickling.
+        """
+        allowed = self.planner.wire_profiles
+        header = (self.headers.get(wire.PROFILE_HEADER) or "").strip()
+        if header:
+            profile = header
+            if profile not in wire.PROFILES:
+                raise wire.WireError(
+                    f"unknown wire profile {profile!r}; this server "
+                    f"speaks {', '.join(allowed)}"
+                )
+        elif body:
+            profile = wire.detect_profile(body)
+        else:
+            profile = wire.PROFILE_PICKLE
+        if profile not in allowed:
+            raise wire.WireError(
+                f"wire profile {profile!r} refused: this server runs "
+                f"--wire safe and only accepts {', '.join(allowed)} — "
+                "upgrade the client (it negotiates binary-v2 via "
+                "/healthz) or restart the server with --wire auto"
+            )
+        return profile
+
+    def _unpack(self, body: bytes, profile: str) -> Any:
+        return wire.unpack_any(body, allowed=(profile,))
+
+    def _reply_envelope(self, payload: Any, profile: str) -> None:
+        self._reply(200, wire.pack_as(payload, profile), wire.CONTENT_TYPE)
 
     # -- routes ----------------------------------------------------------
 
@@ -150,21 +194,25 @@ class _PlanHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         try:
+            body = self._body()
+            profile = self._request_profile(body)
             if self.path == "/plan":
-                request = wire.unpack(self._body())
+                request = self._unpack(body, profile)
                 if not isinstance(request, PlanRequest):
                     raise wire.WireError(
                         f"/plan expects a PlanRequest, got {type(request).__name__}"
                     )
-                self._reply_envelope(self.planner.session.plan(request))
+                self._reply_envelope(
+                    self.planner.session.plan(request), profile
+                )
             elif self.path == "/plan_batch":
-                items = wire.unpack(self._body())
-                self._reply_envelope(self.planner.plan_items(items))
+                items = self._unpack(body, profile)
+                self._reply_envelope(self.planner.plan_items(items), profile)
             elif self.path == "/cache/get":
-                key = wire.unpack(self._body())
-                self._reply_envelope(self.planner.store().get(key))
+                key = self._unpack(body, profile)
+                self._reply_envelope(self.planner.store().get(key), profile)
             elif self.path == "/cache/put":
-                key, result = wire.unpack(self._body())
+                key, result = self._unpack(body, profile)
                 self.planner.store().put(key, result)
                 self._reply_json(200, {"stored": True})
             elif self.path == "/cache/clear":
@@ -212,7 +260,20 @@ class PlanServer:
         jobs: int | None = None,
         cache: "bool | str | PlanStore" = True,
         vectorize: bool = True,
+        wire_mode: str = "auto",
     ) -> None:
+        if wire_mode not in ("auto", "safe"):
+            raise ValueError(
+                f"wire_mode must be 'auto' or 'safe', got {wire_mode!r}"
+            )
+        self.wire_mode = wire_mode
+        #: profiles this server accepts and advertises, preference first;
+        #: ``safe`` drops pickle-v1 so nothing on this port ever unpickles
+        self.wire_profiles: tuple = (
+            (wire.PROFILE_BINARY,)
+            if wire_mode == "safe"
+            else wire.PROFILES
+        )
         if cache is True:
             store: PlanStore | None = MemoryPlanCache()
         elif cache is False or cache is None:
@@ -299,6 +360,8 @@ class PlanServer:
             "status": "ok",
             "service": wire.WIRE_FORMAT,
             "wire_version": wire.WIRE_VERSION,
+            "wire_profiles": list(self.wire_profiles),
+            "wire_mode": self.wire_mode,
             "version": __version__,
             "backend": self.session.backend_name,
             "cache": self.cache_spec,

@@ -1,0 +1,161 @@
+"""Equivalence suite for the batched §2 nonlinear solvers.
+
+The batch kernels run the same nested bisections as the scalar solvers
+but stacked over every same-size instance at once; both paths converge
+within the bisection tolerance of the same root, so results must agree
+within the vectorisation contract's ``rtol = 1e-12`` (a small absolute
+floor covers chunks that are themselves ~1e-13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.vectorize import batch_capable, solve_dlt_batch
+from repro.dlt.nonlinear_solver import (
+    solve_nonlinear_one_port,
+    solve_nonlinear_one_port_batch,
+    solve_nonlinear_parallel,
+    solve_nonlinear_parallel_batch,
+)
+from repro.platform.generators import make_speeds
+from repro.platform.star import StarPlatform
+
+RTOL = 1e-12
+ATOL = 1e-12
+
+
+def random_instances(seed=21, sizes=(2, 4, 9, 16), per_size=3):
+    rng = np.random.default_rng(seed)
+    platforms, Ns = [], []
+    for p in sizes:
+        for model in ("uniform", "lognormal"):
+            for _ in range(per_size):
+                platforms.append(
+                    StarPlatform.from_speeds(make_speeds(model, p, rng))
+                )
+                Ns.append(float(rng.uniform(50.0, 5000.0)))
+    return platforms, Ns
+
+
+def assert_allocations_match(scalar, batched):
+    assert batched.model == scalar.model
+    assert batched.alpha == scalar.alpha
+    assert batched.total_work == scalar.total_work
+    np.testing.assert_allclose(
+        batched.amounts, scalar.amounts, rtol=RTOL, atol=ATOL
+    )
+    np.testing.assert_allclose(
+        batched.finish, scalar.finish, rtol=RTOL, atol=ATOL
+    )
+    assert scalar.makespan == pytest.approx(batched.makespan, rel=RTOL)
+    assert scalar.partial_work == pytest.approx(batched.partial_work, rel=RTOL)
+
+
+SOLVER_PAIRS = [
+    pytest.param(
+        solve_nonlinear_parallel, solve_nonlinear_parallel_batch, id="parallel"
+    ),
+    pytest.param(
+        solve_nonlinear_one_port, solve_nonlinear_one_port_batch, id="one-port"
+    ),
+]
+
+
+@pytest.mark.parametrize("scalar, batch", SOLVER_PAIRS)
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("alpha", [1.2, 1.5, 2.0, 3.0])
+    def test_mixed_sizes_match_scalar(self, scalar, batch, alpha):
+        platforms, Ns = random_instances()
+        allocs = batch(platforms, Ns, alpha=alpha)
+        assert len(allocs) == len(platforms)
+        for platform, N, batched in zip(platforms, Ns, allocs):
+            assert_allocations_match(scalar(platform, N, alpha=alpha), batched)
+
+    def test_conservation(self, scalar, batch):
+        platforms, Ns = random_instances(seed=5, sizes=(3, 8), per_size=2)
+        for N, alloc in zip(Ns, batch(platforms, Ns)):
+            assert alloc.total == pytest.approx(N, rel=1e-9)
+
+    def test_homogeneous_platforms(self, scalar, batch):
+        platforms = [StarPlatform.homogeneous(p) for p in (2, 4, 4, 16)]
+        Ns = [100.0, 200.0, 200.0, 400.0]
+        for platform, N, batched in zip(
+            platforms, Ns, batch(platforms, Ns, alpha=2.0)
+        ):
+            assert_allocations_match(scalar(platform, N, alpha=2.0), batched)
+
+    def test_length_mismatch_raises(self, scalar, batch):
+        with pytest.raises(ValueError, match="platforms but"):
+            batch([StarPlatform.homogeneous(2)], [10.0, 20.0])
+
+    def test_invalid_N_raises(self, scalar, batch):
+        with pytest.raises(ValueError, match="N must be"):
+            batch([StarPlatform.homogeneous(2)] * 2, [10.0, -1.0])
+
+    def test_plan_batch_seam_attached(self, scalar, batch):
+        assert scalar.plan_batch is batch
+        assert batch_capable(scalar)
+
+
+class TestOnePortOrder:
+    def test_explicit_order_matches_scalar(self):
+        rng = np.random.default_rng(9)
+        platforms = [
+            StarPlatform.from_speeds(make_speeds("uniform", 6, rng))
+            for _ in range(4)
+        ]
+        Ns = [100.0, 500.0, 900.0, 1300.0]
+        order = [5, 3, 1, 0, 2, 4]
+        allocs = solve_nonlinear_one_port_batch(
+            platforms, Ns, alpha=2.0, order=order
+        )
+        for platform, N, batched in zip(platforms, Ns, allocs):
+            assert_allocations_match(
+                solve_nonlinear_one_port(platform, N, alpha=2.0, order=order),
+                batched,
+            )
+
+    def test_explicit_order_needs_equal_sizes(self):
+        platforms = [StarPlatform.homogeneous(2), StarPlatform.homogeneous(3)]
+        with pytest.raises(ValueError, match="equal size"):
+            solve_nonlinear_one_port_batch(
+                platforms, [10.0, 10.0], order=[0, 1]
+            )
+
+    def test_invalid_order_raises(self):
+        platforms = [StarPlatform.homogeneous(3)] * 2
+        with pytest.raises(ValueError, match="permutation"):
+            solve_nonlinear_one_port_batch(
+                platforms, [10.0, 10.0], order=[0, 0, 2]
+            )
+
+
+class TestSolveDltBatchSeam:
+    def test_routes_through_kernel(self):
+        platforms, Ns = random_instances(seed=13, sizes=(4, 7), per_size=2)
+        via_seam = solve_dlt_batch("nonlinear-parallel", platforms, Ns)
+        direct = solve_nonlinear_parallel_batch(platforms, Ns)
+        for a, b in zip(via_seam, direct):
+            np.testing.assert_array_equal(a.amounts, b.amounts)
+
+    def test_singleton_takes_scalar_path(self):
+        platform = StarPlatform.homogeneous(4)
+        (via_seam,) = solve_dlt_batch("nonlinear-parallel", [platform], [64.0])
+        scalar = solve_nonlinear_parallel(platform, 64.0)
+        np.testing.assert_array_equal(via_seam.amounts, scalar.amounts)
+
+    def test_params_forwarded(self):
+        platforms = [StarPlatform.homogeneous(4)] * 2
+        for alloc in solve_dlt_batch(
+            "nonlinear-one-port", platforms, [64.0, 81.0], alpha=1.5
+        ):
+            assert alloc.alpha == 1.5
+            assert alloc.model == "nonlinear/one-port"
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="platforms but"):
+            solve_dlt_batch(
+                "nonlinear-parallel", [StarPlatform.homogeneous(2)], []
+            )

@@ -1,0 +1,113 @@
+"""Equivalence suite for the partition batch kernels.
+
+The ``partition_batch`` seam mirrors the strategy ``plan_batch``
+protocol: for PERI-SUM and PERI-MAX alike, output ``i`` of the batch
+kernel must be *bit-identical* to the scalar partitioner run on the
+same area vector (shared stacked DP core, shared geometry assembly),
+so plan-cache entries produced by either path are interchangeable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import registry
+from repro.partition.column_based import (
+    batch_partitions,
+    column_groups,
+    peri_sum_partition,
+    peri_sum_partition_batch,
+)
+from repro.partition.perimax import (
+    peri_max_partition,
+    peri_max_partition_batch,
+)
+from repro.platform.generators import make_speeds
+
+
+def random_vectors(seed=11, sizes=(2, 3, 5, 8, 13, 21, 34), per_size=3):
+    rng = np.random.default_rng(seed)
+    vecs = []
+    for p in sizes:
+        for model in ("uniform", "lognormal"):
+            for _ in range(per_size):
+                x = make_speeds(model, p, rng)
+                vecs.append(x / x.sum())
+    return vecs
+
+
+SCALAR_AND_BATCH = [
+    pytest.param(peri_sum_partition, peri_sum_partition_batch, id="peri-sum"),
+    pytest.param(peri_max_partition, peri_max_partition_batch, id="peri-max"),
+]
+
+
+@pytest.mark.parametrize("scalar, batch", SCALAR_AND_BATCH)
+class TestBitIdentity:
+    def test_mixed_sizes_bit_identical(self, scalar, batch):
+        vecs = random_vectors()
+        parts = batch(vecs)
+        assert len(parts) == len(vecs)
+        for a, part in zip(vecs, parts):
+            expected = scalar(a)
+            # Partition equality compares exact rectangle tuples — this
+            # is the bit-identical half of the vectorisation contract.
+            assert part == expected
+
+    def test_equal_areas(self, scalar, batch):
+        vecs = [np.full(p, 1.0 / p) for p in (1, 2, 4, 9, 16)]
+        for a, part in zip(vecs, batch(vecs)):
+            assert part == scalar(a)
+
+    def test_single_vector_batch(self, scalar, batch):
+        a = np.array([0.5, 0.3, 0.2])
+        (part,) = batch([a])
+        assert part == scalar(a)
+
+    def test_duplicates_share_one_partition(self, scalar, batch):
+        a = np.array([0.4, 0.35, 0.25])
+        b = np.array([0.6, 0.4])
+        parts = batch([a, b, a.copy(), a])
+        assert parts[0] is parts[2]
+        assert parts[0] is parts[3]
+        assert parts[1] == scalar(b)
+
+    def test_validation_errors_propagate(self, scalar, batch):
+        with pytest.raises(ValueError):
+            batch([np.array([0.5, 0.6])])  # does not sum to 1
+
+    def test_partitions_validate(self, scalar, batch):
+        for part in batch(random_vectors(seed=5, sizes=(6, 12), per_size=2)):
+            part.validate()
+
+
+class TestRegistrySeam:
+    @pytest.mark.parametrize(
+        "name, kernel",
+        [
+            ("peri-sum", peri_sum_partition_batch),
+            ("peri-max", peri_max_partition_batch),
+        ],
+    )
+    def test_factory_exposes_partition_batch(self, name, kernel):
+        factory = registry.get("partitioner", name)
+        assert getattr(factory, "partition_batch", None) is kernel
+
+
+class TestStackedDP:
+    def test_stacked_groups_match_scalar(self):
+        """The stacked PERI-SUM DP row-for-row equals the scalar DP."""
+        from repro.partition.column_based import _column_groups_stacked
+
+        rng = np.random.default_rng(3)
+        p = 17
+        A = rng.dirichlet(np.ones(p), size=8)
+        stacked = _column_groups_stacked(A)
+        for b in range(A.shape[0]):
+            assert stacked[b] == column_groups(A[b])
+
+    def test_batch_partitions_rejects_bad_grouper_output(self):
+        a = np.array([0.5, 0.5])
+        with pytest.raises(ValueError, match="at least one rectangle"):
+            batch_partitions([a], lambda A: [[[0, 1], []]])
