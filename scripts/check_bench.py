@@ -131,7 +131,28 @@ def main() -> int:
     args = parser.parse_args()
 
     baseline_path = Path(args.baseline)
-    baseline = json.loads(baseline_path.read_text())
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+    elif args.update:
+        # --update against a missing file seeds a fresh trendline, so a
+        # new benchmark suite's first run can commit its own baseline
+        baseline = {
+            "description": (
+                "Committed trendline seeded by check_bench.py --update; "
+                "'metric' names the field compared and 'tolerance' the "
+                "allowed regression ratio."
+            ),
+            "tolerance": 0.5,
+            "benchmarks": {},
+        }
+        print(f"seeding new baseline {baseline_path}")
+    else:
+        print(
+            f"baseline {baseline_path} does not exist "
+            "(seed it with --update)",
+            file=sys.stderr,
+        )
+        return 2
     text = (
         Path(args.log).read_text() if args.log else sys.stdin.read()
     )

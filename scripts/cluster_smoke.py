@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""CI smoke for cluster mode: up -n 3 → both wires → kill → reroute.
+
+Boots ``repro cluster up -n 3`` on an ephemeral port, then asserts the
+whole operability story end to end, from outside the process:
+
+1. the coordinator fronts the pool — ``/healthz`` reports 3 alive
+   workers and both wire profiles;
+2. the same Figure-4 panel rendered through the coordinator is
+   identical over ``REPRO_WIRE=pickle-v1`` and ``binary-v2`` (the
+   front door speaks both wire profiles transparently);
+3. SIGKILL-ing one worker (pid from the state file) is invisible to
+   the next client — the panel still renders identically, and
+   ``/cluster/status`` settles at 2 alive workers;
+4. ``/metrics`` aggregates: the coordinator observed every
+   ``/plan_batch`` and the cluster-wide merge carries the workers'
+   counts;
+5. ``repro cluster down`` stops everything: the ``up`` process exits,
+   the state file is gone, the worker pids are dead.
+
+Exits non-zero on any failure; prints a BENCH-style JSON line so CI
+logs are grep-able.
+
+Run: ``python scripts/cluster_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BANNER_RE = re.compile(r"cluster coordinator listening on (http://\S+)")
+PANEL_ARGS = [
+    "figure4",
+    "--model",
+    "uniform",
+    "--processors",
+    "10",
+    "--trials",
+    "3",
+    "--no-cache",  # clients stay cold; sharing happens cluster-side
+]
+
+
+def client_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    return env
+
+
+def run_cli(args: list[str], wire_profile: str | None = None) -> str:
+    env = client_env()
+    if wire_profile:
+        env["REPRO_WIRE"] = wire_profile
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"client command {args} failed ({proc.returncode}):\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    return proc.stdout
+
+
+def get_json(url: str) -> dict:
+    return json.loads(urllib.request.urlopen(url, timeout=10).read())
+
+
+def pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True
+
+
+def wait_for(predicate, timeout_s: float, what: str):
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.1)
+    raise SystemExit(f"timed out after {timeout_s}s waiting for {what}")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-smoke-") as tmp:
+        state_path = Path(tmp) / "cluster.json"
+        up = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "cluster",
+                "up",
+                "-n",
+                "3",
+                "--port",
+                "0",
+                "--state",
+                str(state_path),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=client_env(),
+        )
+        try:
+            url = None
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                line = up.stdout.readline()
+                if not line:
+                    raise SystemExit(
+                        f"cluster up exited ({up.poll()}) before its banner"
+                    )
+                match = BANNER_RE.search(line)
+                if match:
+                    url = match.group(1)
+                    break
+            if url is None:
+                raise SystemExit("no coordinator banner within 60s")
+            address = url.removeprefix("http://")
+
+            # 1. front door fronts a live pool and speaks both wires
+            health = get_json(f"{url}/healthz")
+            assert health["role"] == "coordinator", health
+            assert health["workers_alive"] == 3, health
+            assert health["wire_profiles"] == ["binary-v2", "pickle-v1"], (
+                f"coordinator must advertise both wire profiles: {health}"
+            )
+            state = json.loads(state_path.read_text())
+            assert len(state["workers"]) == 3, state
+
+            # 2. same panel through both wire profiles
+            remote = PANEL_ARGS + ["--backend", f"remote:{address}"]
+            panel_pickle = run_cli(remote, wire_profile="pickle-v1")
+            panel_binary = run_cli(remote, wire_profile="binary-v2")
+            assert panel_pickle == panel_binary, (
+                "panels differ between wire profiles"
+            )
+
+            # 3. SIGKILL one worker; the next client must not notice
+            # (the dead child lingers as a zombie of the `up` process
+            # until teardown reaps it, so no pid-liveness wait here —
+            # the /cluster/status settle below proves the kill landed)
+            victim = state["workers"][0]["pid"]
+            os.kill(victim, signal.SIGKILL)
+            panel_after_kill = run_cli(remote, wire_profile="binary-v2")
+            assert panel_after_kill == panel_binary, (
+                "panel changed after a worker was killed"
+            )
+            alive = wait_for(
+                lambda: get_json(f"{url}/cluster/status")["pool"]["alive"] == 2,
+                15,
+                "the pool to settle at 2 alive workers",
+            )
+            assert alive, "pool never reported the killed worker dead"
+
+            # 4. metrics aggregate across the survivors
+            metrics = get_json(f"{url}/metrics")
+            coord_batches = metrics["coordinator"]["endpoints"]["/plan_batch"]
+            assert coord_batches["count"] >= 3, metrics["coordinator"]
+            cluster_batches = metrics["cluster"]["endpoints"]["/plan_batch"]
+            assert cluster_batches["count"] >= 3, metrics["cluster"]
+            assert cluster_batches["errors"] == 0, metrics["cluster"]
+
+            # 5. down stops everything and cleans up
+            down = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "cluster",
+                    "down",
+                    "--state",
+                    str(state_path),
+                ],
+                capture_output=True,
+                text=True,
+                env=client_env(),
+                timeout=60,
+            )
+            if down.returncode != 0:
+                raise SystemExit(
+                    f"cluster down failed ({down.returncode}):\n"
+                    f"{down.stdout}\n{down.stderr}"
+                )
+            wait_for(
+                lambda: up.poll() is not None, 15, "cluster up to exit"
+            )
+            assert not state_path.exists(), "state file survived down"
+            for worker in state["workers"]:
+                assert not pid_alive(worker["pid"]), (
+                    f"worker pid {worker['pid']} survived down"
+                )
+
+            print(
+                "BENCH "
+                + json.dumps(
+                    {
+                        "name": "cluster_smoke",
+                        "workers": 3,
+                        "alive_after_kill": 2,
+                        "coordinator_plan_batches": coord_batches["count"],
+                        "cluster_plan_batches": cluster_batches["count"],
+                    }
+                )
+            )
+            print("cluster smoke OK")
+            return 0
+        finally:
+            if up.poll() is None:
+                up.terminate()
+                try:
+                    up.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    up.kill()
+                    up.wait()
+            time.sleep(0.1)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

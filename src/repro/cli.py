@@ -13,6 +13,9 @@ console script; ``python -m repro`` works too)::
     repro compare --speeds 1 2 4 8 --cost-model piecewise
     repro serve --port 8640 --cache tiered:plans.db   # HTTP plan server
     repro figure4 --backend remote:localhost:8640 --no-cache  # offload
+    repro cluster up -n 3 --dispatch consistent-hash  # scale-out pool
+    repro cluster status         # pool liveness + request totals
+    repro cluster down           # stop workers + coordinator
     repro compare --speeds 1 2 4 8 --cache http://localhost:8640
     repro cache-stats --speeds 1 2 4 8 --repeats 3
     repro figure4 --model uniform --trials 100 --backend process
@@ -352,6 +355,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=_cache_arg(args),
         vectorize=args.vectorize,
         wire_mode=args.wire,
+        max_inflight=args.max_inflight,
     )
     print(f"repro plan server listening on {server.url}", flush=True)
     print(
@@ -373,6 +377,129 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.close()
+    return 0
+
+
+def _cmd_cluster_up(args: argparse.Namespace) -> int:
+    """Launch N worker replicas behind a coordinator, foreground."""
+    from repro.cluster.lifecycle import LocalCluster, default_state_path
+
+    cluster = LocalCluster(
+        n=args.workers,
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        jobs=args.jobs,
+        cache=None if args.no_cache else (args.cache or "memory"),
+        vectorize=args.vectorize,
+        wire=args.wire,
+        dispatch=args.dispatch,
+        max_inflight=args.max_inflight,
+        worker_max_inflight=args.worker_max_inflight,
+        state_path=args.state or default_state_path(),
+    )
+    try:
+        cluster.start()
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        cluster.close()
+        return 2
+    for worker in cluster.workers:
+        print(f"worker {worker.index}: {worker.url} (pid {worker.pid})",
+              flush=True)
+    print(f"repro cluster coordinator listening on {cluster.url}", flush=True)
+    print(
+        f"  dispatch={args.dispatch!r} workers={args.workers} "
+        f"state={cluster.state_path}",
+        flush=True,
+    )
+    print(
+        "  point clients at it: "
+        f"--backend remote:{cluster.coordinator.host}:"
+        f"{cluster.coordinator.port} — "
+        "`repro cluster status` / `repro cluster down` from any shell "
+        "(Ctrl-C stops)",
+        flush=True,
+    )
+    try:
+        cluster.coordinator.join()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        cluster.close()
+    return 0
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    """Show pool membership and request totals of a running cluster."""
+    from repro.cluster.lifecycle import (
+        cluster_metrics,
+        cluster_status,
+        default_state_path,
+        read_state,
+    )
+
+    state_path = args.state or default_state_path()
+    try:
+        state = read_state(state_path)
+    except FileNotFoundError:
+        print(
+            f"error: no cluster state at {state_path} "
+            "(is a `repro cluster up` running? --state to point elsewhere)",
+            file=sys.stderr,
+        )
+        return 2
+    url = state["coordinator"]["url"]
+    try:
+        status = cluster_status(url)
+        metrics = cluster_metrics(url)
+    except OSError as exc:
+        print(f"error: coordinator at {url} unreachable ({exc}); "
+              f"`repro cluster down` cleans up", file=sys.stderr)
+        return 2
+    pool = status["pool"]
+    print(f"coordinator {url}  dispatch={status['dispatch']}  "
+          f"workers {pool['alive']}/{pool['total']} alive")
+    for worker in pool["workers"]:
+        flag = "up  " if worker["alive"] else "DEAD"
+        print(
+            f"  [{flag}] {worker['url']}  inflight={worker['inflight']} "
+            f"dispatched={worker['dispatched']} failures={worker['failures']}"
+            + (f"  ({worker['reason']})" if worker["reason"] else "")
+        )
+    totals = metrics["cluster"]["endpoints"]
+    if totals:
+        print("cluster request totals:")
+        for endpoint, stats in totals.items():
+            print(
+                f"  {endpoint:<14} {stats['count']:>8}  "
+                f"errors={stats['errors']}  p50={stats['p50_ms']}ms  "
+                f"p99={stats['p99_ms']}ms"
+            )
+    return 0
+
+
+def _cmd_cluster_down(args: argparse.Namespace) -> int:
+    """Stop the cluster the state file describes and clean up."""
+    from repro.cluster.lifecycle import (
+        default_state_path,
+        read_state,
+        remove_state,
+        shutdown_cluster,
+    )
+
+    state_path = args.state or default_state_path()
+    try:
+        state = read_state(state_path)
+    except FileNotFoundError:
+        print(f"error: no cluster state at {state_path}", file=sys.stderr)
+        return 2
+    pids = shutdown_cluster(state)
+    remove_state(state_path)
+    print(
+        f"cluster down: coordinator at {state['coordinator']['url']} "
+        f"stopped, {len(pids)} worker pid(s) reaped, {state_path} removed"
+    )
     return 0
 
 
@@ -586,8 +713,98 @@ def build_parser() -> argparse.ArgumentParser:
         help="wire profiles to accept: 'auto' speaks binary-v2 and legacy "
         "pickle-v1; 'safe' refuses pickle entirely (binary-v2 only)",
     )
+    psv.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "admission limit: refuse planning requests beyond N in "
+            "flight with 429 + Retry-After (default: unbounded)"
+        ),
+    )
     _add_session_options(psv)
     psv.set_defaults(fn=_cmd_serve)
+
+    pcl = sub.add_parser(
+        "cluster",
+        help="run N plan-server replicas behind one coordinator",
+    )
+    cluster_sub = pcl.add_subparsers(dest="cluster_command", required=True)
+    cl_up = cluster_sub.add_parser(
+        "up", help="launch workers + coordinator in the foreground"
+    )
+    cl_up.add_argument(
+        "-n",
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="worker replica count (default: 2)",
+    )
+    cl_up.add_argument(
+        "--host",
+        type=str,
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1 — trusted networks only)",
+    )
+    cl_up.add_argument(
+        "--port",
+        type=int,
+        default=8650,
+        help="coordinator TCP port (0 = ephemeral; default: 8650); "
+        "workers always bind ephemeral ports",
+    )
+    cl_up.add_argument(
+        "--dispatch",
+        type=str,
+        default="least-loaded",
+        metavar="SPEC",
+        help=(
+            "dispatch policy spec (`repro list dispatch`): least-loaded "
+            "or consistent-hash[:REPLICAS] for per-worker cache "
+            "affinity (default: least-loaded)"
+        ),
+    )
+    cl_up.add_argument(
+        "--wire",
+        choices=("auto", "safe"),
+        default="auto",
+        help="wire profiles coordinator and workers accept",
+    )
+    cl_up.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="coordinator admission limit (429 beyond N in flight)",
+    )
+    cl_up.add_argument(
+        "--worker-max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-worker admission limit (forwards --max-inflight)",
+    )
+    cl_up.add_argument(
+        "--state",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="cluster state file for status/down "
+        "(default: ~/.repro-cluster.json)",
+    )
+    _add_session_options(cl_up)
+    cl_up.set_defaults(fn=_cmd_cluster_up)
+    cl_status = cluster_sub.add_parser(
+        "status", help="pool membership + request totals of a running cluster"
+    )
+    cl_status.add_argument("--state", type=str, default=None, metavar="PATH")
+    cl_status.set_defaults(fn=_cmd_cluster_status)
+    cl_down = cluster_sub.add_parser(
+        "down", help="stop the cluster recorded in the state file"
+    )
+    cl_down.add_argument("--state", type=str, default=None, metavar="PATH")
+    cl_down.set_defaults(fn=_cmd_cluster_down)
 
     ps = sub.add_parser("sort", help="run a sample sort")
     ps.add_argument("--n", type=int, default=100_000)

@@ -1,0 +1,756 @@
+"""The cluster front door: one address fanning out to N plan servers.
+
+:class:`ClusterCoordinator` is wire-compatible with a single
+:class:`~repro.service.server.PlanServer` — same endpoints, same v1/v2
+envelope profiles, same JSON control surface — so every existing
+client (``backend="remote:HOST:PORT"``, ``cache="http://HOST:PORT"``,
+``repro figure4 --backend remote:...``) scales out by pointing at the
+coordinator instead of a worker.  What it adds:
+
+*Dispatch.*  ``/plan_batch`` items are assigned to alive workers by a
+pluggable :class:`~repro.cluster.dispatch.DispatchPolicy`.  Vectorised
+:class:`~repro.core.vectorize.VectorGroup` items (a whole sweep fused
+client-side into one item) are first *sharded* into per-worker
+sub-groups — otherwise one worker would plan the entire sweep while
+the rest idle.  The vectorise equivalence contract (bit-identical to
+rtol=1e-12 regardless of grouping) is exactly what makes sharding
+invisible to clients.
+
+*Fault tolerance.*  A shipped sub-batch that hits a transport failure
+(:class:`~repro.service.client.PlanServiceUnavailable` — the worker
+could not be reached at all) marks that worker dead immediately and
+the failed items are re-dispatched to the survivors, up to
+``max_reroutes`` rounds.  Planning is pure, so re-planning a rerouted
+item on another replica returns the identical result — the
+coordinator's answer after a mid-batch worker death is bit-identical
+to an undisturbed run.  An *answered* worker error (a 400/500 with a
+message) is relayed to the client unchanged: the worker is alive and
+retrying elsewhere would mask a real bug.
+
+*Admission + operability.*  The same
+:class:`~repro.service.metrics.AdmissionGate` 429/Retry-After
+behaviour as a single server, and ``/metrics`` aggregation: the
+coordinator serves its own counters plus every worker's, merged
+bucket-by-bucket into one cluster-wide histogram.
+
+Worker membership is the :class:`~repro.cluster.pool.WorkerPool`:
+seeded at construction, extended by POST ``/workers/register``, kept
+honest by pull heartbeats and POST ``/workers/heartbeat``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.cluster.dispatch import (
+    Candidate,
+    DispatchPolicy,
+    dispatch_from_spec,
+    item_digest,
+)
+from repro.cluster.pool import WorkerPool
+from repro.core.pipeline import PlanRequest, PlanResult
+from repro.core.vectorize import VectorGroup
+from repro.registry import RegistryError
+from repro.service import wire
+from repro.service.client import (
+    PlanServiceError,
+    PlanServiceUnavailable,
+    ServiceClient,
+)
+from repro.service.metrics import AdmissionGate, ServerMetrics, merge_metrics
+from repro.service.server import stats_payload
+
+#: endpoint names the coordinator reports individually in /metrics
+_KNOWN_ENDPOINTS = frozenset(
+    (
+        "/healthz",
+        "/metrics",
+        "/cluster/status",
+        "/cache/stats",
+        "/plan",
+        "/plan_batch",
+        "/cache/get",
+        "/cache/put",
+        "/cache/clear",
+        "/workers/register",
+        "/workers/heartbeat",
+        "/cluster/shutdown",
+    )
+)
+
+
+class NoWorkersError(RuntimeError):
+    """No alive worker can take this request (clients see a 503)."""
+
+
+class _Unit:
+    """One dispatchable piece of a ``/plan_batch``: item + reassembly slot.
+
+    ``index`` is the position in the client's item list; for a sharded
+    :class:`VectorGroup`, ``offset``/``size`` locate this shard's
+    results inside the original group's result list.
+    """
+
+    __slots__ = ("item", "index", "offset", "size", "digest", "weight")
+
+    def __init__(
+        self, item: Any, index: int, offset: Optional[int] = None
+    ) -> None:
+        self.item = item
+        self.index = index
+        self.offset = offset
+        self.size = len(item.requests) if isinstance(item, VectorGroup) else 1
+        self.digest = item_digest(item)
+        #: flat request count, the load unit dispatch balances on
+        self.weight = self.size
+
+
+class _ClusterHandler(BaseHTTPRequestHandler):
+    """Routes one connection onto the owning :class:`ClusterCoordinator`."""
+
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def coordinator(self) -> "ClusterCoordinator":
+        return self.server.coordinator  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass
+
+    # -- plumbing (mirrors the plan server's handler) --------------------
+
+    def _body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _begin(self) -> None:
+        self._started = time.perf_counter()
+        self._endpoint = (
+            self.path if self.path in _KNOWN_ENDPOINTS else "other"
+        )
+
+    def _reply(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: Dict[str, str] | None = None,
+    ) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header(wire.VERSION_HEADER, str(wire.WIRE_VERSION))
+        self.send_header(
+            wire.PROFILE_HEADER, ",".join(self.coordinator.wire_profiles)
+        )
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        started = getattr(self, "_started", None)
+        if started is not None:
+            self.coordinator.metrics.observe(
+                getattr(self, "_endpoint", "other"),
+                code,
+                time.perf_counter() - started,
+            )
+
+    def _reply_json(
+        self,
+        code: int,
+        payload: dict,
+        extra_headers: Dict[str, str] | None = None,
+    ) -> None:
+        self._reply(
+            code,
+            json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n",
+            "application/json",
+            extra_headers,
+        )
+
+    def _request_profile(self, body: bytes) -> str:
+        allowed = self.coordinator.wire_profiles
+        header = (self.headers.get(wire.PROFILE_HEADER) or "").strip()
+        if header:
+            profile = header
+            if profile not in wire.PROFILES:
+                raise wire.WireError(
+                    f"unknown wire profile {profile!r}; this coordinator "
+                    f"speaks {', '.join(allowed)}"
+                )
+        elif body:
+            profile = wire.detect_profile(body)
+        else:
+            profile = wire.PROFILE_PICKLE
+        if profile not in allowed:
+            raise wire.WireError(
+                f"wire profile {profile!r} refused: this coordinator runs "
+                f"--wire safe and only accepts {', '.join(allowed)}"
+            )
+        return profile
+
+    def _json_body(self, body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"expected a JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"expected a JSON object, got {type(payload).__name__}"
+            )
+        return payload
+
+    def _reply_envelope(self, payload: Any, profile: str) -> None:
+        self._reply(200, wire.pack_as(payload, profile), wire.CONTENT_TYPE)
+
+    def _reply_admission_full(self) -> None:
+        gate = self.coordinator.admission
+        self._reply_json(
+            429,
+            {
+                "error": (
+                    f"cluster over capacity ({gate.limit} planning "
+                    f"request(s) in flight); retry after "
+                    f"{gate.retry_after}s"
+                ),
+                "retry_after": gate.retry_after,
+            },
+            {"Retry-After": f"{gate.retry_after:g}"},
+        )
+
+    def _reply_no_workers(self, exc: Exception) -> None:
+        retry_after = self.coordinator.admission.retry_after
+        self._reply_json(
+            503,
+            {"error": str(exc), "retry_after": retry_after},
+            {"Retry-After": f"{retry_after:g}"},
+        )
+
+    # -- routes ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._begin()
+        try:
+            if self.path == "/healthz":
+                self._reply_json(200, self.coordinator.health_payload())
+            elif self.path == "/metrics":
+                self._reply_json(200, self.coordinator.metrics_payload())
+            elif self.path == "/cluster/status":
+                self._reply_json(200, self.coordinator.status_payload())
+            elif self.path == "/cache/stats":
+                self._reply_json(200, self.coordinator.cache_stats())
+            else:
+                self._reply_json(404, {"error": f"no such endpoint {self.path}"})
+        except NoWorkersError as exc:
+            self._reply_no_workers(exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply_json(500, {"error": str(exc)})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._begin()
+        try:
+            body = self._body()
+            if self.path == "/workers/register":
+                info = self.coordinator.pool.register(
+                    str(self._json_body(body).get("url", ""))
+                )
+                self._reply_json(
+                    200, {"registered": True, "id": info.id, "url": info.url}
+                )
+                return
+            if self.path == "/workers/heartbeat":
+                info = self.coordinator.pool.heartbeat(
+                    str(self._json_body(body).get("url", ""))
+                )
+                self._reply_json(
+                    200, {"alive": info.alive, "id": info.id, "url": info.url}
+                )
+                return
+            if self.path == "/cluster/shutdown":
+                self._reply_json(200, {"stopping": True})
+                self.coordinator.request_shutdown()
+                return
+            profile = self._request_profile(body)
+            if self.path in ("/plan", "/plan_batch"):
+                if not self.coordinator.admission.try_acquire():
+                    self._reply_admission_full()
+                    return
+                try:
+                    self._do_plan(body, profile)
+                finally:
+                    self.coordinator.admission.release()
+            elif self.path == "/cache/get":
+                key = wire.unpack_any(body, allowed=(profile,))
+                self._reply_envelope(self.coordinator.cache_get(key), profile)
+            elif self.path == "/cache/put":
+                key, result = wire.unpack_any(body, allowed=(profile,))
+                self.coordinator.cache_put(key, result)
+                self._reply_json(200, {"stored": True})
+            elif self.path == "/cache/clear":
+                self._reply_json(
+                    200, {"cleared": True, **self.coordinator.cache_clear()}
+                )
+            else:
+                self._reply_json(404, {"error": f"no such endpoint {self.path}"})
+        except (wire.WireError, RegistryError, TypeError, ValueError) as exc:
+            self._reply_json(400, {"error": str(exc)})
+        except NoWorkersError as exc:
+            self._reply_no_workers(exc)
+        except PlanServiceError as exc:
+            # a worker *answered* with an error; relay it truthfully
+            code = exc.code if exc.code and 400 <= exc.code < 600 else 502
+            self._reply_json(code, {"error": f"worker error: {exc}"})
+        except Exception as exc:
+            self._reply_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _do_plan(self, body: bytes, profile: str) -> None:
+        if self.path == "/plan":
+            request = wire.unpack_any(body, allowed=(profile,))
+            if not isinstance(request, PlanRequest):
+                raise wire.WireError(
+                    f"/plan expects a PlanRequest, got {type(request).__name__}"
+                )
+            self._reply_envelope(
+                self.coordinator.plan_items([request])[0], profile
+            )
+        else:
+            items = wire.unpack_any(body, allowed=(profile,))
+            self._reply_envelope(self.coordinator.plan_items(items), profile)
+
+
+class _ThreadingClusterServer(ThreadingHTTPServer):
+    daemon_threads = True
+    coordinator: "ClusterCoordinator"
+
+
+class ClusterCoordinator:
+    """HTTP front door for a pool of plan-server replicas.
+
+    ``workers`` seeds the pool (more can register later);
+    ``dispatch`` is a policy spec or instance
+    (:func:`~repro.cluster.dispatch.dispatch_from_spec`);
+    ``max_inflight`` bounds concurrent planning requests cluster-wide
+    (429 + Retry-After beyond it); ``heartbeat_interval`` /
+    ``max_missed`` tune the pull-heartbeat monitor; ``max_reroutes``
+    bounds how many times a failed sub-batch is re-dispatched before
+    the client sees a 503.  ``shard_groups=False`` disables
+    VectorGroup sharding (one group, one worker — useful to measure
+    what sharding buys).
+
+    Use as a context manager or call :meth:`close`; :meth:`start` runs
+    the accept loop and the heartbeat monitor on daemon threads.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: Sequence[str] = (),
+        dispatch: "str | DispatchPolicy" = "least-loaded",
+        wire_mode: str = "auto",
+        max_inflight: int | None = None,
+        retry_after: float = 0.5,
+        heartbeat_interval: float = 1.0,
+        max_missed: int = 2,
+        max_reroutes: int = 3,
+        worker_timeout: float = 60.0,
+        shard_groups: bool = True,
+    ) -> None:
+        if wire_mode not in ("auto", "safe"):
+            raise ValueError(
+                f"wire_mode must be 'auto' or 'safe', got {wire_mode!r}"
+            )
+        if max_reroutes < 0:
+            raise ValueError(f"max_reroutes must be >= 0, got {max_reroutes}")
+        self.wire_mode = wire_mode
+        self.wire_profiles: tuple = (
+            (wire.PROFILE_BINARY,) if wire_mode == "safe" else wire.PROFILES
+        )
+        self.pool = WorkerPool(max_missed=max_missed)
+        self.dispatch = dispatch_from_spec(dispatch)
+        self.metrics = ServerMetrics()
+        self.admission = AdmissionGate(max_inflight, retry_after)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.max_reroutes = int(max_reroutes)
+        self.worker_timeout = float(worker_timeout)
+        self.shard_groups = bool(shard_groups)
+        self._clients: Dict[str, ServiceClient] = {}
+        self._clients_lock = threading.Lock()
+        for url in workers:
+            self.pool.register(url)
+        self._http = _ThreadingClusterServer((host, port), _ClusterHandler)
+        self._http.coordinator = self
+        self.host, self.port = self._http.server_address[:2]
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    # -- worker clients ---------------------------------------------------
+
+    def _client(self, url: str) -> ServiceClient:
+        """The cached envelope client for one worker.
+
+        ``retries=1`` with a short wait: one quick transport retry
+        absorbs a worker mid-restart, anything worse escalates to the
+        reroute path (which has the whole pool to fall back on).
+        """
+        with self._clients_lock:
+            client = self._clients.get(url)
+            if client is None:
+                client = self._clients[url] = ServiceClient(
+                    url,
+                    timeout=self.worker_timeout,
+                    retries=1,
+                    retry_wait=0.1,
+                )
+            return client
+
+    def _probe(self, url: str) -> bool:
+        """One pull-heartbeat: does the worker answer ``/healthz``?"""
+        probe = ServiceClient(
+            url, timeout=max(1.0, self.heartbeat_interval), retries=0
+        )
+        try:
+            return probe.healthz().get("status") == "ok"
+        except Exception:
+            return False
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _units(self, items: Sequence[Any]) -> Tuple[List[_Unit], List[Any]]:
+        """Validate and cut a ``/plan_batch`` into dispatchable units.
+
+        Returns the units plus a results skeleton: ``None`` per scalar
+        slot, a pre-sized list per VectorGroup slot that sharded units
+        fill by offset.
+        """
+        if not isinstance(items, (list, tuple)):
+            raise wire.WireError(
+                f"/plan_batch expects a list of items, got {type(items).__name__}"
+            )
+        for item in items:
+            if not isinstance(item, (PlanRequest, VectorGroup)):
+                raise wire.WireError(
+                    "plan_batch items must be PlanRequest or VectorGroup, "
+                    f"got {type(item).__name__}"
+                )
+        n_alive = max(1, len(self.pool.alive()))
+        units: List[_Unit] = []
+        skeleton: List[Any] = []
+        for index, item in enumerate(items):
+            if (
+                isinstance(item, VectorGroup)
+                and self.shard_groups
+                and n_alive > 1
+                and len(item.requests) > 1
+            ):
+                requests = item.requests
+                shards = min(n_alive, len(requests))
+                # ceil-balanced contiguous slices preserve order
+                base, extra = divmod(len(requests), shards)
+                offset = 0
+                for s in range(shards):
+                    size = base + (1 if s < extra else 0)
+                    shard = VectorGroup(
+                        strategy=item.strategy,
+                        requests=requests[offset:offset + size],
+                    )
+                    units.append(_Unit(shard, index, offset))
+                    offset += size
+                skeleton.append([None] * len(requests))
+            else:
+                units.append(_Unit(item, index))
+                skeleton.append(None)
+        return units, skeleton
+
+    def plan_items(self, items: Sequence[Any]) -> List[Any]:
+        """Plan a ``/plan_batch`` item list across the worker pool.
+
+        Same in/out contract as
+        :meth:`repro.service.server.PlanServer.plan_items` — a
+        :class:`PlanResult` per scalar item, a result list per
+        :class:`VectorGroup` — so the coordinator is a drop-in server
+        to every client.  Dispatch, sharding, and rerouting happen
+        here; see the module docstring for the failure semantics.
+        """
+        units, skeleton = self._units(items)
+        if not units:
+            return []
+        unit_results: List[Any] = [None] * len(units)
+        done = [False] * len(units)
+        pending = list(range(len(units)))
+        for round_no in range(self.max_reroutes + 1):
+            if not pending:
+                break
+            alive = self.pool.alive()
+            if not alive:
+                raise NoWorkersError(
+                    "no alive workers in the pool "
+                    f"({len(self.pool.workers())} registered, all dead)"
+                )
+            candidates = {w.url: Candidate(w.url, w.load) for w in alive}
+            pool_view = list(candidates.values())
+            assignment: Dict[str, List[int]] = {}
+            for uid in pending:
+                chosen = self.dispatch.choose(units[uid].digest, pool_view)
+                # tentative load so one pass spreads the whole batch
+                chosen.load += units[uid].weight
+                assignment.setdefault(chosen.url, []).append(uid)
+            failed: List[int] = []
+            errors: List[Exception] = []
+            lock = threading.Lock()
+
+            def ship(url: str, uids: List[int]) -> None:
+                payload = [units[u].item for u in uids]
+                weight = sum(units[u].weight for u in uids)
+                self.pool.acquire(url, weight)
+                try:
+                    outputs = self._client(url).plan_items(payload)
+                    with lock:
+                        for u, out in zip(uids, outputs):
+                            unit_results[u] = out
+                            done[u] = True
+                except PlanServiceUnavailable as exc:
+                    self.pool.mark_dead(url, f"unreachable: {exc}")
+                    with lock:
+                        failed.extend(uids)
+                except Exception as exc:
+                    with lock:
+                        errors.append(exc)
+                finally:
+                    self.pool.release(url, weight)
+
+            if len(assignment) == 1:
+                url, uids = next(iter(assignment.items()))
+                ship(url, uids)
+            else:
+                threads = [
+                    threading.Thread(
+                        target=ship, args=(url, uids), daemon=True
+                    )
+                    for url, uids in assignment.items()
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            if errors:
+                raise errors[0]
+            pending = failed
+        if pending:
+            raise NoWorkersError(
+                f"{len(pending)} batch item(s) still unplaced after "
+                f"{self.max_reroutes + 1} dispatch round(s); "
+                "workers keep dying faster than they rejoin"
+            )
+        # reassemble: shards fill their group's slots by offset
+        for uid, unit in enumerate(units):
+            out = unit_results[uid]
+            if unit.offset is None:
+                skeleton[unit.index] = out
+            else:
+                skeleton[unit.index][unit.offset:unit.offset + unit.size] = out
+        return skeleton
+
+    # -- cache proxying ---------------------------------------------------
+
+    def _route_cache(self, key: Hashable, call) -> Any:
+        """Run one cache op on the worker owning ``key``, with reroute.
+
+        The same digest routes ``/plan`` and ``/cache/*`` (see
+        :func:`~repro.cluster.dispatch.item_digest`), so under
+        ``consistent-hash`` an entry is looked up on the worker that
+        planned it.
+        """
+        digest = item_digest(key)
+        for _ in range(self.max_reroutes + 1):
+            alive = self.pool.alive()
+            if not alive:
+                raise NoWorkersError("no alive workers for cache request")
+            chosen = self.dispatch.choose(
+                digest, [Candidate(w.url, w.load) for w in alive]
+            )
+            try:
+                return call(self._client(chosen.url))
+            except PlanServiceUnavailable as exc:
+                self.pool.mark_dead(chosen.url, f"unreachable: {exc}")
+        raise NoWorkersError(
+            f"cache request unplaced after {self.max_reroutes + 1} round(s)"
+        )
+
+    def cache_get(self, key: Hashable) -> Optional[PlanResult]:
+        return self._route_cache(key, lambda c: c.cache_get(key))
+
+    def cache_put(self, key: Hashable, result: PlanResult) -> None:
+        self._route_cache(key, lambda c: c.cache_put(key, result))
+
+    def cache_clear(self) -> Dict[str, int]:
+        """Clear every alive worker's store; report how many answered."""
+        cleared = 0
+        alive = self.pool.alive()
+        if not alive:
+            raise NoWorkersError("no alive workers to clear")
+        for worker in alive:
+            try:
+                self._client(worker.url).cache_clear()
+                cleared += 1
+            except PlanServiceUnavailable as exc:
+                self.pool.mark_dead(worker.url, f"unreachable: {exc}")
+        return {"workers_cleared": cleared}
+
+    def cache_stats(self) -> dict:
+        """Aggregate ``/cache/stats`` across workers.
+
+        The summed view keeps the single-server payload shape (clients
+        like :class:`~repro.service.client.HTTPPlanCache` parse it
+        unchanged) and adds a per-worker breakdown under ``workers``.
+        """
+        per_worker: Dict[str, dict] = {}
+        for worker in self.pool.alive():
+            try:
+                per_worker[worker.url] = self._client(worker.url).cache_stats()
+            except PlanServiceUnavailable as exc:
+                self.pool.mark_dead(worker.url, f"unreachable: {exc}")
+        live = {
+            url: payload
+            for url, payload in per_worker.items()
+            if payload.get("cache") == "on"
+        }
+        if not live:
+            return {"cache": "off", "workers": per_worker}
+        totals = {
+            "cache": "on",
+            "hits": 0,
+            "misses": 0,
+            "entries": 0,
+            "max_entries": 0,
+            "evictions": 0,
+            "tier_hits": {},
+        }
+        for payload in live.values():
+            for field in ("hits", "misses", "entries", "max_entries", "evictions"):
+                totals[field] += int(payload.get(field, 0))
+            for tier, hits in payload.get("tier_hits", {}).items():
+                totals["tier_hits"][tier] = (
+                    totals["tier_hits"].get(tier, 0) + int(hits)
+                )
+        lookups = totals["hits"] + totals["misses"]
+        totals["lookups"] = lookups
+        totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+        totals["workers"] = per_worker
+        return totals
+
+    # -- control-plane payloads -------------------------------------------
+
+    def health_payload(self) -> dict:
+        from repro import __version__
+
+        snapshot = self.pool.snapshot()
+        return {
+            "status": "ok",
+            "role": "coordinator",
+            "service": wire.WIRE_FORMAT,
+            "wire_version": wire.WIRE_VERSION,
+            "wire_profiles": list(self.wire_profiles),
+            "wire_mode": self.wire_mode,
+            "version": __version__,
+            "dispatch": self.dispatch.name,
+            "workers_alive": snapshot["alive"],
+            "workers_total": snapshot["total"],
+            "max_inflight": self.admission.limit,
+        }
+
+    def status_payload(self) -> dict:
+        return {
+            "role": "coordinator",
+            "url": self.url,
+            "dispatch": self.dispatch.name,
+            "shard_groups": self.shard_groups,
+            "max_reroutes": self.max_reroutes,
+            "heartbeat_interval": self.heartbeat_interval,
+            "admission": {
+                "limit": self.admission.limit,
+                "inflight": self.admission.inflight,
+                "retry_after": self.admission.retry_after,
+            },
+            "pool": self.pool.snapshot(),
+        }
+
+    def metrics_payload(self) -> dict:
+        """Own counters + per-worker payloads + the cluster-wide merge."""
+        per_worker: Dict[str, dict] = {}
+        mergeable: List[dict] = []
+        for worker in self.pool.workers():
+            try:
+                payload = self._client(worker.url).get_json("/metrics")
+                per_worker[worker.url] = payload
+                mergeable.append(payload)
+            except PlanServiceError as exc:
+                per_worker[worker.url] = {"unreachable": str(exc)}
+        return {
+            "role": "coordinator",
+            "coordinator": self.metrics.payload(),
+            "workers": per_worker,
+            "cluster": merge_metrics(mergeable),
+        }
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ClusterCoordinator":
+        """Serve + heartbeat on daemon threads and return immediately."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._http.serve_forever,
+                name="repro-cluster-coordinator",
+                daemon=True,
+            )
+            self._thread.start()
+            self.pool.start_monitor(self._probe, self.heartbeat_interval)
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve in the calling thread until :meth:`close` / interrupt."""
+        self.pool.start_monitor(self._probe, self.heartbeat_interval)
+        self._http.serve_forever()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Block until the accept loop stops (the CLI's foreground wait)."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def request_shutdown(self) -> None:
+        """Stop serving soon, from a handler thread (``/cluster/shutdown``)."""
+        threading.Thread(target=self.close, daemon=True).start()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.stop_monitor()
+        self._http.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._http.server_close()
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        snapshot = self.pool.snapshot()
+        return (
+            f"<ClusterCoordinator {self.url} dispatch={self.dispatch.name!r} "
+            f"workers={snapshot['alive']}/{snapshot['total']}>"
+        )

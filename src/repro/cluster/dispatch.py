@@ -1,0 +1,212 @@
+"""Dispatch policies: which worker gets which planning item.
+
+Registered under the new ``dispatch`` registry kind, so policies are
+chosen by spec string exactly like backends and caches
+(``repro cluster up --dispatch consistent-hash``) and third-party
+policies plug in with one ``@register`` decorator.
+
+A policy sees only two things and is trivially testable with neither a
+coordinator nor a socket in sight:
+
+* a *digest* — the stable sha256 hex of the item's plan content key
+  (:func:`item_digest`; the PR-4 digest durable stores key rows by),
+* the *candidate workers* — lightweight :class:`Candidate` views
+  ``(url, load)`` the coordinator builds per assignment pass, with
+  tentative loads incremented as items are placed so a batch spreads
+  instead of dog-piling the momentarily-least-loaded replica.
+
+Built-ins:
+
+* ``least-loaded`` — raw throughput: always the candidate with the
+  fewest in-flight items (URL tie-break keeps assignment
+  deterministic).
+* ``consistent-hash`` — cache affinity: a hash ring keyed on the
+  content digest, so the same request always lands on the same worker
+  while that worker lives, keeping its warm sqlite/tiered store
+  sticky; when a worker dies only ~1/N of the key space moves.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+from repro.registry import RegistryError, register
+
+
+@dataclass
+class Candidate:
+    """One assignable worker as a dispatch policy sees it."""
+
+    url: str
+    #: in-flight items, including tentative assignments this pass
+    load: int = 0
+
+
+class DispatchPolicy:
+    """Base contract: pick one candidate for one item digest."""
+
+    name = "?"
+
+    def choose(
+        self, digest: str, workers: Sequence[Candidate]
+    ) -> Candidate:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}>"
+
+
+@register(
+    "dispatch",
+    "least-loaded",
+    summary="Send each item to the worker with the fewest in-flight items",
+)
+class LeastLoadedDispatch(DispatchPolicy):
+    """Throughput-first: always the least busy candidate.
+
+    Ties break on URL so a batch assigned against an idle pool spreads
+    deterministically (item 1 → first worker, which now carries load 1,
+    item 2 → second worker, …) instead of depending on dict order.
+    """
+
+    name = "least-loaded"
+
+    def choose(
+        self, digest: str, workers: Sequence[Candidate]
+    ) -> Candidate:
+        if not workers:
+            raise ValueError("no candidate workers to dispatch to")
+        return min(workers, key=lambda w: (w.load, w.url))
+
+
+def _ring_point(token: str) -> int:
+    """A stable 64-bit position on the hash ring for ``token``."""
+    return int(hashlib.sha256(token.encode("utf-8")).hexdigest()[:16], 16)
+
+
+@register(
+    "dispatch",
+    "consistent-hash",
+    summary="Pin each content digest to a worker via a hash ring",
+)
+class ConsistentHashDispatch(DispatchPolicy):
+    """Cache-affinity routing on a consistent-hash ring.
+
+    Each worker URL contributes ``replicas`` virtual points; an item
+    goes to the first point at or after its digest (wrapping).  The
+    digest is already a sha256 hex string, so its leading 64 bits are
+    uniform ring positions for free.  Load is ignored by design — the
+    point is that re-asking for the same plan hits the same worker's
+    warm store, and virtual points keep per-worker share near 1/N.
+
+    ``replicas`` comes from the spec tail (``consistent-hash:256``).
+    """
+
+    name = "consistent-hash"
+
+    def __init__(self, replicas: int = 64) -> None:
+        replicas = int(replicas)
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        # ring cache per candidate-set: assignment passes call choose()
+        # once per item over the same worker set, so rebuild only when
+        # the alive set actually changes
+        self._ring_for: Tuple[str, ...] = ()
+        self._points: List[int] = []
+        self._owners: List[str] = []
+
+    def _ring(
+        self, workers: Sequence[Candidate]
+    ) -> Tuple[List[int], List[str]]:
+        urls = tuple(sorted(w.url for w in workers))
+        if urls != self._ring_for:
+            pairs = sorted(
+                (_ring_point(f"{url}#{k}"), url)
+                for url in urls
+                for k in range(self.replicas)
+            )
+            self._ring_for = urls
+            self._points = [p for p, _ in pairs]
+            self._owners = [u for _, u in pairs]
+        return self._points, self._owners
+
+    def choose(
+        self, digest: str, workers: Sequence[Candidate]
+    ) -> Candidate:
+        if not workers:
+            raise ValueError("no candidate workers to dispatch to")
+        points, owners = self._ring(workers)
+        position = int(digest[:16], 16)
+        index = bisect.bisect_left(points, position) % len(points)
+        owner = owners[index]
+        for worker in workers:
+            if worker.url == owner:
+                return worker
+        raise AssertionError(f"ring owner {owner!r} not in candidates")
+
+
+def dispatch_from_spec(spec: "str | DispatchPolicy") -> DispatchPolicy:
+    """Resolve a ``--dispatch`` spec through the registry.
+
+    A bare name (``least-loaded`` / ``consistent-hash``) instantiates
+    that policy; ``name:ARG`` passes the remainder to the factory
+    (``consistent-hash:256`` tunes the virtual-point count).  An
+    already-constructed policy passes through unchanged.  Malformed
+    specs raise :class:`~repro.registry.RegistryError` — a user error
+    the CLI reports without a traceback.
+    """
+    if not isinstance(spec, str):
+        return spec
+    from repro import registry
+
+    name, _, arg = spec.partition(":")
+    factory = registry.get("dispatch", name)  # unknown names fail clean
+    try:
+        return factory(arg) if arg else factory()
+    except (TypeError, ValueError) as exc:
+        raise RegistryError(f"bad dispatch spec {spec!r}: {exc}") from None
+
+
+def item_digest(item: Any) -> str:
+    """The routing digest of one ``/plan_batch`` item (or cache key).
+
+    For a :class:`~repro.core.pipeline.PlanRequest` this is the sha256
+    of its *plan content key* — the same digest durable stores key
+    rows by — so ``/plan`` routing and explicit ``/cache/get|put``
+    routing agree: the worker a plan is computed on is the worker its
+    cache entry is later looked up on.  A
+    :class:`~repro.core.vectorize.VectorGroup` routes by its first
+    request (one group, one worker — the coordinator shards groups
+    *before* dispatch).  Anything else (an explicit cache key, already
+    content-shaped) digests via
+    :func:`~repro.core.cache.encode_key` directly.
+    """
+    from repro.core.cache import encode_key, plan_cache_key
+    from repro.core.pipeline import PlanRequest
+    from repro.core.vectorize import VectorGroup
+
+    if isinstance(item, VectorGroup):
+        item = item.requests[0]
+    if isinstance(item, PlanRequest):
+        from repro import registry
+        from repro.registry import RegistryError as _RegistryError
+
+        try:
+            factory = registry.get("strategy", item.strategy)
+        except _RegistryError:
+            # an unregistered strategy still needs *stable* routing;
+            # the server will reject it with its own clear 400
+            return hashlib.sha256(repr(item).encode("utf-8")).hexdigest()
+        return encode_key(plan_cache_key(item, factory))
+    return encode_key(item)
+
+
+def available_dispatch() -> Sequence[str]:
+    """Names of every registered dispatch policy."""
+    from repro import registry
+
+    return registry.available("dispatch")

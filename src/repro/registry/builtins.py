@@ -50,6 +50,7 @@ PROVIDER_MODULES: dict[str, tuple[str, ...]] = {
         "repro.core.cache",
         "repro.service.client",
     ),
+    "dispatch": ("repro.cluster.dispatch",),
 }
 
 

@@ -34,6 +34,7 @@ KINDS: Tuple[str, ...] = (
     "simulation",
     "backend",
     "cache",
+    "dispatch",
 )
 
 #: the entry-point group third-party distributions register under

@@ -20,13 +20,27 @@ Two registered components let any existing planning path offload to a
   RAM, the shared tier fills and serves everything else.
 
 Both ride :class:`ServiceClient`, a stdlib ``urllib`` HTTP client with
-a per-call timeout and bounded retry.  Retry fires only on *transport*
-failures (connection refused, resets, timeouts) — planning is pure, so
-re-sending a request can change nothing but latency.  Protocol-level
-errors never retry: the server's 4xx/5xx JSON error bodies and wire
-version mismatches surface as :class:`PlanServiceError` /
-:class:`~repro.service.wire.WireError` immediately, carrying the
-server's own message.
+a per-call timeout and bounded retry.  Two failure families retry, on
+different clocks, and nothing else does:
+
+* *transport* failures (connection refused, resets, timeouts) — the
+  request may never have reached a healthy server, and planning is
+  pure, so re-sending can change nothing but latency.  Linear backoff
+  (``retry_wait * attempt``); exhausting the budget raises
+  :class:`PlanServiceUnavailable`, the signal cluster coordinators
+  reroute on.
+* ``429 Too Many Requests`` — the server's admission gate refused the
+  request *before* doing any work (see
+  :class:`~repro.service.metrics.AdmissionGate`).  The client honours
+  the server's ``Retry-After`` hint, capped by ``retry_after_cap`` so
+  a hostile or confused header cannot stall a sweep, within the same
+  bounded attempt budget.
+
+Every other protocol-level error never retries: the server's 4xx/5xx
+JSON error bodies and wire version mismatches surface as
+:class:`PlanServiceError` / :class:`~repro.service.wire.WireError`
+immediately, carrying the server's own message (and the HTTP status in
+``PlanServiceError.code``).
 """
 
 from __future__ import annotations
@@ -56,7 +70,26 @@ _RETRYABLE = (urllib.error.URLError, ConnectionError, socket.timeout, TimeoutErr
 
 
 class PlanServiceError(RuntimeError):
-    """Talking to the plan server failed (after any retries)."""
+    """Talking to the plan server failed (after any retries).
+
+    When the failure is an HTTP-level refusal, :attr:`code` carries the
+    status the server answered with (``None`` for transport failures),
+    so callers can distinguish e.g. a 400 client mistake from a 503.
+    """
+
+    def __init__(self, message: str, *, code: int | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class PlanServiceUnavailable(PlanServiceError):
+    """The server could not be *reached* at all (transport exhausted).
+
+    Distinct from :class:`PlanServiceError` answers: here no response
+    arrived, so the server may be dead — the cluster coordinator treats
+    exactly this as "worker down, reroute the batch", while an answered
+    error (however unhappy) proves the worker is alive.
+    """
 
 
 def service_url(address: str) -> str:
@@ -80,7 +113,10 @@ class ServiceClient:
 
     ``timeout`` bounds each attempt; ``retries`` extra attempts are made
     on transport errors, sleeping ``retry_wait * attempt`` between them
-    (linear backoff keeps worst-case latency predictable).
+    (linear backoff keeps worst-case latency predictable), and on 429
+    admission refusals, sleeping the server's ``Retry-After`` hint
+    capped by ``retry_after_cap`` (the server knows its queue, so its
+    clock beats the client's — but only up to the cap).
 
     ``wire_profile`` picks the envelope format requests are packed in:
     ``"binary-v2"`` (typed, zero-copy), ``"pickle-v1"`` (legacy), or
@@ -102,6 +138,7 @@ class ServiceClient:
         timeout: float = 30.0,
         retries: int = 2,
         retry_wait: float = 0.2,
+        retry_after_cap: float = 5.0,
         wire_profile: str | None = None,
     ) -> None:
         self.base_url = service_url(address)
@@ -110,6 +147,11 @@ class ServiceClient:
             raise ValueError(f"retries must be >= 0, got {retries}")
         self.retries = int(retries)
         self.retry_wait = float(retry_wait)
+        if retry_after_cap <= 0:
+            raise ValueError(
+                f"retry_after_cap must be > 0, got {retry_after_cap}"
+            )
+        self.retry_after_cap = float(retry_after_cap)
         if wire_profile is None:
             wire_profile = os.environ.get("REPRO_WIRE", "auto")
         if wire_profile != "auto" and wire_profile not in wire.PROFILES:
@@ -179,18 +221,42 @@ class ServiceClient:
                 with urllib.request.urlopen(request, timeout=self.timeout) as resp:
                     return resp.read()
             except urllib.error.HTTPError as exc:
-                # the server answered: a protocol error, never retried
+                # the server answered.  429 means "full, come back" —
+                # wait the server's own hint (bounded) and retry within
+                # the same attempt budget; every other status is a
+                # protocol error, never retried
+                message = _error_message(exc)
+                if exc.code == 429 and attempt < self.retries:
+                    time.sleep(self._retry_after_delay(exc))
+                    last_error = exc
+                    continue
                 raise PlanServiceError(
-                    f"{url} -> HTTP {exc.code}: {_error_message(exc)}"
+                    f"{url} -> HTTP {exc.code}: {message}", code=exc.code
                 ) from None
             except _RETRYABLE as exc:
                 last_error = exc
                 if attempt < self.retries:
                     time.sleep(self.retry_wait * (attempt + 1))
-        raise PlanServiceError(
+        # only transport errors fall through: the final attempt's
+        # HTTPError (429 included) raises inline above
+        raise PlanServiceUnavailable(
             f"cannot reach plan server at {self.base_url} "
             f"after {self.retries + 1} attempt(s): {last_error}"
         ) from None
+
+    def _retry_after_delay(self, exc: urllib.error.HTTPError) -> float:
+        """The bounded wait a 429's ``Retry-After`` header asks for.
+
+        Missing/garbage headers fall back to ``retry_wait``; anything
+        is clamped into ``(0, retry_after_cap]`` so a server cannot
+        make a client sleep forever (or not at all, which would spin).
+        """
+        header = (exc.headers.get("Retry-After") or "").strip()
+        try:
+            delay = float(header)
+        except ValueError:
+            delay = self.retry_wait
+        return min(max(delay, 0.01), self.retry_after_cap)
 
     def post(self, path: str, payload: Any) -> Any:
         """POST an envelope, return the response envelope's payload.

@@ -1,0 +1,241 @@
+"""Operability primitives for the service layer: metrics + admission.
+
+Two small, stdlib-only building blocks both the single-server
+:class:`~repro.service.server.PlanServer` and the cluster-mode
+:class:`~repro.cluster.coordinator.ClusterCoordinator` share:
+
+* :class:`ServerMetrics` — per-endpoint request counters and latency
+  histograms behind one lock, served as plain JSON from ``/metrics``
+  so ``curl``/dashboards need no client library.  Payloads carry the
+  *raw* counters (count, errors, total time, bucket counts, exact max)
+  plus derived convenience fields (mean/p50/p99); :func:`merge_metrics`
+  re-derives the percentiles after summing raw counters, which is how
+  a coordinator aggregates its workers' histograms losslessly.
+* :class:`AdmissionGate` — a queue-depth limiter for graceful
+  degradation under bursts: at most ``limit`` planning requests are in
+  flight at once, the rest are refused so the server can answer ``429``
+  with a ``Retry-After`` hint instead of queueing unboundedly and
+  timing everyone out.  ``limit=None`` admits everything (the
+  default), ``limit=0`` refuses everything (drain mode).
+
+Latency buckets are fixed and log-spaced (sub-millisecond to tens of
+seconds) so histograms from different processes are always mergeable
+bucket-by-bucket; the exact maximum is tracked alongside so percentile
+estimates clamp to a real observation rather than a bucket edge.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Mapping
+
+#: histogram bucket upper bounds in seconds; one overflow bucket follows
+LATENCY_BUCKETS_S: tuple = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class _EndpointCounters:
+    """Raw counters for one endpoint (guarded by the owning metrics lock)."""
+
+    __slots__ = ("count", "errors", "total_s", "max_s", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.errors = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+        self.buckets = [0] * (len(LATENCY_BUCKETS_S) + 1)
+
+    def observe(self, status: int, elapsed_s: float) -> None:
+        self.count += 1
+        if status >= 400:
+            self.errors += 1
+        self.total_s += elapsed_s
+        if elapsed_s > self.max_s:
+            self.max_s = elapsed_s
+        for i, bound in enumerate(LATENCY_BUCKETS_S):
+            if elapsed_s <= bound:
+                self.buckets[i] += 1
+                break
+        else:
+            self.buckets[-1] += 1
+
+
+def _quantile_s(buckets: List[int], count: int, max_s: float, q: float) -> float:
+    """Estimate the ``q`` quantile from bucket counts (upper-bound rule).
+
+    Returns the upper bound of the first bucket whose cumulative count
+    reaches ``q * count``; observations in the overflow bucket clamp to
+    the tracked exact maximum, so the estimate is never an invented
+    bound past anything actually seen.
+    """
+    if count <= 0:
+        return 0.0
+    target = q * count
+    cumulative = 0
+    for i, n in enumerate(buckets):
+        cumulative += n
+        if cumulative >= target:
+            if i < len(LATENCY_BUCKETS_S):
+                return min(LATENCY_BUCKETS_S[i], max_s)
+            return max_s
+    return max_s
+
+
+def _derived(raw: Mapping[str, Any]) -> Dict[str, Any]:
+    """One endpoint's JSON view: raw counters + derived latency fields."""
+    count = int(raw["count"])
+    total_s = float(raw["total_s"])
+    max_s = float(raw["max_s"])
+    buckets = [int(b) for b in raw["buckets"]]
+    return {
+        "count": count,
+        "errors": int(raw["errors"]),
+        "total_s": round(total_s, 6),
+        "max_s": round(max_s, 6),
+        "buckets": buckets,
+        "mean_ms": round(1000.0 * total_s / count, 3) if count else 0.0,
+        "p50_ms": round(1000.0 * _quantile_s(buckets, count, max_s, 0.50), 3),
+        "p99_ms": round(1000.0 * _quantile_s(buckets, count, max_s, 0.99), 3),
+    }
+
+
+class ServerMetrics:
+    """Thread-safe per-endpoint request counters and latency histograms.
+
+    ``observe(endpoint, status, elapsed_s)`` is called once per handled
+    request (every response path, including errors and 429 refusals);
+    ``payload()`` renders the JSON the ``/metrics`` endpoint serves.
+    Endpoint names should come from a fixed route table (the handlers
+    normalise unknown paths to ``"other"``) so cardinality stays
+    bounded whatever clients probe.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: Dict[str, _EndpointCounters] = {}
+        self._started = time.time()
+
+    def observe(self, endpoint: str, status: int, elapsed_s: float) -> None:
+        with self._lock:
+            counters = self._endpoints.get(endpoint)
+            if counters is None:
+                counters = self._endpoints[endpoint] = _EndpointCounters()
+            counters.observe(int(status), float(elapsed_s))
+
+    def payload(self) -> Dict[str, Any]:
+        """The ``/metrics`` JSON: per-endpoint raw + derived counters."""
+        with self._lock:
+            endpoints = {
+                name: _derived(
+                    {
+                        "count": c.count,
+                        "errors": c.errors,
+                        "total_s": c.total_s,
+                        "max_s": c.max_s,
+                        "buckets": c.buckets,
+                    }
+                )
+                for name, c in sorted(self._endpoints.items())
+            }
+            started = self._started
+        return {
+            "uptime_s": round(time.time() - started, 3),
+            "latency_buckets_s": list(LATENCY_BUCKETS_S),
+            "endpoints": endpoints,
+        }
+
+
+def merge_metrics(payloads: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Sum several ``/metrics`` payloads into one aggregate view.
+
+    Counters and histogram buckets add; the exact max is the max of
+    maxima; mean/p50/p99 are re-derived from the merged raw counters —
+    so a coordinator's cluster-wide histogram is exactly what one
+    server observing all the traffic would have reported (percentile
+    resolution bounded by the shared bucket grid).  Payloads from
+    servers with different bucket grids are rejected loudly rather
+    than summed wrongly.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    uptime = 0.0
+    for payload in payloads:
+        grid = list(payload.get("latency_buckets_s", LATENCY_BUCKETS_S))
+        if grid != list(LATENCY_BUCKETS_S):
+            raise ValueError(
+                "cannot merge /metrics payloads with a different "
+                f"latency bucket grid: {grid!r}"
+            )
+        uptime = max(uptime, float(payload.get("uptime_s", 0.0)))
+        for name, ep in payload.get("endpoints", {}).items():
+            agg = merged.get(name)
+            if agg is None:
+                merged[name] = {
+                    "count": int(ep["count"]),
+                    "errors": int(ep["errors"]),
+                    "total_s": float(ep["total_s"]),
+                    "max_s": float(ep["max_s"]),
+                    "buckets": [int(b) for b in ep["buckets"]],
+                }
+            else:
+                agg["count"] += int(ep["count"])
+                agg["errors"] += int(ep["errors"])
+                agg["total_s"] += float(ep["total_s"])
+                agg["max_s"] = max(agg["max_s"], float(ep["max_s"]))
+                agg["buckets"] = [
+                    a + int(b) for a, b in zip(agg["buckets"], ep["buckets"])
+                ]
+    return {
+        "uptime_s": round(uptime, 3),
+        "latency_buckets_s": list(LATENCY_BUCKETS_S),
+        "endpoints": {
+            name: _derived(raw) for name, raw in sorted(merged.items())
+        },
+    }
+
+
+class AdmissionGate:
+    """Bounded in-flight admission: try_acquire / release around work.
+
+    The planning endpoints wrap their handling in::
+
+        if not gate.try_acquire():
+            reply 429, Retry-After: gate.retry_after
+        try: ... finally: gate.release()
+
+    so at most ``limit`` requests plan concurrently and the excess is
+    refused *immediately* — the client-visible contract bursts degrade
+    to (the :class:`~repro.service.client.ServiceClient` retry path
+    honours the hint).  ``limit=None`` admits everything.
+    """
+
+    def __init__(self, limit: int | None, retry_after: float = 0.5) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError(f"max_inflight must be >= 0, got {limit}")
+        if retry_after <= 0:
+            raise ValueError(f"retry_after must be > 0, got {retry_after}")
+        self.limit = limit
+        self.retry_after = float(retry_after)
+        self._lock = threading.Lock()
+        self._inflight = 0
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def try_acquire(self) -> bool:
+        """Admit one request, or refuse when the queue depth is reached."""
+        with self._lock:
+            if self.limit is not None and self._inflight >= self.limit:
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._inflight > 0:
+                self._inflight -= 1

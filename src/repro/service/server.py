@@ -8,6 +8,7 @@ serves it to the network:
 endpoint            verb  payload
 ==================  ====  =================================================
 ``/healthz``        GET   JSON liveness: status, versions, backend, cache
+``/metrics``        GET   JSON per-endpoint counts + latency histograms
 ``/cache/stats``    GET   JSON :class:`~repro.core.cache.CacheStats` view
 ``/plan``           POST  envelope(PlanRequest) → envelope(PlanResult)
 ``/plan_batch``     POST  envelope([PlanRequest | VectorGroup, ...]) →
@@ -43,15 +44,24 @@ plan concurrently and still see one consistent cache.  Failure
 semantics: malformed envelopes and unknown component names are ``400``
 with a JSON error body (client mistakes), planning crashes are ``500``
 (server truthfully relays the exception message); clients retry only
-transport-level failures — see :mod:`repro.service.client`.
+transport-level failures and 429 refusals — see
+:mod:`repro.service.client`.
+
+Operability: ``/metrics`` serves per-endpoint request counts and
+latency histograms (:class:`~repro.service.metrics.ServerMetrics`) as
+plain JSON, and ``max_inflight`` (``repro serve --max-inflight N``)
+bounds concurrent planning requests — the excess is refused with
+``429`` + ``Retry-After`` before any planning work starts, so bursts
+degrade gracefully instead of timing every client out.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, List, Sequence
+from typing import Any, Dict, List, Sequence
 
 from repro.core.cache import (
     CacheStats,
@@ -65,6 +75,22 @@ from repro.core.session import PlannerSession
 from repro.core.vectorize import VectorGroup
 from repro.registry import RegistryError
 from repro.service import wire
+from repro.service.metrics import AdmissionGate, ServerMetrics
+
+#: endpoints /metrics reports individually; anything else aggregates
+#: under "other" so probing clients cannot grow the metric cardinality
+_KNOWN_ENDPOINTS = frozenset(
+    (
+        "/healthz",
+        "/metrics",
+        "/cache/stats",
+        "/plan",
+        "/plan_batch",
+        "/cache/get",
+        "/cache/put",
+        "/cache/clear",
+    )
+)
 
 
 def stats_payload(stats: CacheStats | None) -> dict:
@@ -122,7 +148,20 @@ class _PlanHandler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         return self.rfile.read(length) if length else b""
 
-    def _reply(self, code: int, body: bytes, content_type: str) -> None:
+    def _begin(self) -> None:
+        """Stamp the request start for the latency histogram."""
+        self._started = time.perf_counter()
+        self._endpoint = (
+            self.path if self.path in _KNOWN_ENDPOINTS else "other"
+        )
+
+    def _reply(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: Dict[str, str] | None = None,
+    ) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -130,14 +169,45 @@ class _PlanHandler(BaseHTTPRequestHandler):
         self.send_header(
             wire.PROFILE_HEADER, ",".join(self.planner.wire_profiles)
         )
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+        started = getattr(self, "_started", None)
+        if started is not None:
+            self.planner.metrics.observe(
+                getattr(self, "_endpoint", "other"),
+                code,
+                time.perf_counter() - started,
+            )
 
-    def _reply_json(self, code: int, payload: dict) -> None:
+    def _reply_json(
+        self,
+        code: int,
+        payload: dict,
+        extra_headers: Dict[str, str] | None = None,
+    ) -> None:
         self._reply(
             code,
             json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n",
             "application/json",
+            extra_headers,
+        )
+
+    def _reply_admission_full(self) -> None:
+        """429 + Retry-After: the admission gate refused this request."""
+        gate = self.planner.admission
+        self._reply_json(
+            429,
+            {
+                "error": (
+                    f"server over capacity ({gate.limit} planning "
+                    f"request(s) in flight); retry after "
+                    f"{gate.retry_after}s"
+                ),
+                "retry_after": gate.retry_after,
+            },
+            {"Retry-After": f"{gate.retry_after:g}"},
         )
 
     def _request_profile(self, body: bytes) -> str:
@@ -180,9 +250,12 @@ class _PlanHandler(BaseHTTPRequestHandler):
     # -- routes ----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._begin()
         try:
             if self.path == "/healthz":
                 self._reply_json(200, self.planner.health_payload())
+            elif self.path == "/metrics":
+                self._reply_json(200, self.planner.metrics.payload())
             elif self.path == "/cache/stats":
                 self._reply_json(
                     200, stats_payload(self.planner.session.cache_stats())
@@ -193,21 +266,18 @@ class _PlanHandler(BaseHTTPRequestHandler):
             self._reply_json(500, {"error": str(exc)})
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._begin()
         try:
             body = self._body()
             profile = self._request_profile(body)
-            if self.path == "/plan":
-                request = self._unpack(body, profile)
-                if not isinstance(request, PlanRequest):
-                    raise wire.WireError(
-                        f"/plan expects a PlanRequest, got {type(request).__name__}"
-                    )
-                self._reply_envelope(
-                    self.planner.session.plan(request), profile
-                )
-            elif self.path == "/plan_batch":
-                items = self._unpack(body, profile)
-                self._reply_envelope(self.planner.plan_items(items), profile)
+            if self.path in ("/plan", "/plan_batch"):
+                if not self.planner.admission.try_acquire():
+                    self._reply_admission_full()
+                    return
+                try:
+                    self._do_plan(body, profile)
+                finally:
+                    self.planner.admission.release()
             elif self.path == "/cache/get":
                 key = self._unpack(body, profile)
                 self._reply_envelope(self.planner.store().get(key), profile)
@@ -226,6 +296,19 @@ class _PlanHandler(BaseHTTPRequestHandler):
         except Exception as exc:
             # a genuine planning crash; relay the message truthfully
             self._reply_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _do_plan(self, body: bytes, profile: str) -> None:
+        """The admission-gated planning endpoints."""
+        if self.path == "/plan":
+            request = self._unpack(body, profile)
+            if not isinstance(request, PlanRequest):
+                raise wire.WireError(
+                    f"/plan expects a PlanRequest, got {type(request).__name__}"
+                )
+            self._reply_envelope(self.planner.session.plan(request), profile)
+        else:
+            items = self._unpack(body, profile)
+            self._reply_envelope(self.planner.plan_items(items), profile)
 
 
 class _ThreadingPlanServer(ThreadingHTTPServer):
@@ -261,12 +344,17 @@ class PlanServer:
         cache: "bool | str | PlanStore" = True,
         vectorize: bool = True,
         wire_mode: str = "auto",
+        max_inflight: int | None = None,
+        retry_after: float = 0.5,
     ) -> None:
         if wire_mode not in ("auto", "safe"):
             raise ValueError(
                 f"wire_mode must be 'auto' or 'safe', got {wire_mode!r}"
             )
         self.wire_mode = wire_mode
+        self.metrics = ServerMetrics()
+        #: queue-depth limit on the planning endpoints (None = unbounded)
+        self.admission = AdmissionGate(max_inflight, retry_after)
         #: profiles this server accepts and advertises, preference first;
         #: ``safe`` drops pickle-v1 so nothing on this port ever unpickles
         self.wire_profiles: tuple = (
@@ -365,6 +453,7 @@ class PlanServer:
             "version": __version__,
             "backend": self.session.backend_name,
             "cache": self.cache_spec,
+            "max_inflight": self.admission.limit,
         }
 
     # -- lifecycle -------------------------------------------------------

@@ -1,0 +1,124 @@
+"""Kill-a-worker chaos: SIGKILL one replica mid-``/plan_batch``.
+
+The acceptance claim: a worker crashing *while its shard of a batch is
+in flight* is invisible to the client — the coordinator reroutes the
+dead replica's items to survivors and the completed sweep is
+bit-identical (rtol=1e-12) to an undisturbed serial run.
+
+Workers run ``--no-vectorize`` so each shard costs real wall-clock
+(~1s of scalar het planning at p=512) and the SIGKILL provably lands
+mid-batch, not in a gap; planning purity is what makes the replayed
+items identical.
+"""
+
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.lifecycle import LocalCluster
+from repro.core.pipeline import PlanRequest
+from repro.core.session import PlannerSession
+from repro.platform.star import StarPlatform
+
+#: big enough that each of 3 workers holds ~1.1s of scalar planning
+N_REQUESTS = 450
+P = 512
+KILL_AFTER_S = 0.5
+
+
+@pytest.fixture(scope="module")
+def heavy_requests():
+    rng = np.random.default_rng(20130521)
+    platform = StarPlatform.from_speeds(rng.uniform(1.0, 8.0, size=P))
+    return [
+        PlanRequest(platform=platform, N=50_000.0 + i, strategy="het")
+        for i in range(N_REQUESTS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_results(heavy_requests):
+    with PlannerSession(cache=False, vectorize=False) as session:
+        return session.plan_batch(heavy_requests)
+
+
+def test_sigkill_mid_batch_yields_bit_identical_sweep(
+    heavy_requests, serial_results, tmp_path
+):
+    state_path = str(tmp_path / "chaos-cluster.json")
+    with LocalCluster(
+        n=3,
+        cache=None,
+        vectorize=False,  # workers plan scalars: shards take real time
+        heartbeat_interval=0.25,
+        state_path=state_path,
+    ) as cluster:
+        address = f"{cluster.coordinator.host}:{cluster.coordinator.port}"
+        killed_at = {}
+
+        def assassin():
+            time.sleep(KILL_AFTER_S)
+            cluster.kill_worker(0, signal.SIGKILL)
+            killed_at["t"] = time.perf_counter()
+
+        killer = threading.Thread(target=assassin, daemon=True)
+        with PlannerSession(
+            backend=f"remote:{address}", cache=False
+        ) as remote:
+            started = time.perf_counter()
+            killer.start()
+            results = remote.plan_batch(heavy_requests)
+            finished = time.perf_counter()
+        killer.join()
+
+        # the kill landed while the batch was still in flight
+        assert killed_at["t"] < finished, "batch finished before the kill"
+        assert finished - started > KILL_AFTER_S
+
+        # complete and bit-identical to the serial run
+        assert len(results) == len(serial_results)
+        for actual, expected in zip(results, serial_results):
+            assert actual.request == expected.request
+            np.testing.assert_allclose(
+                actual.plan.finish_times,
+                expected.plan.finish_times,
+                rtol=1e-12,
+            )
+            np.testing.assert_allclose(
+                actual.plan.makespan, expected.plan.makespan, rtol=1e-12
+            )
+
+        # the pool noticed: the killed replica is dead, with a reason
+        snapshot = cluster.coordinator.pool.snapshot()
+        dead = [w for w in snapshot["workers"] if not w["alive"]]
+        assert len(dead) == 1
+        assert dead[0]["url"] == cluster.workers[0].url
+
+        # the survivors carried rerouted load
+        survivors = [w for w in snapshot["workers"] if w["alive"]]
+        assert sum(w["dispatched"] for w in survivors) >= N_REQUESTS
+
+
+def test_cluster_without_chaos_matches_serial(
+    heavy_requests, serial_results, tmp_path
+):
+    """Control: the same cluster undisturbed returns the same sweep."""
+    with LocalCluster(
+        n=3,
+        cache=None,
+        vectorize=False,
+        heartbeat_interval=0.25,
+        state_path=str(tmp_path / "calm-cluster.json"),
+    ) as cluster:
+        address = f"{cluster.coordinator.host}:{cluster.coordinator.port}"
+        with PlannerSession(
+            backend=f"remote:{address}", cache=False
+        ) as remote:
+            results = remote.plan_batch(heavy_requests)
+    for actual, expected in zip(results, serial_results):
+        np.testing.assert_allclose(
+            actual.plan.finish_times, expected.plan.finish_times, rtol=1e-12
+        )
