@@ -1,0 +1,65 @@
+"""Benchmark for the load-test driver: sustained RPS against one server.
+
+The operability tentpole's number: how much open-loop traffic the
+stack (driver + wire + server + session) sustains on this host with a
+clean verdict.  The target rate is set well above what one container
+CPU serves comfortably, so ``achieved_rps`` measures the pipeline, not
+the scheduler's politeness — if planning, the wire, or the driver
+regress, fewer requests complete per wall-clock second and the metric
+drops.
+
+The run must also be *clean*: zero answered errors, zero transport
+failures, and the client/server request-count cross-check matching
+exactly — a loadtest that miscounts its own traffic measures nothing.
+
+Emits a ``BENCH {...}`` line; ``scripts/check_bench.py`` diffs it
+against ``BENCH_loadtest.json``.
+"""
+
+import json
+import os
+
+from repro.loadtest import run_loadtest
+from repro.service.server import PlanServer
+
+TARGET_RPS = 240.0
+DURATION_S = 2.0
+THREADS = 8
+SEED = 20130521
+
+
+def test_loadtest_sustained_throughput():
+    with PlanServer(backend="threaded", jobs=2) as server:
+        report = run_loadtest(
+            server.url,
+            rps=TARGET_RPS,
+            duration=DURATION_S,
+            threads=THREADS,
+            seed=SEED,
+        )
+
+    print()
+    print(
+        "BENCH "
+        + json.dumps(
+            {
+                "name": "loadtest_throughput",
+                "cpu_count": os.cpu_count() or 1,
+                "target_rps": TARGET_RPS,
+                "sent": report.sent,
+                "achieved_rps": round(report.achieved_rps, 1),
+                "p50_ms": report.p50_ms,
+                "p99_ms": report.p99_ms,
+                "schedule_lag_p99_ms": round(report.schedule_lag_p99_ms, 1),
+                "wire": report.wire_profile,
+            }
+        )
+    )
+
+    # a dirty run measures nothing: the throughput number only counts
+    # when every request succeeded and the books balance
+    assert report.errors == 0, report.render()
+    assert report.unavailable == 0, report.render()
+    assert report.refused_429 == 0, report.render()
+    assert report.server_check_ok, report.render()
+    assert report.achieved_rps > 0

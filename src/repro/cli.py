@@ -14,8 +14,10 @@ console script; ``python -m repro`` works too)::
     repro serve --port 8640 --cache tiered:plans.db   # HTTP plan server
     repro figure4 --backend remote:localhost:8640 --no-cache  # offload
     repro cluster up -n 3 --dispatch consistent-hash  # scale-out pool
+    repro cluster up -n 2 --log access.log            # + access lines
     repro cluster status         # pool liveness + request totals
     repro cluster down           # stop workers + coordinator
+    repro loadtest localhost:8650 --rps 100 --duration 10
     repro compare --speeds 1 2 4 8 --cache http://localhost:8640
     repro cache-stats --speeds 1 2 4 8 --repeats 3
     repro figure4 --model uniform --trials 100 --backend process
@@ -71,6 +73,35 @@ def _cache_arg(args: argparse.Namespace) -> "bool | str":
     if getattr(args, "no_cache", False):
         return False
     return getattr(args, "cache", None) or True
+
+
+def _access_log_from_arg(args: argparse.Namespace):
+    """The AccessLog a ``--log`` flag asks for (``None`` when absent).
+
+    ``--log`` alone streams to stderr (composes with shell
+    redirection); ``--log PATH`` appends to a file the server owns.
+    """
+    target = getattr(args, "log", None)
+    if target is None:
+        return None
+    from repro.service.metrics import AccessLog
+
+    return AccessLog() if target == "-" else AccessLog.open(target)
+
+
+def _add_log_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help=(
+            "structured access log, one ts/endpoint/status/elapsed_ms/"
+            "wire/bytes line per handled request: to stderr with no "
+            "argument, appended to PATH with one"
+        ),
+    )
 
 
 def _positive_int(text: str) -> int:
@@ -356,6 +387,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         vectorize=args.vectorize,
         wire_mode=args.wire,
         max_inflight=args.max_inflight,
+        access_log=_access_log_from_arg(args),
     )
     print(f"repro plan server listening on {server.url}", flush=True)
     print(
@@ -397,6 +429,7 @@ def _cmd_cluster_up(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         worker_max_inflight=args.worker_max_inflight,
         state_path=args.state or default_state_path(),
+        access_log=_access_log_from_arg(args),
     )
     try:
         cluster.start()
@@ -501,6 +534,33 @@ def _cmd_cluster_down(args: argparse.Namespace) -> int:
         f"stopped, {len(pids)} worker pid(s) reaped, {state_path} removed"
     )
     return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """Open-loop load test against a server/coordinator; exit 1 on fail."""
+    from repro.loadtest import parse_mix, run_loadtest
+
+    try:
+        report = run_loadtest(
+            args.target,
+            rps=args.rps,
+            duration=args.duration,
+            mix=parse_mix(args.mix) if args.mix else None,
+            seed=args.seed,
+            threads=args.threads,
+            wire_profile=args.wire_profile,
+            timeout=args.timeout,
+            error_budget=args.error_budget,
+            batch_size=args.batch_size,
+            check_server=not args.no_check,
+        )
+    except ValueError as exc:
+        # bad --mix spec / non-positive --rps etc. are user errors:
+        # message + exit 2, like the rest of the CLI
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.json else report.render())
+    return 0 if report.passed else 1
 
 
 def _cmd_sort(args: argparse.Namespace) -> int:
@@ -723,6 +783,7 @@ def build_parser() -> argparse.ArgumentParser:
             "flight with 429 + Retry-After (default: unbounded)"
         ),
     )
+    _add_log_option(psv)
     _add_session_options(psv)
     psv.set_defaults(fn=_cmd_serve)
 
@@ -793,6 +854,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="cluster state file for status/down "
         "(default: ~/.repro-cluster.json)",
     )
+    _add_log_option(cl_up)
     _add_session_options(cl_up)
     cl_up.set_defaults(fn=_cmd_cluster_up)
     cl_status = cluster_sub.add_parser(
@@ -805,6 +867,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cl_down.add_argument("--state", type=str, default=None, metavar="PATH")
     cl_down.set_defaults(fn=_cmd_cluster_down)
+
+    plt = sub.add_parser(
+        "loadtest",
+        help=(
+            "open-loop load test against a plan server or cluster "
+            "coordinator, with a /metrics cross-check"
+        ),
+    )
+    plt.add_argument(
+        "target",
+        help=(
+            "base URL (or HOST:PORT) of a `repro serve` instance or a "
+            "`repro cluster up` coordinator"
+        ),
+    )
+    plt.add_argument(
+        "--rps",
+        type=float,
+        default=50.0,
+        help="target request rate; send slots are fixed up front, so a "
+        "slow server faces the same arrival rate (default: 50)",
+    )
+    plt.add_argument(
+        "--duration", type=float, default=5.0, help="seconds of traffic"
+    )
+    plt.add_argument(
+        "--threads",
+        type=_positive_int,
+        default=4,
+        help="client worker threads (default: 4)",
+    )
+    plt.add_argument(
+        "--mix",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "traffic mix as KIND=WEIGHT pairs, e.g. "
+            "plan=6,plan_batch=2,cache_get=2 (the default)"
+        ),
+    )
+    plt.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=8,
+        help="requests per plan_batch operation (default: 8)",
+    )
+    plt.add_argument(
+        "--wire-profile",
+        choices=("auto", "pickle-v1", "binary-v2"),
+        default=None,
+        help="envelope profile to drive (default: REPRO_WIRE or auto)",
+    )
+    plt.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="per-request timeout in seconds (default: 10)",
+    )
+    plt.add_argument(
+        "--error-budget",
+        type=float,
+        default=0.01,
+        help=(
+            "max tolerated fraction of answered-error + unreachable "
+            "outcomes before the verdict fails; 429 backpressure is "
+            "reported but not budgeted (default: 0.01)"
+        ),
+    )
+    plt.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the server /metrics request-count cross-check",
+    )
+    plt.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report as JSON instead of the summary",
+    )
+    plt.set_defaults(fn=_cmd_loadtest)
 
     ps = sub.add_parser("sort", help="run a sample sort")
     ps.add_argument("--n", type=int, default=100_000)

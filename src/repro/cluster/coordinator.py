@@ -62,7 +62,12 @@ from repro.service.client import (
     PlanServiceUnavailable,
     ServiceClient,
 )
-from repro.service.metrics import AdmissionGate, ServerMetrics, merge_metrics
+from repro.service.metrics import (
+    AccessLog,
+    AdmissionGate,
+    ServerMetrics,
+    merge_metrics,
+)
 from repro.service.server import stats_payload
 
 #: endpoint names the coordinator reports individually in /metrics
@@ -133,6 +138,7 @@ class _ClusterHandler(BaseHTTPRequestHandler):
         self._endpoint = (
             self.path if self.path in _KNOWN_ENDPOINTS else "other"
         )
+        self._profile = "-"
 
     def _reply(
         self,
@@ -141,6 +147,19 @@ class _ClusterHandler(BaseHTTPRequestHandler):
         content_type: str,
         extra_headers: Dict[str, str] | None = None,
     ) -> None:
+        # observe BEFORE any response byte hits the wire: once a client
+        # holds its answer the request must already be visible in
+        # /metrics — the loadtest cross-check relies on that
+        # happens-before to reconcile client and server counts exactly
+        started = getattr(self, "_started", None)
+        if started is not None:
+            self.coordinator.observe_request(
+                getattr(self, "_endpoint", "other"),
+                code,
+                time.perf_counter() - started,
+                profile=getattr(self, "_profile", "-"),
+                nbytes=len(body),
+            )
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -152,13 +171,6 @@ class _ClusterHandler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
-        started = getattr(self, "_started", None)
-        if started is not None:
-            self.coordinator.metrics.observe(
-                getattr(self, "_endpoint", "other"),
-                code,
-                time.perf_counter() - started,
-            )
 
     def _reply_json(
         self,
@@ -276,6 +288,7 @@ class _ClusterHandler(BaseHTTPRequestHandler):
                 self.coordinator.request_shutdown()
                 return
             profile = self._request_profile(body)
+            self._profile = profile
             if self.path in ("/plan", "/plan_batch"):
                 if not self.coordinator.admission.try_acquire():
                     self._reply_admission_full()
@@ -361,6 +374,7 @@ class ClusterCoordinator:
         max_reroutes: int = 3,
         worker_timeout: float = 60.0,
         shard_groups: bool = True,
+        access_log: AccessLog | None = None,
     ) -> None:
         if wire_mode not in ("auto", "safe"):
             raise ValueError(
@@ -375,6 +389,8 @@ class ClusterCoordinator:
         self.pool = WorkerPool(max_missed=max_missed)
         self.dispatch = dispatch_from_spec(dispatch)
         self.metrics = ServerMetrics()
+        #: when set, every handled response also appends one access line
+        self.access_log = access_log
         self.admission = AdmissionGate(max_inflight, retry_after)
         self.heartbeat_interval = float(heartbeat_interval)
         self.max_reroutes = int(max_reroutes)
@@ -389,6 +405,30 @@ class ClusterCoordinator:
         self.host, self.port = self._http.server_address[:2]
         self._thread: threading.Thread | None = None
         self._closed = False
+
+    # -- handler-facing API -----------------------------------------------
+
+    def observe_request(
+        self,
+        endpoint: str,
+        status: int,
+        elapsed_s: float,
+        *,
+        profile: str = "-",
+        nbytes: int = 0,
+    ) -> None:
+        """The single exit point every handled response reports through.
+
+        Identical contract to
+        :meth:`repro.service.server.PlanServer.observe_request`: feeds
+        the front-door histograms and, when enabled, the access log
+        from one call site so the two can never disagree.
+        """
+        self.metrics.observe(endpoint, status, elapsed_s)
+        if self.access_log is not None:
+            self.access_log.record(
+                endpoint, status, elapsed_s, wire=profile, nbytes=nbytes
+            )
 
     # -- worker clients ---------------------------------------------------
 
@@ -741,6 +781,8 @@ class ClusterCoordinator:
             self._thread.join(timeout=5)
             self._thread = None
         self._http.server_close()
+        if self.access_log is not None:
+            self.access_log.close()
 
     def __enter__(self) -> "ClusterCoordinator":
         return self.start()

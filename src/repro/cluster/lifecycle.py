@@ -158,6 +158,7 @@ class LocalCluster:
         max_reroutes: int = 3,
         state_path: str | None = None,
         startup_timeout: float = 30.0,
+        access_log: Any = None,
     ) -> None:
         if n < 1:
             raise ValueError(f"a cluster needs >= 1 worker, got {n}")
@@ -177,6 +178,8 @@ class LocalCluster:
         self.max_reroutes = int(max_reroutes)
         self.state_path = state_path
         self.startup_timeout = float(startup_timeout)
+        #: optional AccessLog the coordinator writes front-door lines to
+        self.access_log = access_log
         self.workers: List[_Worker] = []
         self.coordinator: Optional[ClusterCoordinator] = None
         self._closed = False
@@ -248,6 +251,7 @@ class LocalCluster:
                 max_missed=self.max_missed,
                 max_reroutes=self.max_reroutes,
                 wire_mode="safe" if self.wire == "safe" else "auto",
+                access_log=self.access_log,
             )
             self.coordinator.start()
         except Exception:

@@ -31,6 +31,17 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 
+def normalize_worker_url(url: str) -> str:
+    """The canonical form worker URLs are keyed by, everywhere.
+
+    Registration, heartbeats, death marks and load accounting must all
+    agree on one spelling — a coordinator passing ``http://h:1/`` where
+    the worker registered as ``http://h:1`` would otherwise silently
+    no-op ``mark_dead`` and leave a dead replica in dispatch.
+    """
+    return url.strip().rstrip("/")
+
+
 @dataclass
 class WorkerInfo:
     """One replica's membership record (mutated under the pool lock)."""
@@ -93,7 +104,7 @@ class WorkerPool:
 
     def register(self, url: str) -> WorkerInfo:
         """Add a worker (idempotent by URL; re-registering revives it)."""
-        url = url.strip().rstrip("/")
+        url = normalize_worker_url(url)
         if not url.startswith(("http://", "https://")):
             raise ValueError(f"worker url must be http(s)://..., got {url!r}")
         now = time.time()
@@ -118,7 +129,7 @@ class WorkerPool:
     def heartbeat(self, url: str) -> WorkerInfo:
         """Record one successful liveness signal (auto-registers)."""
         with self._lock:
-            info = self._workers.get(url.strip().rstrip("/"))
+            info = self._workers.get(normalize_worker_url(url))
         if info is None:
             return self.register(url)
         with self._lock:
@@ -131,7 +142,7 @@ class WorkerPool:
     def mark_dead(self, url: str, reason: str = "") -> None:
         """Exclude a worker from dispatch until it heartbeats again."""
         with self._lock:
-            info = self._workers.get(url)
+            info = self._workers.get(normalize_worker_url(url))
             if info is not None and info.alive:
                 info.alive = False
                 info.reason = reason or "marked dead"
@@ -142,14 +153,14 @@ class WorkerPool:
     def acquire(self, url: str, n: int = 1) -> None:
         """Record ``n`` items shipped to a worker."""
         with self._lock:
-            info = self._workers.get(url)
+            info = self._workers.get(normalize_worker_url(url))
             if info is not None:
                 info.inflight += n
                 info.dispatched += n
 
     def release(self, url: str, n: int = 1) -> None:
         with self._lock:
-            info = self._workers.get(url)
+            info = self._workers.get(normalize_worker_url(url))
             if info is not None:
                 info.inflight = max(0, info.inflight - n)
 

@@ -1,0 +1,48 @@
+"""Reproducible load testing for the planning service (``repro loadtest``).
+
+The package splits along the natural seams:
+
+* :mod:`repro.loadtest.stream` — deterministic seeded request streams
+  (the *what*): same seed, same operations, whatever machine replays
+  them.
+* :mod:`repro.loadtest.driver` — the open-loop multi-threaded replay
+  engine (the *how fast*), one HTTP request per operation so counts
+  reconcile exactly.
+* :mod:`repro.loadtest.report` — client-side stats, the server
+  ``/metrics`` cross-check, and the pass/fail verdict (the *so what*).
+"""
+
+from repro.loadtest.driver import STATUS_UNREACHABLE, run_loadtest
+from repro.loadtest.report import (
+    CHECKED_ENDPOINTS,
+    EndpointCheck,
+    LoadtestReport,
+    cross_check,
+    frontdoor_metrics,
+)
+from repro.loadtest.stream import (
+    DEFAULT_MIX,
+    ENDPOINT_BY_KIND,
+    OP_KINDS,
+    Op,
+    parse_mix,
+    request_stream,
+    stream_fingerprint,
+)
+
+__all__ = [
+    "CHECKED_ENDPOINTS",
+    "DEFAULT_MIX",
+    "ENDPOINT_BY_KIND",
+    "EndpointCheck",
+    "LoadtestReport",
+    "OP_KINDS",
+    "Op",
+    "STATUS_UNREACHABLE",
+    "cross_check",
+    "frontdoor_metrics",
+    "parse_mix",
+    "request_stream",
+    "run_loadtest",
+    "stream_fingerprint",
+]

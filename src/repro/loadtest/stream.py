@@ -1,0 +1,211 @@
+"""Deterministic, seeded request streams for the load-test driver.
+
+A load test is only a regression instrument if two runs disagree about
+nothing but the machine they ran on: the same seed must produce the
+identical sequence of operations — same kinds, same platforms, same
+problem sizes, same batch shapes — regardless of RPS, thread count, or
+how far the previous run got.  :func:`request_stream` therefore builds
+the whole operation list up front from one
+:class:`numpy.random.Generator` (the repo-wide seeding idiom of
+:mod:`repro.util.rng`), and the driver merely replays it on a clock.
+
+The mix is a weighted choice over the three hot endpoints:
+
+* ``plan`` — one scalar :class:`~repro.core.pipeline.PlanRequest` to
+  ``POST /plan``;
+* ``plan_batch`` — a list of ``batch_size`` requests to
+  ``POST /plan_batch``;
+* ``cache_get`` — a content key (the exact
+  :func:`~repro.core.cache.plan_cache_key` a session would compute) to
+  ``POST /cache/get``.  Keys are derived from the stream's own plan
+  requests, so a warm server answers a growing share of them with hits
+  — the realistic read-mostly traffic a shared cache exists for.
+
+Platforms are drawn from a small pool of ``platforms`` distinct
+heterogeneous stars (distinct fingerprints exercise dispatch and cache
+keying; a small pool keeps generation fast), and ``N`` is sampled
+per-request so plans are not trivially identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.core.cache import plan_cache_key
+from repro.core.pipeline import PlanRequest
+from repro.platform.star import StarPlatform
+from repro.util.rng import make_rng
+
+#: operation kinds and the endpoint each one drives
+OP_KINDS: Tuple[str, ...] = ("plan", "plan_batch", "cache_get")
+
+ENDPOINT_BY_KIND: Dict[str, str] = {
+    "plan": "/plan",
+    "plan_batch": "/plan_batch",
+    "cache_get": "/cache/get",
+}
+
+#: default traffic mix: plan-heavy with a read-mostly cache component
+DEFAULT_MIX: Dict[str, float] = {
+    "plan": 0.6,
+    "plan_batch": 0.2,
+    "cache_get": 0.2,
+}
+
+
+@dataclass(frozen=True)
+class Op:
+    """One scheduled operation of a load-test run."""
+
+    #: position in the stream (also fixes its open-loop send slot)
+    index: int
+    #: one of :data:`OP_KINDS`
+    kind: str
+    #: PlanRequest | list[PlanRequest] | cache key, by kind
+    payload: Any
+    #: flat request count this op carries (1, or the batch size)
+    weight: int
+
+    @property
+    def endpoint(self) -> str:
+        return ENDPOINT_BY_KIND[self.kind]
+
+
+def parse_mix(text: str) -> Dict[str, float]:
+    """Parse a CLI mix spec like ``plan=6,plan_batch=2,cache_get=2``.
+
+    Weights are relative (normalised later); kinds may be omitted
+    (weight 0) but unknown kinds are a loud error.
+    """
+    mix: Dict[str, float] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, value = part.partition("=")
+        name = name.strip()
+        if not sep or name not in OP_KINDS:
+            raise ValueError(
+                f"bad mix component {part!r}; expected KIND=WEIGHT with "
+                f"KIND one of {', '.join(OP_KINDS)}"
+            )
+        try:
+            weight = float(value)
+        except ValueError:
+            raise ValueError(f"bad mix weight in {part!r}") from None
+        if weight < 0:
+            raise ValueError(f"mix weight must be >= 0 in {part!r}")
+        mix[name] = weight
+    if not mix or not any(mix.values()):
+        raise ValueError(f"mix {text!r} selects no operations")
+    return mix
+
+
+def _normalised_mix(mix: Mapping[str, float]) -> List[Tuple[str, float]]:
+    unknown = sorted(set(mix) - set(OP_KINDS))
+    if unknown:
+        raise ValueError(
+            f"unknown mix kind(s) {unknown}; expected {', '.join(OP_KINDS)}"
+        )
+    total = float(sum(mix.values()))
+    if total <= 0:
+        raise ValueError("mix weights sum to zero")
+    return [(kind, mix.get(kind, 0.0) / total) for kind in OP_KINDS]
+
+
+def request_stream(
+    count: int,
+    *,
+    seed: int = 2013,
+    mix: Mapping[str, float] | None = None,
+    platforms: int = 4,
+    p: int = 8,
+    batch_size: int = 8,
+    strategy: str = "het",
+    n_lo: float = 1_000.0,
+    n_hi: float = 20_000.0,
+    distinct_n: int = 64,
+) -> List[Op]:
+    """The full, deterministic operation list one load test replays.
+
+    ``distinct_n`` bounds how many different ``N`` values appear: a
+    finite working set is what gives ``cache_get`` (and a caching
+    server re-planning) realistic hit rates; raise it to make traffic
+    colder, or to 1 to hammer one entry.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if platforms < 1 or p < 1 or batch_size < 1 or distinct_n < 1:
+        raise ValueError("platforms, p, batch_size, distinct_n must be >= 1")
+    if not (0 < n_lo <= n_hi):
+        raise ValueError(f"need 0 < n_lo <= n_hi, got {n_lo}..{n_hi}")
+    weights = _normalised_mix(DEFAULT_MIX if mix is None else mix)
+    rng = make_rng(seed)
+    pool = [
+        StarPlatform.from_speeds(rng.uniform(1.0, 8.0, size=p))
+        for _ in range(platforms)
+    ]
+    n_values = np.round(rng.uniform(n_lo, n_hi, size=distinct_n), 3)
+
+    def draw_request() -> PlanRequest:
+        platform = pool[int(rng.integers(len(pool)))]
+        return PlanRequest(
+            platform=platform,
+            N=float(n_values[int(rng.integers(len(n_values)))]),
+            strategy=strategy,
+        )
+
+    # the strategy factory joins the cache key; resolve it once so
+    # cache_get ops probe exactly the keys the server's session writes
+    from repro import registry
+
+    factory = registry.get("strategy", strategy)
+
+    kinds = [kind for kind, _ in weights]
+    probabilities = np.array([w for _, w in weights])
+    ops: List[Op] = []
+    for index in range(count):
+        # one draw per op (not one vectorised block up front) so a
+        # longer stream is an exact extension of a shorter one with the
+        # same seed — raising --duration never reshuffles early traffic
+        kind = kinds[int(rng.choice(len(kinds), p=probabilities))]
+        if kind == "plan":
+            ops.append(Op(index, kind, draw_request(), 1))
+        elif kind == "plan_batch":
+            batch = [draw_request() for _ in range(batch_size)]
+            ops.append(Op(index, kind, batch, len(batch)))
+        else:
+            key = plan_cache_key(draw_request(), factory)
+            ops.append(Op(index, kind, key, 1))
+    return ops
+
+
+def stream_fingerprint(ops: List[Op]) -> str:
+    """A stable digest of a stream, for replay/identity assertions."""
+    import hashlib
+
+    from repro.core.cache import encode_key, plan_cache_key  # noqa: F401
+
+    digest = hashlib.sha256()
+    for op in ops:
+        digest.update(op.kind.encode())
+        if op.kind == "plan":
+            digest.update(repr(_request_identity(op.payload)).encode())
+        elif op.kind == "plan_batch":
+            for request in op.payload:
+                digest.update(repr(_request_identity(request)).encode())
+        else:
+            digest.update(repr(op.payload).encode())
+    return digest.hexdigest()
+
+
+def _request_identity(request: PlanRequest) -> tuple:
+    return (
+        request.platform.fingerprint(),
+        float(request.N),
+        request.strategy,
+        tuple(sorted(request.params.items())),
+    )

@@ -45,6 +45,8 @@ immediately, carrying the server's own message (and the HTTP status in
 
 from __future__ import annotations
 
+import datetime
+import email.utils
 import json
 import os
 import socket
@@ -247,14 +249,17 @@ class ServiceClient:
     def _retry_after_delay(self, exc: urllib.error.HTTPError) -> float:
         """The bounded wait a 429's ``Retry-After`` header asks for.
 
-        Missing/garbage headers fall back to ``retry_wait``; anything
-        is clamped into ``(0, retry_after_cap]`` so a server cannot
-        make a client sleep forever (or not at all, which would spin).
+        RFC 7231 allows both forms — ``Retry-After: 2`` (delay
+        seconds) and ``Retry-After: Fri, 08 Aug 2026 12:00:03 GMT``
+        (an HTTP-date) — and both are honoured; a date in the past
+        means "now".  Missing/garbage headers fall back to
+        ``retry_wait``; anything is clamped into
+        ``(0, retry_after_cap]`` so a server cannot make a client
+        sleep forever (or not at all, which would spin).
         """
         header = (exc.headers.get("Retry-After") or "").strip()
-        try:
-            delay = float(header)
-        except ValueError:
+        delay = _parse_retry_after(header)
+        if delay is None:
             delay = self.retry_wait
         return min(max(delay, 0.01), self.retry_after_cap)
 
@@ -305,6 +310,34 @@ class ServiceClient:
 
     def healthz(self) -> dict:
         return self.get_json("/healthz")
+
+
+def _parse_retry_after(header: str) -> float | None:
+    """Seconds a ``Retry-After`` header asks for, or ``None`` on garbage.
+
+    Accepts both RFC 7231 forms: a non-negative decimal delay and an
+    HTTP-date (``email.utils`` parses all three date formats the RFC
+    grandfathers in).  A date already in the past yields ``0.0`` —
+    the server said "now", not "never".
+    """
+    if not header:
+        return None
+    try:
+        return float(header)
+    except ValueError:
+        pass
+    try:
+        when = email.utils.parsedate_to_datetime(header)
+    except (TypeError, ValueError):
+        return None
+    if when is None:
+        return None
+    if when.tzinfo is None:
+        # RFC 5322 obsolete zone names parse as naive datetimes; the
+        # RFC says to treat them as UTC
+        when = when.replace(tzinfo=datetime.timezone.utc)
+    now = datetime.datetime.now(datetime.timezone.utc)
+    return max(0.0, (when - now).total_seconds())
 
 
 def _error_message(exc: urllib.error.HTTPError) -> str:

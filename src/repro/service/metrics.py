@@ -17,6 +17,14 @@ Two small, stdlib-only building blocks both the single-server
   with a ``Retry-After`` hint instead of queueing unboundedly and
   timing everyone out.  ``limit=None`` admits everything (the
   default), ``limit=0`` refuses everything (drain mode).
+* :class:`AccessLog` — structured one-line-per-request access logging
+  (``repro serve --log`` and the coordinator equivalent).  Both
+  servers route every handled response through one
+  ``observe_request`` hook that feeds :class:`ServerMetrics` *and*,
+  when enabled, appends an access line — so the log and the
+  histograms can never disagree about what was served.  Lines are
+  logfmt-style ``key=value`` pairs (:func:`format_access_line`), and
+  :func:`parse_access_line` is the inverse tools and tests use.
 
 Latency buckets are fixed and log-spaced (sub-millisecond to tens of
 seconds) so histograms from different processes are always mergeable
@@ -26,9 +34,11 @@ estimates clamp to a real observation rather than a bucket edge.
 
 from __future__ import annotations
 
+import datetime
+import sys
 import threading
 import time
-from typing import Any, Dict, Iterable, List, Mapping
+from typing import Any, Dict, IO, Iterable, List, Mapping, Optional
 
 #: histogram bucket upper bounds in seconds; one overflow bucket follows
 LATENCY_BUCKETS_S: tuple = (
@@ -117,7 +127,10 @@ class ServerMetrics:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._endpoints: Dict[str, _EndpointCounters] = {}
-        self._started = time.time()
+        # monotonic, not wall-clock: an NTP step must never make
+        # uptime_s jump or go negative (it feeds `repro cluster
+        # status` and the loadtest cross-checks)
+        self._started = time.monotonic()
 
     def observe(self, endpoint: str, status: int, elapsed_s: float) -> None:
         with self._lock:
@@ -143,7 +156,7 @@ class ServerMetrics:
             }
             started = self._started
         return {
-            "uptime_s": round(time.time() - started, 3),
+            "uptime_s": round(time.monotonic() - started, 3),
             "latency_buckets_s": list(LATENCY_BUCKETS_S),
             "endpoints": endpoints,
         }
@@ -195,6 +208,121 @@ def merge_metrics(payloads: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
             name: _derived(raw) for name, raw in sorted(merged.items())
         },
     }
+
+
+#: field order of an access-log line; parse_access_line requires them all
+ACCESS_LOG_FIELDS = ("ts", "endpoint", "status", "elapsed_ms", "wire", "bytes")
+
+
+def format_access_line(
+    endpoint: str,
+    status: int,
+    elapsed_s: float,
+    *,
+    wire: str = "-",
+    nbytes: int = 0,
+    ts: Optional[str] = None,
+) -> str:
+    """One structured access-log line (logfmt-style ``key=value``).
+
+    ``ts`` is an ISO-8601 UTC wall-clock stamp — logs are for humans
+    correlating with the outside world, unlike the monotonic uptime
+    the metrics use.  None of the built-in field values can contain a
+    space, so the line splits back losslessly.
+    """
+    if ts is None:
+        ts = datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="milliseconds"
+        )
+    return (
+        f"ts={ts} endpoint={endpoint} status={int(status)} "
+        f"elapsed_ms={1000.0 * elapsed_s:.3f} wire={wire or '-'} "
+        f"bytes={int(nbytes)}"
+    )
+
+
+def parse_access_line(line: str) -> Dict[str, Any]:
+    """Parse one :func:`format_access_line` line back into a dict.
+
+    Raises ``ValueError`` on anything that is not a complete access
+    line, so log-processing tools (and the CI smoke) fail loudly on
+    interleaved or truncated output instead of mis-counting.
+    """
+    fields: Dict[str, str] = {}
+    for token in line.split():
+        key, sep, value = token.partition("=")
+        if not sep:
+            raise ValueError(f"not an access-log token {token!r} in {line!r}")
+        fields[key] = value
+    missing = [name for name in ACCESS_LOG_FIELDS if name not in fields]
+    if missing:
+        raise ValueError(
+            f"access-log line missing field(s) {missing}: {line!r}"
+        )
+    return {
+        "ts": fields["ts"],
+        "endpoint": fields["endpoint"],
+        "status": int(fields["status"]),
+        "elapsed_ms": float(fields["elapsed_ms"]),
+        "wire": fields["wire"],
+        "bytes": int(fields["bytes"]),
+    }
+
+
+class AccessLog:
+    """Append structured access lines to a stream or file, thread-safely.
+
+    ``AccessLog()`` writes to stderr (the ``--log`` default — it
+    composes with shell redirection); ``AccessLog.open(path)`` appends
+    to a file it owns (and :meth:`close` closes).  ``record`` is wired
+    into both servers' ``observe_request`` hook, one call per handled
+    response, errors and 429 refusals included.  Lines are flushed per
+    record so a tailing operator (or the loadtest smoke) never waits
+    on a buffer.
+    """
+
+    def __init__(
+        self, stream: Optional[IO[str]] = None, *, _owns_stream: bool = False
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._owns_stream = _owns_stream
+        self._lock = threading.Lock()
+        #: lines ever written (handy for tests and status displays)
+        self.lines_written = 0
+
+    @classmethod
+    def open(cls, path: str) -> "AccessLog":
+        """An access log appending to ``path`` (created if missing)."""
+        return cls(open(path, "a", encoding="utf-8"), _owns_stream=True)
+
+    def record(
+        self,
+        endpoint: str,
+        status: int,
+        elapsed_s: float,
+        *,
+        wire: str = "-",
+        nbytes: int = 0,
+    ) -> None:
+        line = format_access_line(
+            endpoint, status, elapsed_s, wire=wire, nbytes=nbytes
+        )
+        with self._lock:
+            try:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            except ValueError:
+                # the stream was closed under us (shutdown race): a
+                # lost log line must never fail the request it logs
+                pass
+            else:
+                self.lines_written += 1
+
+    def close(self) -> None:
+        """Close an owned file stream (stderr is never closed)."""
+        if self._owns_stream:
+            with self._lock:
+                self._stream.close()
 
 
 class AdmissionGate:

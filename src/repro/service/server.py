@@ -75,7 +75,7 @@ from repro.core.session import PlannerSession
 from repro.core.vectorize import VectorGroup
 from repro.registry import RegistryError
 from repro.service import wire
-from repro.service.metrics import AdmissionGate, ServerMetrics
+from repro.service.metrics import AccessLog, AdmissionGate, ServerMetrics
 
 #: endpoints /metrics reports individually; anything else aggregates
 #: under "other" so probing clients cannot grow the metric cardinality
@@ -154,6 +154,9 @@ class _PlanHandler(BaseHTTPRequestHandler):
         self._endpoint = (
             self.path if self.path in _KNOWN_ENDPOINTS else "other"
         )
+        # wire profile for the access log; POST routes overwrite this
+        # once _request_profile has decided
+        self._profile = "-"
 
     def _reply(
         self,
@@ -162,6 +165,19 @@ class _PlanHandler(BaseHTTPRequestHandler):
         content_type: str,
         extra_headers: Dict[str, str] | None = None,
     ) -> None:
+        # observe BEFORE any response byte hits the wire: once a client
+        # holds its answer the request must already be visible in
+        # /metrics — the loadtest cross-check relies on that
+        # happens-before to reconcile client and server counts exactly
+        started = getattr(self, "_started", None)
+        if started is not None:
+            self.planner.observe_request(
+                getattr(self, "_endpoint", "other"),
+                code,
+                time.perf_counter() - started,
+                profile=getattr(self, "_profile", "-"),
+                nbytes=len(body),
+            )
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -173,13 +189,6 @@ class _PlanHandler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
-        started = getattr(self, "_started", None)
-        if started is not None:
-            self.planner.metrics.observe(
-                getattr(self, "_endpoint", "other"),
-                code,
-                time.perf_counter() - started,
-            )
 
     def _reply_json(
         self,
@@ -270,6 +279,7 @@ class _PlanHandler(BaseHTTPRequestHandler):
         try:
             body = self._body()
             profile = self._request_profile(body)
+            self._profile = profile
             if self.path in ("/plan", "/plan_batch"):
                 if not self.planner.admission.try_acquire():
                     self._reply_admission_full()
@@ -346,6 +356,7 @@ class PlanServer:
         wire_mode: str = "auto",
         max_inflight: int | None = None,
         retry_after: float = 0.5,
+        access_log: AccessLog | None = None,
     ) -> None:
         if wire_mode not in ("auto", "safe"):
             raise ValueError(
@@ -353,6 +364,8 @@ class PlanServer:
             )
         self.wire_mode = wire_mode
         self.metrics = ServerMetrics()
+        #: when set, every handled response also appends one access line
+        self.access_log = access_log
         #: queue-depth limit on the planning endpoints (None = unbounded)
         self.admission = AdmissionGate(max_inflight, retry_after)
         #: profiles this server accepts and advertises, preference first;
@@ -387,6 +400,27 @@ class PlanServer:
         self._closed = False
 
     # -- handler-facing API ----------------------------------------------
+
+    def observe_request(
+        self,
+        endpoint: str,
+        status: int,
+        elapsed_s: float,
+        *,
+        profile: str = "-",
+        nbytes: int = 0,
+    ) -> None:
+        """The single exit point every handled response reports through.
+
+        Feeds the latency histograms and, when ``--log`` enabled one,
+        the access log — from one call site, so the two can never
+        disagree about what was served.
+        """
+        self.metrics.observe(endpoint, status, elapsed_s)
+        if self.access_log is not None:
+            self.access_log.record(
+                endpoint, status, elapsed_s, wire=profile, nbytes=nbytes
+            )
 
     def store(self) -> PlanStore:
         """The shared store, or a clean error when caching is off."""
@@ -490,6 +524,8 @@ class PlanServer:
         self.session.close()
         if self._store is not None:
             self._store.close()
+        if self.access_log is not None:
+            self.access_log.close()
 
     def __enter__(self) -> "PlanServer":
         return self.start()

@@ -189,13 +189,26 @@ def identical_task_schedule(
             break
     T = hi
     counts = (np.floor(T / d * (1 + 1e-15)) + 1).astype(np.int64)
-    # Ties exactly at T* may overshoot; release tied tasks from the
-    # highest-index workers first (heap gives ties to low indices).
+    # Ties exactly at T* may overshoot.  The heap orders workers by
+    # *float-accumulated* start times (free_at grows by repeated
+    # addition), so two mathematically tied starts can differ in the
+    # heap's eyes — e.g. 51 additions of 1.3/17 and 36 additions of
+    # 1.3/12 both equal 3.9 exactly but accumulate to different floats.
+    # Release tied tasks in the order the heap would skip them: largest
+    # accumulated start first, index breaking exact float ties.
     excess = int(counts.sum()) - n_tasks
     if excess > 0:
         last_start = (counts - 1) * d
         tied = np.flatnonzero(np.isclose(last_start, T, rtol=1e-9))
-        for i in tied[::-1][:excess]:
+
+        def heap_start(i: int) -> float:
+            acc, step = 0.0, float(d[i])
+            for _ in range(int(counts[i]) - 1):
+                acc += step
+            return acc
+
+        release = sorted(tied, key=lambda i: (heap_start(i), i))
+        for i in release[::-1][:excess]:
             counts[i] -= 1
         excess = int(counts.sum()) - n_tasks
     # Numerical fallback (float drift past the tie layer): settle the

@@ -5,7 +5,7 @@ import time
 
 import pytest
 
-from repro.cluster.pool import WorkerPool
+from repro.cluster.pool import WorkerPool, normalize_worker_url
 
 URL_A = "http://127.0.0.1:9001"
 URL_B = "http://127.0.0.1:9002"
@@ -59,6 +59,53 @@ class TestMembership:
         # unknown URL: auto-register
         pool.heartbeat(URL_B)
         assert {w.url for w in pool.alive()} == {URL_A, URL_B}
+
+
+class TestUrlNormalisation:
+    """Every lookup must accept any spelling register() accepts.
+
+    Regression: mark_dead/acquire/release used to look up the *raw*
+    URL while register/heartbeat normalised — a coordinator passing a
+    trailing-slash URL silently no-opped mark_dead, so a dead worker
+    kept receiving dispatch and inflight accounting drifted.
+    """
+
+    def test_normalize_worker_url(self):
+        assert normalize_worker_url(f"  {URL_A}/ ") == URL_A
+        assert normalize_worker_url(URL_A) == URL_A
+
+    def test_mark_dead_normalises_trailing_slash(self):
+        pool = WorkerPool()
+        pool.register(URL_A)
+        pool.mark_dead(URL_A + "/", "transport failure")
+        assert not pool.alive()
+        (info,) = pool.workers()
+        assert info.reason == "transport failure"
+        assert info.failures == 1
+
+    def test_mark_dead_normalises_whitespace(self):
+        pool = WorkerPool()
+        pool.register(URL_A + "/")  # stored normalised
+        pool.mark_dead(f" {URL_A} ")
+        assert not pool.alive()
+
+    def test_acquire_release_normalise(self):
+        pool = WorkerPool()
+        pool.register(URL_A)
+        pool.acquire(URL_A + "/", 3)
+        (info,) = pool.workers()
+        assert info.inflight == 3
+        assert info.dispatched == 3
+        pool.release(URL_A + "/", 3)
+        assert pool.workers()[0].inflight == 0
+
+    def test_heartbeat_trailing_slash_does_not_duplicate(self):
+        pool = WorkerPool()
+        pool.register(URL_A)
+        pool.mark_dead(URL_A, "test")
+        info = pool.heartbeat(URL_A + "/")
+        assert info.alive
+        assert len(pool.workers()) == 1
 
 
 class TestLoadAccounting:

@@ -1,0 +1,101 @@
+"""The request stream: determinism, mix handling, op shapes."""
+
+import pytest
+
+from repro.core.pipeline import PlanRequest
+from repro.loadtest import (
+    DEFAULT_MIX,
+    OP_KINDS,
+    parse_mix,
+    request_stream,
+    stream_fingerprint,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_stream(self):
+        a = request_stream(120, seed=11)
+        b = request_stream(120, seed=11)
+        assert stream_fingerprint(a) == stream_fingerprint(b)
+        assert [op.kind for op in a] == [op.kind for op in b]
+
+    def test_different_seed_different_stream(self):
+        a = request_stream(120, seed=11)
+        b = request_stream(120, seed=12)
+        assert stream_fingerprint(a) != stream_fingerprint(b)
+
+    def test_fingerprint_sensitive_to_problem_sizes(self):
+        a = request_stream(60, seed=5, n_lo=1e3, n_hi=2e3)
+        b = request_stream(60, seed=5, n_lo=5e3, n_hi=9e3)
+        assert stream_fingerprint(a) != stream_fingerprint(b)
+
+    def test_count_independent_prefix(self):
+        # the first K ops of a longer stream are the K-op stream:
+        # extending a run's duration must not reshuffle early traffic
+        short = request_stream(40, seed=3)
+        long = request_stream(80, seed=3)
+        assert stream_fingerprint(short) == stream_fingerprint(long[:40])
+
+
+class TestShapes:
+    def test_indices_and_endpoints(self):
+        ops = request_stream(50, seed=1, batch_size=4)
+        assert [op.index for op in ops] == list(range(50))
+        for op in ops:
+            assert op.kind in OP_KINDS
+            if op.kind == "plan":
+                assert isinstance(op.payload, PlanRequest)
+                assert op.weight == 1
+                assert op.endpoint == "/plan"
+            elif op.kind == "plan_batch":
+                assert len(op.payload) == 4
+                assert op.weight == 4
+                assert op.endpoint == "/plan_batch"
+            else:
+                assert op.weight == 1
+                assert op.endpoint == "/cache/get"
+
+    def test_mix_respected(self):
+        ops = request_stream(80, seed=2, mix={"plan": 1.0})
+        assert {op.kind for op in ops} == {"plan"}
+
+    def test_platform_pool_bounded(self):
+        ops = request_stream(100, seed=4, platforms=2, mix={"plan": 1.0})
+        fingerprints = {op.payload.platform.fingerprint() for op in ops}
+        assert len(fingerprints) <= 2
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            request_stream(0)
+        with pytest.raises(ValueError):
+            request_stream(10, mix={"nonsense": 1.0})
+        with pytest.raises(ValueError):
+            request_stream(10, mix={"plan": 0.0})
+        with pytest.raises(ValueError):
+            request_stream(10, n_lo=100.0, n_hi=10.0)
+
+
+class TestParseMix:
+    def test_round_trip_default(self):
+        spec = ",".join(f"{k}={v}" for k, v in DEFAULT_MIX.items())
+        assert parse_mix(spec) == DEFAULT_MIX
+
+    def test_partial_spec(self):
+        assert parse_mix("plan=3,cache_get=1") == {
+            "plan": 3.0,
+            "cache_get": 1.0,
+        }
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="bad mix component"):
+            parse_mix("plan=1,delete=2")
+
+    def test_rejects_garbage_weight(self):
+        with pytest.raises(ValueError, match="bad mix weight"):
+            parse_mix("plan=lots")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_mix("")
+        with pytest.raises(ValueError):
+            parse_mix("plan=0,plan_batch=0")

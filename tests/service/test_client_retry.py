@@ -12,6 +12,7 @@ Two retry families exist and must not blur together:
 Everything else (400, 500, ...) surfaces immediately, no retry.
 """
 
+import email.utils
 import json
 import threading
 import time
@@ -157,6 +158,50 @@ class Test429Path:
         client = _client(stub, retries=1, retry_wait=0.05)
         assert client.post("/plan", "req") == "ok"
         assert len(stub.attempts) == 2
+
+    def test_http_date_retry_after_is_honoured(self, stub):
+        """Regression: only the numeric Retry-After form was parsed;
+        the RFC 7231 HTTP-date form silently fell back to retry_wait,
+        defeating the server's hint under sustained 429s."""
+        when = email.utils.formatdate(time.time() + 0.9, usegmt=True)
+        stub.script = [
+            {"status": 429, "headers": {"Retry-After": when}},
+            {"status": 200, "payload": "recovered"},
+        ]
+        # retry_wait tiny: pre-fix, the fallback retries almost
+        # immediately and the elapsed floor below fails
+        client = _client(stub, retries=1, retry_wait=0.001)
+        started = time.monotonic()
+        assert client.post("/plan", "req") == "recovered"
+        elapsed = time.monotonic() - started
+        # formatdate has whole-second resolution, so the 0.9s hint may
+        # round down as far as ~0s from the second boundary; anything
+        # clearly above the 0.001s fallback proves the date was parsed
+        assert elapsed >= 0.2
+        assert len(stub.attempts) == 2
+
+    def test_http_date_retry_after_capped(self, stub):
+        when = email.utils.formatdate(time.time() + 3600, usegmt=True)
+        stub.script = [
+            {"status": 429, "headers": {"Retry-After": when}},
+            {"status": 200, "payload": "ok"},
+        ]
+        client = _client(stub, retries=1, retry_after_cap=0.1)
+        started = time.monotonic()
+        assert client.post("/plan", "req") == "ok"
+        assert time.monotonic() - started < 2.0  # hour-away date clamped
+
+    def test_http_date_in_the_past_retries_immediately(self, stub):
+        when = email.utils.formatdate(time.time() - 300, usegmt=True)
+        stub.script = [
+            {"status": 429, "headers": {"Retry-After": when}},
+            {"status": 200, "payload": "ok"},
+        ]
+        client = _client(stub, retries=1, retry_wait=30.0)
+        started = time.monotonic()
+        assert client.post("/plan", "req") == "ok"
+        # "retry at a past instant" means now — not the 30s fallback
+        assert time.monotonic() - started < 2.0
 
 
 class TestNoRetryStatuses:

@@ -1,5 +1,6 @@
 """ServerMetrics / AdmissionGate units + the /metrics endpoint + 429s."""
 
+import time
 import urllib.error
 import urllib.request
 
@@ -65,6 +66,27 @@ class TestServerMetrics:
         assert payload["endpoints"] == {}
         assert payload["latency_buckets_s"] == list(LATENCY_BUCKETS_S)
         assert payload["uptime_s"] >= 0
+
+    def test_uptime_immune_to_wall_clock_steps(self, monkeypatch):
+        """Regression: uptime used time.time(), so an NTP step (or any
+        wall-clock jump) made uptime_s leap or go negative."""
+        import repro.service.metrics as metrics_module
+
+        metrics = ServerMetrics()
+        # a wall-clock step back to the epoch must not touch uptime
+        monkeypatch.setattr(metrics_module.time, "time", lambda: 0.0)
+        uptime = metrics.payload()["uptime_s"]
+        assert 0 <= uptime < 60
+
+    def test_uptime_grows_with_monotonic_clock(self, monkeypatch):
+        import repro.service.metrics as metrics_module
+
+        real_monotonic = time.monotonic
+        metrics = ServerMetrics()
+        monkeypatch.setattr(
+            metrics_module.time, "monotonic", lambda: real_monotonic() + 12.0
+        )
+        assert metrics.payload()["uptime_s"] >= 12.0
 
     def test_thread_safety_smoke(self):
         import threading

@@ -102,6 +102,18 @@ class TestClosedForm:
         assert counts.tolist() == res.counts.tolist()
         assert np.allclose(finish, res.finish_times, rtol=1e-9)
 
+    def test_float_accumulated_tie_matches_heap(self):
+        # Regression: worker 0's 52nd task and worker 1's 37th task both
+        # start at exactly T=3.9 in real arithmetic, but the heap's
+        # free_at accumulates by repeated addition and the two sums
+        # round differently — the closed form must release the tied
+        # task the heap would actually skip, not just the higher index.
+        plat = StarPlatform.from_speeds([17.0, 12.0])
+        counts, finish = identical_task_schedule(plat, 88, 1.3)
+        res = run_demand_driven(plat, uniform_tasks(88, 1.3))
+        assert counts.tolist() == res.counts.tolist() == [51, 37]
+        assert np.allclose(finish, res.finish_times, rtol=1e-9)
+
     def test_huge_task_count_is_fast_and_balanced(self):
         plat = StarPlatform.from_speeds([1.0, 3.0, 7.0])
         counts, finish = identical_task_schedule(plat, 1_000_000, 1.0)
