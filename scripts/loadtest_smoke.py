@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
 """CI smoke for the load-test harness: cluster up → loadtest → logs.
 
-Boots ``repro cluster up -n 2 --log PATH`` on an ephemeral port, then
-asserts the operability tentpole end to end, from outside the process:
+Boots ``repro cluster up -n 2 --log PATH --trace PATH`` on an
+ephemeral port, then asserts the operability tentpole end to end,
+from outside the process:
 
-1. ``repro loadtest`` sustains traffic against the coordinator for 5
-   seconds and exits 0 — achieved RPS > 0, zero answered errors, zero
-   transport failures, and the client-vs-server ``/metrics``
-   request-count cross-check matching exactly (the JSON report is the
-   proof, not the exit code alone);
+1. ``repro loadtest --trace-sample 5`` sustains traffic against the
+   coordinator for 5 seconds and exits 0 — achieved RPS > 0, zero
+   answered errors, zero transport failures, and the client-vs-server
+   ``/metrics`` request-count cross-check matching exactly (the JSON
+   report is the proof, not the exit code alone);
 2. the coordinator's access log holds one parseable line per
    front-door request — every line round-trips through
    ``parse_access_line`` and the planning-endpoint line counts agree
    with the loadtest's own books;
-3. ``repro cluster down`` cleans up.
+3. every sampled trace assembles *completely* from the client,
+   coordinator, and worker span files — one trace per sampled op,
+   no orphans — and every sampled access line's trace id appears in
+   the assembled set (the log and the trace files name the same
+   requests);
+4. ``repro cluster down`` cleans up.
 
 Exits non-zero on any failure; prints a BENCH-style JSON line so CI
 logs are grep-able.
@@ -37,6 +43,7 @@ BANNER_RE = re.compile(r"cluster coordinator listening on (http://\S+)")
 
 LOADTEST_RPS = 40
 LOADTEST_DURATION_S = 5
+TRACE_SAMPLE = 5  # 1-in-5 ops carries a trace context
 
 
 def client_env() -> dict:
@@ -49,11 +56,14 @@ def client_env() -> dict:
 
 def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs import assemble_traces, read_spans
     from repro.service.metrics import parse_access_line
 
     with tempfile.TemporaryDirectory(prefix="repro-loadtest-smoke-") as tmp:
         state_path = Path(tmp) / "cluster.json"
         log_path = Path(tmp) / "access.log"
+        trace_path = Path(tmp) / "spans.jsonl"
+        client_trace_path = Path(tmp) / "client-spans.jsonl"
         up = subprocess.Popen(
             [
                 sys.executable, "-m", "repro", "cluster", "up",
@@ -61,6 +71,7 @@ def main() -> int:
                 "--port", "0",
                 "--state", str(state_path),
                 "--log", str(log_path),
+                "--trace", str(trace_path),
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
@@ -89,6 +100,8 @@ def main() -> int:
                     sys.executable, "-m", "repro", "loadtest", url,
                     "--rps", str(LOADTEST_RPS),
                     "--duration", str(LOADTEST_DURATION_S),
+                    "--trace-sample", str(TRACE_SAMPLE),
+                    "--trace-file", str(client_trace_path),
                     "--json",
                 ],
                 capture_output=True,
@@ -128,7 +141,42 @@ def main() -> int:
                     f"{logged} vs {check}"
                 )
 
-            # 3. clean teardown
+            # 3. every sampled trace assembles completely across the
+            # client, coordinator, and worker span files
+            time.sleep(0.5)  # server roots close after the response
+            trace_report = report.get("trace")
+            assert trace_report, "loadtest report carries no trace section"
+            assert trace_report["sample"] == TRACE_SAMPLE, trace_report
+            assert trace_report["sampled"] > 0, trace_report
+            span_files = [str(client_trace_path), str(trace_path)] + [
+                str(trace_path) + f".w{i}"
+                for i in range(2)
+                if (Path(str(trace_path) + f".w{i}")).exists()
+            ]
+            spans = read_spans(span_files)
+            traces = assemble_traces(spans)
+            sampled_ids = set(trace_report["trace_ids"])
+            assembled_ids = {t.trace_id for t in traces}
+            assert assembled_ids == sampled_ids, (
+                f"trace files hold {len(assembled_ids)} trace ids, "
+                f"loadtest sampled {len(sampled_ids)}"
+            )
+            incomplete = [t.trace_id for t in traces if not t.complete]
+            assert not incomplete, (
+                f"{len(incomplete)} of {len(traces)} sampled traces "
+                f"did not assemble completely: {incomplete[:5]}"
+            )
+            # every sampled access line names a trace the files hold
+            logged_ids = {
+                entry["trace"] for entry in parsed if entry["trace"] != "-"
+            }
+            assert logged_ids, "no access line carried a trace id"
+            assert logged_ids <= assembled_ids, (
+                f"access log names trace ids missing from the span "
+                f"files: {sorted(logged_ids - assembled_ids)[:5]}"
+            )
+
+            # 4. clean teardown
             down = subprocess.run(
                 [
                     sys.executable, "-m", "repro", "cluster", "down",
@@ -154,6 +202,8 @@ def main() -> int:
                         "sent": report["sent"],
                         "p99_ms": report["p99_ms"],
                         "access_lines": len(lines),
+                        "traces_sampled": trace_report["sampled"],
+                        "traces_complete": len(traces) - len(incomplete),
                     }
                 )
             )

@@ -18,6 +18,11 @@ console script; ``python -m repro`` works too)::
     repro cluster status         # pool liveness + request totals
     repro cluster down           # stop workers + coordinator
     repro loadtest localhost:8650 --rps 100 --duration 10
+    repro serve --trace spans.jsonl                   # span recording
+    repro cluster up -n 2 --trace spans.jsonl         # + PATH.wN per worker
+    repro loadtest localhost:8650 --trace-sample 10   # 1-in-10 end-to-end
+    repro loadtest localhost:8650 --slo-p99-ms 50 --find-max-rps
+    repro trace spans.jsonl spans.jsonl.w0 spans.jsonl.w1
     repro compare --speeds 1 2 4 8 --cache http://localhost:8640
     repro cache-stats --speeds 1 2 4 8 --repeats 3
     repro figure4 --model uniform --trials 100 --backend process
@@ -98,10 +103,26 @@ def _add_log_option(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help=(
             "structured access log, one ts/endpoint/status/elapsed_ms/"
-            "wire/bytes line per handled request: to stderr with no "
-            "argument, appended to PATH with one"
+            "wire/bytes/trace line per handled request: to stderr with "
+            "no argument, appended to PATH with one"
         ),
     )
+
+
+def _span_recorder_from_arg(args: argparse.Namespace, service: str):
+    """The SpanRecorder a ``--trace`` flag asks for (``None`` when absent).
+
+    Mirrors ``--log``: bare ``--trace`` streams span JSONL to stderr,
+    ``--trace PATH`` appends to a file the server owns and closes.
+    """
+    target = getattr(args, "trace", None)
+    if target is None:
+        return None
+    from repro.obs import SpanRecorder
+
+    if target == "-":
+        return SpanRecorder.stderr(service=service)
+    return SpanRecorder.open(target, service=service)
 
 
 def _positive_int(text: str) -> int:
@@ -388,6 +409,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         wire_mode=args.wire,
         max_inflight=args.max_inflight,
         access_log=_access_log_from_arg(args),
+        span_recorder=_span_recorder_from_arg(args, "server"),
     )
     print(f"repro plan server listening on {server.url}", flush=True)
     print(
@@ -430,6 +452,7 @@ def _cmd_cluster_up(args: argparse.Namespace) -> int:
         worker_max_inflight=args.worker_max_inflight,
         state_path=args.state or default_state_path(),
         access_log=_access_log_from_arg(args),
+        trace=args.trace,
     )
     try:
         cluster.start()
@@ -538,29 +561,97 @@ def _cmd_cluster_down(args: argparse.Namespace) -> int:
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     """Open-loop load test against a server/coordinator; exit 1 on fail."""
-    from repro.loadtest import parse_mix, run_loadtest
+    from repro.loadtest import find_max_rps, parse_mix, run_loadtest
 
+    kwargs = dict(
+        mix=parse_mix(args.mix) if args.mix else None,
+        seed=args.seed,
+        threads=args.threads,
+        wire_profile=args.wire_profile,
+        timeout=args.timeout,
+        error_budget=args.error_budget,
+        batch_size=args.batch_size,
+        check_server=not args.no_check,
+        trace_sample=args.trace_sample,
+    )
     try:
+        if args.find_max_rps:
+            if args.slo_p99_ms is None:
+                print(
+                    "error: --find-max-rps needs --slo-p99-ms to search "
+                    "against",
+                    file=sys.stderr,
+                )
+                return 2
+            search = find_max_rps(
+                args.target,
+                slo_p99_ms=args.slo_p99_ms,
+                start_rps=args.rps,
+                duration=args.duration,
+                **kwargs,
+            )
+            print(search.to_json() if args.json else search.render())
+            return 0 if search.found else 1
         report = run_loadtest(
-            args.target,
-            rps=args.rps,
-            duration=args.duration,
-            mix=parse_mix(args.mix) if args.mix else None,
-            seed=args.seed,
-            threads=args.threads,
-            wire_profile=args.wire_profile,
-            timeout=args.timeout,
-            error_budget=args.error_budget,
-            batch_size=args.batch_size,
-            check_server=not args.no_check,
+            args.target, rps=args.rps, duration=args.duration, **kwargs
         )
     except ValueError as exc:
         # bad --mix spec / non-positive --rps etc. are user errors:
         # message + exit 2, like the rest of the CLI
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.trace_file and report.client_spans:
+        count = report.write_client_spans(args.trace_file)
+        print(
+            f"wrote {count} client span(s) to {args.trace_file}",
+            file=sys.stderr,
+        )
     print(report.to_json() if args.json else report.render())
+    if args.slo_p99_ms is not None and report.p99_ms > args.slo_p99_ms:
+        print(
+            f"SLO violated: p99 {report.p99_ms:.2f}ms > "
+            f"{args.slo_p99_ms:g}ms",
+            file=sys.stderr,
+        )
+        return 1
     return 0 if report.passed else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Assemble span files into traces; print stats + slowest trees."""
+    from repro.obs import assemble_traces, read_spans, stage_stats
+    from repro.obs.assemble import render_trace
+
+    try:
+        spans = read_spans(args.files)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    traces = assemble_traces(spans)
+    if not traces:
+        print("no traces found")
+        return 1
+    complete = [t for t in traces if t.complete]
+    print(
+        f"{len(traces)} trace(s) from {len(spans)} spans "
+        f"({len(traces) - len(complete)} incomplete)"
+    )
+    print()
+    print("per-stage latency (all traces, by total time):")
+    for stage in stage_stats(traces):
+        print(
+            f"  {stage.name:<24} n={stage.count:>5}  "
+            f"p50={1000 * stage.p50_s:>8.2f}ms  "
+            f"p99={1000 * stage.p99_s:>8.2f}ms  "
+            f"total={stage.total_s:>8.3f}s"
+        )
+    for trace in traces[: max(0, args.slow)]:
+        print()
+        print(render_trace(trace))
+        path = " > ".join(span.name for span in trace.critical_path())
+        print(f"  critical path: {path}")
+        print(f"  accounted: {trace.accounted_fraction():.1%} of root")
+    return 0
 
 
 def _cmd_sort(args: argparse.Namespace) -> int:
@@ -784,6 +875,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_log_option(psv)
+    psv.add_argument(
+        "--trace",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record request spans (wire decode, cache lookup, plan "
+            "kernel, encode) for sampled requests as JSON lines: to "
+            "stderr with no argument, appended to PATH with one; "
+            "assemble with `repro trace PATH`"
+        ),
+    )
     _add_session_options(psv)
     psv.set_defaults(fn=_cmd_serve)
 
@@ -855,6 +959,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: ~/.repro-cluster.json)",
     )
     _add_log_option(cl_up)
+    cl_up.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "record spans across the whole cluster: the coordinator "
+            "appends to PATH, worker i to PATH.wI (workers are "
+            "subprocesses, so a file — not stderr — is required); "
+            "assemble with `repro trace PATH*`"
+        ),
+    )
     _add_session_options(cl_up)
     cl_up.set_defaults(fn=_cmd_cluster_up)
     cl_status = cluster_sub.add_parser(
@@ -942,11 +1058,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the server /metrics request-count cross-check",
     )
     plt.add_argument(
+        "--trace-sample",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "trace 1 in N operations end to end: each sampled op gets a "
+            "trace id the target continues when run with --trace; the "
+            "report lists the sampled ids for `repro trace` to join"
+        ),
+    )
+    plt.add_argument(
+        "--trace-file",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "append the sampled client root spans to PATH as JSON "
+            "lines; `repro trace PATH SERVER_TRACE...` then assembles "
+            "complete client-to-server traces"
+        ),
+    )
+    plt.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "latency SLO: fail (exit 1) if client-observed p99 exceeds "
+            "MS milliseconds"
+        ),
+    )
+    plt.add_argument(
+        "--find-max-rps",
+        action="store_true",
+        help=(
+            "instead of one run, ramp-and-bisect for the highest rate "
+            "whose p99 stays under --slo-p99-ms (--rps is the floor)"
+        ),
+    )
+    plt.add_argument(
         "--json",
         action="store_true",
         help="emit the full report as JSON instead of the summary",
     )
     plt.set_defaults(fn=_cmd_loadtest)
+
+    ptr = sub.add_parser(
+        "trace",
+        help=(
+            "assemble span JSONL files (--trace output) into traces: "
+            "per-stage p50/p99 and critical paths of the slowest"
+        ),
+    )
+    ptr.add_argument(
+        "files",
+        nargs="+",
+        metavar="FILE",
+        help="span files: a server's --trace PATH, a cluster's PATH PATH.w*",
+    )
+    ptr.add_argument(
+        "--slow",
+        type=int,
+        default=3,
+        metavar="N",
+        help="show the N slowest traces as full trees (default: 3)",
+    )
+    ptr.set_defaults(fn=_cmd_trace)
 
     ps = sub.add_parser("sort", help="run a sample sort")
     ps.add_argument("--n", type=int, default=100_000)

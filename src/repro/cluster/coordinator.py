@@ -43,9 +43,11 @@ from __future__ import annotations
 import json
 import threading
 import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.cluster.dispatch import (
     Candidate,
     DispatchPolicy,
@@ -67,6 +69,7 @@ from repro.service.metrics import (
     AdmissionGate,
     ServerMetrics,
     merge_metrics,
+    prometheus_exposition,
 )
 from repro.service.server import stats_payload
 
@@ -135,10 +138,14 @@ class _ClusterHandler(BaseHTTPRequestHandler):
 
     def _begin(self) -> None:
         self._started = time.perf_counter()
-        self._endpoint = (
-            self.path if self.path in _KNOWN_ENDPOINTS else "other"
-        )
+        route, _, query = self.path.partition("?")
+        self._route = route
+        self._query = urllib.parse.parse_qs(query)
+        self._endpoint = route if route in _KNOWN_ENDPOINTS else "other"
         self._profile = "-"
+        self._trace = obs.parse_trace_header(
+            self.headers.get(obs.TRACE_HEADER)
+        )
 
     def _reply(
         self,
@@ -153,12 +160,18 @@ class _ClusterHandler(BaseHTTPRequestHandler):
         # happens-before to reconcile client and server counts exactly
         started = getattr(self, "_started", None)
         if started is not None:
+            trace = getattr(self, "_trace", None)
             self.coordinator.observe_request(
                 getattr(self, "_endpoint", "other"),
                 code,
                 time.perf_counter() - started,
                 profile=getattr(self, "_profile", "-"),
                 nbytes=len(body),
+                trace=(
+                    trace.trace_id
+                    if trace is not None and trace.sampled
+                    else "-"
+                ),
             )
         self.send_response(code)
         self.send_header("Content-Type", content_type)
@@ -217,8 +230,14 @@ class _ClusterHandler(BaseHTTPRequestHandler):
             )
         return payload
 
+    def _unpack(self, body: bytes, profile: str) -> Any:
+        with obs.span("wire_decode", profile=profile, nbytes=len(body)):
+            return wire.unpack_any(body, allowed=(profile,))
+
     def _reply_envelope(self, payload: Any, profile: str) -> None:
-        self._reply(200, wire.pack_as(payload, profile), wire.CONTENT_TYPE)
+        with obs.span("wire_encode", profile=profile):
+            body = wire.pack_as(payload, profile)
+        self._reply(200, body, wire.CONTENT_TYPE)
 
     def _reply_admission_full(self) -> None:
         gate = self.coordinator.admission
@@ -245,16 +264,41 @@ class _ClusterHandler(BaseHTTPRequestHandler):
 
     # -- routes ----------------------------------------------------------
 
+    def _metrics_reply(self) -> None:
+        """Serve ``/metrics`` as JSON, or the cluster view as Prometheus.
+
+        The JSON payload is the full nested view (coordinator + per
+        worker + merged); the Prometheus rendering exposes the merged
+        ``cluster`` histogram — the series a scraper alerting on
+        cluster-wide latency wants, from one scrape target.
+        """
+        fmt = (self._query.get("format") or ["json"])[0]
+        payload = self.coordinator.metrics_payload()
+        if fmt == "prometheus":
+            self._reply(
+                200,
+                prometheus_exposition(payload["cluster"]).encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif fmt == "json":
+            self._reply_json(200, payload)
+        else:
+            self._reply_json(
+                400,
+                {"error": f"unknown metrics format {fmt!r}; "
+                          "pick 'json' or 'prometheus'"},
+            )
+
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         self._begin()
         try:
-            if self.path == "/healthz":
+            if self._route == "/healthz":
                 self._reply_json(200, self.coordinator.health_payload())
-            elif self.path == "/metrics":
-                self._reply_json(200, self.coordinator.metrics_payload())
-            elif self.path == "/cluster/status":
+            elif self._route == "/metrics":
+                self._metrics_reply()
+            elif self._route == "/cluster/status":
                 self._reply_json(200, self.coordinator.status_payload())
-            elif self.path == "/cache/stats":
+            elif self._route == "/cache/stats":
                 self._reply_json(200, self.coordinator.cache_stats())
             else:
                 self._reply_json(404, {"error": f"no such endpoint {self.path}"})
@@ -267,7 +311,7 @@ class _ClusterHandler(BaseHTTPRequestHandler):
         self._begin()
         try:
             body = self._body()
-            if self.path == "/workers/register":
+            if self._route == "/workers/register":
                 info = self.coordinator.pool.register(
                     str(self._json_body(body).get("url", ""))
                 )
@@ -275,7 +319,7 @@ class _ClusterHandler(BaseHTTPRequestHandler):
                     200, {"registered": True, "id": info.id, "url": info.url}
                 )
                 return
-            if self.path == "/workers/heartbeat":
+            if self._route == "/workers/heartbeat":
                 info = self.coordinator.pool.heartbeat(
                     str(self._json_body(body).get("url", ""))
                 )
@@ -283,33 +327,21 @@ class _ClusterHandler(BaseHTTPRequestHandler):
                     200, {"alive": info.alive, "id": info.id, "url": info.url}
                 )
                 return
-            if self.path == "/cluster/shutdown":
+            if self._route == "/cluster/shutdown":
                 self._reply_json(200, {"stopping": True})
                 self.coordinator.request_shutdown()
                 return
             profile = self._request_profile(body)
             self._profile = profile
-            if self.path in ("/plan", "/plan_batch"):
-                if not self.coordinator.admission.try_acquire():
-                    self._reply_admission_full()
-                    return
-                try:
-                    self._do_plan(body, profile)
-                finally:
-                    self.coordinator.admission.release()
-            elif self.path == "/cache/get":
-                key = wire.unpack_any(body, allowed=(profile,))
-                self._reply_envelope(self.coordinator.cache_get(key), profile)
-            elif self.path == "/cache/put":
-                key, result = wire.unpack_any(body, allowed=(profile,))
-                self.coordinator.cache_put(key, result)
-                self._reply_json(200, {"stored": True})
-            elif self.path == "/cache/clear":
-                self._reply_json(
-                    200, {"cleared": True, **self.coordinator.cache_clear()}
-                )
-            else:
-                self._reply_json(404, {"error": f"no such endpoint {self.path}"})
+            # sampled traced requests record a coordinator root span;
+            # plan_items picks the active trace up from this thread and
+            # forwards child contexts on every worker hop
+            with obs.serving(
+                self.coordinator.span_recorder,
+                self._trace,
+                f"coordinator {self._endpoint}",
+            ):
+                self._route_post(body, profile)
         except (wire.WireError, RegistryError, TypeError, ValueError) as exc:
             self._reply_json(400, {"error": str(exc)})
         except NoWorkersError as exc:
@@ -321,9 +353,32 @@ class _ClusterHandler(BaseHTTPRequestHandler):
         except Exception as exc:
             self._reply_json(500, {"error": f"{type(exc).__name__}: {exc}"})
 
+    def _route_post(self, body: bytes, profile: str) -> None:
+        if self._route in ("/plan", "/plan_batch"):
+            if not self.coordinator.admission.try_acquire():
+                self._reply_admission_full()
+                return
+            try:
+                self._do_plan(body, profile)
+            finally:
+                self.coordinator.admission.release()
+        elif self._route == "/cache/get":
+            key = self._unpack(body, profile)
+            self._reply_envelope(self.coordinator.cache_get(key), profile)
+        elif self._route == "/cache/put":
+            key, result = self._unpack(body, profile)
+            self.coordinator.cache_put(key, result)
+            self._reply_json(200, {"stored": True})
+        elif self._route == "/cache/clear":
+            self._reply_json(
+                200, {"cleared": True, **self.coordinator.cache_clear()}
+            )
+        else:
+            self._reply_json(404, {"error": f"no such endpoint {self.path}"})
+
     def _do_plan(self, body: bytes, profile: str) -> None:
-        if self.path == "/plan":
-            request = wire.unpack_any(body, allowed=(profile,))
+        if self._route == "/plan":
+            request = self._unpack(body, profile)
             if not isinstance(request, PlanRequest):
                 raise wire.WireError(
                     f"/plan expects a PlanRequest, got {type(request).__name__}"
@@ -332,7 +387,7 @@ class _ClusterHandler(BaseHTTPRequestHandler):
                 self.coordinator.plan_items([request])[0], profile
             )
         else:
-            items = wire.unpack_any(body, allowed=(profile,))
+            items = self._unpack(body, profile)
             self._reply_envelope(self.coordinator.plan_items(items), profile)
 
 
@@ -375,6 +430,7 @@ class ClusterCoordinator:
         worker_timeout: float = 60.0,
         shard_groups: bool = True,
         access_log: AccessLog | None = None,
+        span_recorder: obs.SpanRecorder | None = None,
     ) -> None:
         if wire_mode not in ("auto", "safe"):
             raise ValueError(
@@ -391,6 +447,9 @@ class ClusterCoordinator:
         self.metrics = ServerMetrics()
         #: when set, every handled response also appends one access line
         self.access_log = access_log
+        #: when set, sampled traced requests record coordinator root +
+        #: per-worker dispatch spans here (``repro cluster up --trace``)
+        self.span_recorder = span_recorder
         self.admission = AdmissionGate(max_inflight, retry_after)
         self.heartbeat_interval = float(heartbeat_interval)
         self.max_reroutes = int(max_reroutes)
@@ -416,6 +475,7 @@ class ClusterCoordinator:
         *,
         profile: str = "-",
         nbytes: int = 0,
+        trace: str = "-",
     ) -> None:
         """The single exit point every handled response reports through.
 
@@ -427,7 +487,8 @@ class ClusterCoordinator:
         self.metrics.observe(endpoint, status, elapsed_s)
         if self.access_log is not None:
             self.access_log.record(
-                endpoint, status, elapsed_s, wire=profile, nbytes=nbytes
+                endpoint, status, elapsed_s,
+                wire=profile, nbytes=nbytes, trace=trace,
             )
 
     # -- worker clients ---------------------------------------------------
@@ -524,6 +585,12 @@ class ClusterCoordinator:
         unit_results: List[Any] = [None] * len(units)
         done = [False] * len(units)
         pending = list(range(len(units)))
+        # capture the handler thread's ambient trace once: ship() runs
+        # on bare dispatch threads where context-locals don't follow,
+        # so hops record through the explicit API with the coordinator
+        # root span as parent — reroute rounds included, which is what
+        # keeps a dead worker's resent units on the original trace id
+        active = obs.current()
         for round_no in range(self.max_reroutes + 1):
             if not pending:
                 break
@@ -545,24 +612,57 @@ class ClusterCoordinator:
             errors: List[Exception] = []
             lock = threading.Lock()
 
-            def ship(url: str, uids: List[int]) -> None:
+            def ship(
+                url: str, uids: List[int], round_no: int = round_no
+            ) -> None:
                 payload = [units[u].item for u in uids]
                 weight = sum(units[u].weight for u in uids)
                 self.pool.acquire(url, weight)
+                hop_ctx: Optional[obs.TraceContext] = None
+                hop_span = None
+                if active is not None:
+                    # the dispatch span covers ship + worker + wait; the
+                    # forwarded child context carries its span id so the
+                    # worker's own root span parents to this hop
+                    hop_span = active.recorder.span(
+                        active.trace_id,
+                        "dispatch",
+                        parent_id=active.current_span_id,
+                        worker=url,
+                        items=len(uids),
+                        round=round_no,
+                    )
+                    span = hop_span.__enter__()
+                    hop_ctx = obs.TraceContext(
+                        trace_id=active.trace_id,
+                        span_id=span.span_id,
+                        sampled=True,
+                    )
+                    span.meta["outcome"] = "ok"
                 try:
-                    outputs = self._client(url).plan_items(payload)
+                    outputs = self._client(url).plan_items(
+                        payload, trace=hop_ctx
+                    )
                     with lock:
                         for u, out in zip(uids, outputs):
                             unit_results[u] = out
                             done[u] = True
                 except PlanServiceUnavailable as exc:
+                    if hop_span is not None:
+                        span.meta["outcome"] = "unreachable"
                     self.pool.mark_dead(url, f"unreachable: {exc}")
                     with lock:
                         failed.extend(uids)
                 except Exception as exc:
+                    if hop_span is not None:
+                        span.meta["outcome"] = "error"
                     with lock:
                         errors.append(exc)
                 finally:
+                    if hop_span is not None:
+                        # the span records on exit, failures included —
+                        # a chaos-killed worker still leaves its hop
+                        hop_span.__exit__(None, None, None)
                     self.pool.release(url, weight)
 
             if len(assignment) == 1:
@@ -589,12 +689,15 @@ class ClusterCoordinator:
                 "workers keep dying faster than they rejoin"
             )
         # reassemble: shards fill their group's slots by offset
-        for uid, unit in enumerate(units):
-            out = unit_results[uid]
-            if unit.offset is None:
-                skeleton[unit.index] = out
-            else:
-                skeleton[unit.index][unit.offset:unit.offset + unit.size] = out
+        with obs.span("reassemble", units=len(units)):
+            for uid, unit in enumerate(units):
+                out = unit_results[uid]
+                if unit.offset is None:
+                    skeleton[unit.index] = out
+                else:
+                    skeleton[unit.index][
+                        unit.offset:unit.offset + unit.size
+                    ] = out
         return skeleton
 
     # -- cache proxying ---------------------------------------------------
@@ -783,6 +886,8 @@ class ClusterCoordinator:
         self._http.server_close()
         if self.access_log is not None:
             self.access_log.close()
+        if self.span_recorder is not None:
+            self.span_recorder.close()
 
     def __enter__(self) -> "ClusterCoordinator":
         return self.start()

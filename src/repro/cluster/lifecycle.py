@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.cluster.coordinator import ClusterCoordinator
+from repro.obs import SpanRecorder
 
 #: what `repro serve` prints once its socket is bound
 _BANNER_RE = re.compile(r"repro plan server listening on (http://\S+)")
@@ -159,6 +160,8 @@ class LocalCluster:
         state_path: str | None = None,
         startup_timeout: float = 30.0,
         access_log: Any = None,
+        trace: str | None = None,
+        span_recorder: SpanRecorder | None = None,
     ) -> None:
         if n < 1:
             raise ValueError(f"a cluster needs >= 1 worker, got {n}")
@@ -180,6 +183,13 @@ class LocalCluster:
         self.startup_timeout = float(startup_timeout)
         #: optional AccessLog the coordinator writes front-door lines to
         self.access_log = access_log
+        #: span-file base path: the coordinator appends JSONL here and
+        #: worker i gets ``--trace <trace>.w<i>``, so one ``repro trace
+        #: <trace>*`` glob assembles whole cluster-crossing traces
+        self.trace = trace
+        #: in-process recorder for the coordinator (tests; wins over a
+        #: file recorder derived from ``trace``)
+        self.span_recorder = span_recorder
         self.workers: List[_Worker] = []
         self.coordinator: Optional[ClusterCoordinator] = None
         self._closed = False
@@ -211,6 +221,8 @@ class LocalCluster:
             command.append("--no-vectorize")
         if self.worker_max_inflight is not None:
             command += ["--max-inflight", str(self.worker_max_inflight)]
+        if self.trace:
+            command += ["--trace", f"{self.trace}.w{index}"]
         return command
 
     def _spawn_env(self) -> Dict[str, str]:
@@ -241,6 +253,11 @@ class LocalCluster:
                 worker.wait_ready(self.startup_timeout)
                 for worker in self.workers
             ]
+            recorder = self.span_recorder
+            if recorder is None and self.trace:
+                recorder = SpanRecorder.open(
+                    self.trace, service="coordinator"
+                )
             self.coordinator = ClusterCoordinator(
                 host=self.host,
                 port=self.port,
@@ -252,6 +269,7 @@ class LocalCluster:
                 max_reroutes=self.max_reroutes,
                 wire_mode="safe" if self.wire == "safe" else "auto",
                 access_log=self.access_log,
+                span_recorder=recorder,
             )
             self.coordinator.start()
         except Exception:

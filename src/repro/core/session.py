@@ -43,7 +43,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Any, List, Mapping, Sequence
 
-from repro import registry
+from repro import obs, registry
 from repro.core.backends import Backend, backend_from_spec
 from repro.core.cache import (
     CacheStats,
@@ -190,31 +190,45 @@ class PlannerSession:
         requests = [self._with_defaults(req) for req in requests]
         results: List[PlanResult | None] = [None] * len(requests)
         misses: List[tuple[int, Any, PlanRequest]] = []
-        for i, req in enumerate(requests):
-            # resolve eagerly: unknown strategies fail fast with the
-            # registry's "expected one of …" message, and the factory
-            # identity feeds the cache key
-            factory = registry.get("strategy", req.strategy)
-            if self._cache is None:
-                misses.append((i, None, req))
-                continue
-            # keying lives with the session, not the store: any
-            # PlanStore (memory, sqlite, tiered, plugin) sees the same
-            # content keys, so stores can warm each other
-            key = plan_cache_key(req, factory)
-            hit = self._cache.get(key)
-            if hit is not None:
-                results[i] = replace(
-                    hit, request=req, cached=True, elapsed_s=0.0
-                )
-            else:
-                misses.append((i, key, req))
+        # obs.span is a no-op unless the calling thread carries an
+        # active trace (a sampled request on a --trace server); the
+        # untraced hot path pays one context-var read per seam
+        with obs.span("cache_lookup", requests=len(requests)) as lookup_span:
+            for i, req in enumerate(requests):
+                # resolve eagerly: unknown strategies fail fast with the
+                # registry's "expected one of …" message, and the factory
+                # identity feeds the cache key
+                factory = registry.get("strategy", req.strategy)
+                if self._cache is None:
+                    misses.append((i, None, req))
+                    continue
+                # keying lives with the session, not the store: any
+                # PlanStore (memory, sqlite, tiered, plugin) sees the same
+                # content keys, so stores can warm each other
+                key = plan_cache_key(req, factory)
+                hit = self._cache.get(key)
+                if hit is not None:
+                    results[i] = replace(
+                        hit, request=req, cached=True, elapsed_s=0.0
+                    )
+                else:
+                    misses.append((i, key, req))
+            if lookup_span is not None:
+                lookup_span.meta["misses"] = len(misses)
         if misses:
             miss_requests = [req for _, _, req in misses]
-            if use_vectorize:
-                planned = plan_batch_requests(miss_requests, self.backend)
-            else:
-                planned = self.backend.map(plan_request, miss_requests)
+            # recorded on the calling thread, so it covers kernel time
+            # plus any backend fan-out wait — the whole planning cost
+            # of the batch as this request experienced it
+            with obs.span(
+                "plan_kernel",
+                misses=len(misses),
+                vectorize=use_vectorize,
+            ):
+                if use_vectorize:
+                    planned = plan_batch_requests(miss_requests, self.backend)
+                else:
+                    planned = self.backend.map(plan_request, miss_requests)
             for (i, key, _), result in zip(misses, planned):
                 if self._cache is not None:
                     self._cache.put(key, result)

@@ -10,6 +10,9 @@ The package splits along the natural seams:
   reconcile exactly.
 * :mod:`repro.loadtest.report` — client-side stats, the server
   ``/metrics`` cross-check, and the pass/fail verdict (the *so what*).
+* :mod:`repro.loadtest.slo` — the latency-under-SLO capacity search
+  (``--slo-p99-ms`` / ``--find-max-rps``): ramp-and-bisect to the
+  highest rate whose p99 stays under the SLO (the *how much*).
 """
 
 from repro.loadtest.driver import STATUS_UNREACHABLE, run_loadtest
@@ -20,6 +23,7 @@ from repro.loadtest.report import (
     cross_check,
     frontdoor_metrics,
 )
+from repro.loadtest.slo import SloProbe, SloSearchResult, find_max_rps
 from repro.loadtest.stream import (
     DEFAULT_MIX,
     ENDPOINT_BY_KIND,
@@ -39,7 +43,10 @@ __all__ = [
     "OP_KINDS",
     "Op",
     "STATUS_UNREACHABLE",
+    "SloProbe",
+    "SloSearchResult",
     "cross_check",
+    "find_max_rps",
     "frontdoor_metrics",
     "parse_mix",
     "request_stream",

@@ -48,6 +48,7 @@ from typing import Any, Dict, List, Mapping, Optional
 
 from repro.loadtest.report import LoadtestReport, cross_check
 from repro.loadtest.stream import Op, request_stream
+from repro.obs import SpanRecorder, TraceContext, start_trace
 from repro.service.client import (
     PlanServiceError,
     PlanServiceUnavailable,
@@ -80,14 +81,16 @@ class _Tally:
         self.lags_s: List[float] = []
 
 
-def _execute(client: ServiceClient, op: Op) -> int:
+def _execute(
+    client: ServiceClient, op: Op, trace: Optional[TraceContext] = None
+) -> int:
     """Fire one operation; return the (possibly synthetic) HTTP status."""
     if op.kind == "plan":
-        client.plan(op.payload)
+        client.plan(op.payload, trace=trace)
     elif op.kind == "plan_batch":
-        client.plan_items(op.payload)
+        client.plan_items(op.payload, trace=trace)
     else:
-        client.cache_get(op.payload)
+        client.cache_get(op.payload, trace=trace)
     return 200
 
 
@@ -102,9 +105,15 @@ def _worker(
     cursor_lock: threading.Lock,
     metrics: ServerMetrics,
     tally: _Tally,
+    trace_sample: Optional[int] = None,
+    recorder: Optional[SpanRecorder] = None,
 ) -> None:
     client = ServiceClient(
-        base_url, timeout=timeout, retries=0, wire_profile=profile
+        base_url,
+        timeout=timeout,
+        retries=0,
+        wire_profile=profile,
+        span_recorder=recorder,
     )
     # pin the negotiated profile so the thread's first planning call
     # needs no /healthz round-trip inside the measured window
@@ -124,9 +133,16 @@ def _worker(
         tally.lags_s.append(max(0.0, time.monotonic() - slot))
         endpoint = op.endpoint
         tally.attempted[endpoint] = tally.attempted.get(endpoint, 0) + 1
+        # sampling keys on the stream index, not the thread: whichever
+        # thread pulls op N, the same deterministic 1-in-N slots trace
+        trace = (
+            start_trace()
+            if trace_sample is not None and index % trace_sample == 0
+            else None
+        )
         began = time.perf_counter()
         try:
-            status = _execute(client, op)
+            status = _execute(client, op, trace)
         except PlanServiceUnavailable:
             status = STATUS_UNREACHABLE
             tally.unavailable += 1
@@ -166,6 +182,7 @@ def run_loadtest(
     strategy: str = "het",
     check_server: bool = True,
     ops: Optional[List[Op]] = None,
+    trace_sample: Optional[int] = None,
 ) -> LoadtestReport:
     """Drive ``target`` at ``rps`` for ``duration`` seconds; report.
 
@@ -181,6 +198,14 @@ def run_loadtest(
     ``check_server=False`` skips the ``/metrics`` snapshots (for
     targets that run with metrics disabled); the verdict then rests on
     the error budget alone.
+
+    ``trace_sample=N`` tags every Nth stream operation with a fresh
+    sampled trace context (``repro loadtest --trace-sample N``): the
+    client records the root span per sampled op, the target — when run
+    with ``--trace`` — records the server-side stages under the same
+    trace id, and the report carries the sampled root spans so the
+    measured tail can be attributed stage by stage (``repro trace``
+    joins the two by id).
     """
     if rps <= 0:
         raise ValueError(f"rps must be > 0, got {rps}")
@@ -188,6 +213,8 @@ def run_loadtest(
         raise ValueError(f"duration must be > 0, got {duration}")
     if threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
+    if trace_sample is not None and trace_sample < 1:
+        raise ValueError(f"trace_sample must be >= 1, got {trace_sample}")
     base_url = service_url(target)
     if ops is None:
         ops = request_stream(
@@ -218,13 +245,18 @@ def run_loadtest(
     cursor_lock = threading.Lock()
     tallies = [_Tally() for _ in range(threads)]
     metrics = [ServerMetrics() for _ in range(threads)]
+    # one buffering recorder shared by every worker client (its lock is
+    # only taken on sampled ops); drained into the report after the join
+    recorder = (
+        SpanRecorder(service="client") if trace_sample is not None else None
+    )
     workers = [
         threading.Thread(
             target=_worker,
             name=f"repro-loadtest-{i}",
             args=(
                 base_url, profile, timeout, ops, rps, start, cursor,
-                cursor_lock, metrics[i], tallies[i],
+                cursor_lock, metrics[i], tallies[i], trace_sample, recorder,
             ),
             daemon=True,
         )
@@ -261,6 +293,7 @@ def run_loadtest(
         if check_server
         else []
     )
+    client_spans = recorder.drain() if recorder is not None else []
     return LoadtestReport(
         target=base_url,
         wire_profile=profile,
@@ -281,4 +314,6 @@ def run_loadtest(
         server_after=dict(after),
         checks=checks,
         schedule_lag_p99_ms=1000.0 * lag_p99_s,
+        trace_sample=trace_sample,
+        client_spans=client_spans,
     )

@@ -31,8 +31,9 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping
+from typing import Any, Dict, List, Mapping, Optional
 
+from repro.obs import Span
 from repro.service.metrics import (
     LATENCY_BUCKETS_S,
     _quantile_s,
@@ -159,6 +160,10 @@ class LoadtestReport:
     checks: List[EndpointCheck] = field(default_factory=list)
     #: send-slot lag: how late the open-loop scheduler fired, p99 (ms)
     schedule_lag_p99_ms: float = 0.0
+    #: 1-in-N trace sampling rate the run used (``None`` = no tracing)
+    trace_sample: Optional[int] = None
+    #: client root spans of the sampled operations, one per sampled op
+    client_spans: List[Span] = field(default_factory=list)
 
     @property
     def achieved_rps(self) -> float:
@@ -182,6 +187,43 @@ class LoadtestReport:
     def server_check_ok(self) -> bool:
         return all(check.matched for check in self.checks)
 
+    def trace_summary(self) -> Optional[Dict[str, Any]]:
+        """The sampled-trace section of the report (``None`` untraced).
+
+        The sampled root spans are the *client-observed* latency of the
+        sampled operations; joining their trace ids against the
+        target's ``--trace`` file (``repro trace``) attributes that
+        tail stage by stage server-side.
+        """
+        if self.trace_sample is None:
+            return None
+        durations = sorted(span.duration_s for span in self.client_spans)
+
+        def _q(q: float) -> float:
+            if not durations:
+                return 0.0
+            rank = min(len(durations) - 1, int(q * len(durations)))
+            return round(1000.0 * durations[rank], 3)
+
+        slowest = sorted(
+            self.client_spans, key=lambda s: s.duration_s, reverse=True
+        )
+        return {
+            "sample": self.trace_sample,
+            "sampled": len(self.client_spans),
+            "p50_ms": _q(0.50),
+            "p99_ms": _q(0.99),
+            "slowest": [
+                {
+                    "trace_id": span.trace_id,
+                    "name": span.name,
+                    "ms": round(1000.0 * span.duration_s, 3),
+                }
+                for span in slowest[:5]
+            ],
+            "trace_ids": [span.trace_id for span in self.client_spans],
+        }
+
     @property
     def passed(self) -> bool:
         return self.error_rate <= self.error_budget and self.server_check_ok
@@ -191,8 +233,10 @@ class LoadtestReport:
         return "pass" if self.passed else "fail"
 
     def to_dict(self) -> Dict[str, Any]:
+        trace = self.trace_summary()
         return {
             "target": self.target,
+            **({"trace": trace} if trace is not None else {}),
             "wire_profile": self.wire_profile,
             "seed": self.seed,
             "threads": self.threads,
@@ -219,6 +263,18 @@ class LoadtestReport:
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write_client_spans(self, path: str) -> int:
+        """Append the sampled client root spans to a JSONL span file.
+
+        ``repro loadtest --trace-file PATH`` uses this so ``repro trace
+        PATH SERVER_TRACE...`` can assemble *complete* traces — the
+        client span is the root every server-side span hangs from.
+        """
+        with open(path, "a", encoding="utf-8") as stream:
+            for span in self.client_spans:
+                stream.write(span.to_json_line() + "\n")
+        return len(self.client_spans)
 
     def render(self) -> str:
         """The human-facing summary ``repro loadtest`` prints."""
@@ -253,6 +309,18 @@ class LoadtestReport:
                 )
         else:
             lines.append("  server cross-check: skipped")
+        trace = self.trace_summary()
+        if trace is not None:
+            lines.append(
+                f"  traces: 1-in-{trace['sample']} sampled "
+                f"{trace['sampled']} ops — sampled p50={trace['p50_ms']}ms "
+                f"p99={trace['p99_ms']}ms"
+            )
+            for slow in trace["slowest"][:3]:
+                lines.append(
+                    f"    {slow['trace_id']}  {slow['name']:<18} "
+                    f"{slow['ms']:.2f}ms"
+                )
         lines.append(
             f"  error budget: {self.error_rate:.4%} observed vs "
             f"{self.error_budget:.4%} allowed — verdict: {self.verdict}"

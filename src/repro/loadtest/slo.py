@@ -1,0 +1,197 @@
+"""Latency-under-SLO search: the highest rate a target sustains.
+
+``repro loadtest --slo-p99-ms X --find-max-rps`` answers the capacity
+question the single-rate harness can't: *what is the largest request
+rate at which client-observed p99 stays under X milliseconds and the
+run still passes its error budget?*  The search is a bracketed
+bisection over the rate axis:
+
+1. **Floor probe** — run at the requested base rate.  If even that
+   violates the SLO, the answer is "none at or above the floor" and
+   the search stops after one run (``max_rps = 0``).
+2. **Exponential ramp** — double the rate until a probe fails (or the
+   ramp cap is hit).  The last passing rate and the first failing rate
+   bracket the capacity cliff.
+3. **Bisection** — halve the bracket for a fixed number of rounds.
+   Latency near saturation is noisy, so the search stops at a relative
+   resolution rather than chasing a fixed-point answer the noise
+   would invalidate.
+
+Every probe is a full :func:`~repro.loadtest.driver.run_loadtest` run
+(same seed, same mix — only the rate moves), and every probe's verdict
+is recorded in the result: a capacity number you can't audit is a
+number you can't trust.  Probes are sequential by construction — two
+concurrent probes would contend for the same target and measure each
+other.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.loadtest.report import LoadtestReport
+
+#: bisection stops when the bracket is within this fraction of the cap
+RESOLUTION = 0.10
+
+#: safety cap on the exponential ramp (doublings of the floor rate)
+MAX_DOUBLINGS = 8
+
+
+@dataclass
+class SloProbe:
+    """One probe run: the rate asked for and how the target fared."""
+
+    rps: float
+    p99_ms: float
+    error_rate: float
+    passed_budget: bool
+    #: the probe's overall verdict: budget passed AND p99 under SLO
+    ok: bool
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rps": round(self.rps, 2),
+            "p99_ms": self.p99_ms,
+            "error_rate": round(self.error_rate, 6),
+            "passed_budget": self.passed_budget,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class SloSearchResult:
+    """Outcome of a latency-under-SLO capacity search."""
+
+    slo_p99_ms: float
+    #: highest probed rate that met the SLO (0.0 = even the floor failed)
+    max_rps: float
+    #: every probe, in execution order — the audit trail
+    probes: List[SloProbe] = field(default_factory=list)
+    #: the report of the best passing probe (None when none passed)
+    best_report: Optional[LoadtestReport] = None
+
+    @property
+    def found(self) -> bool:
+        return self.max_rps > 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "slo_p99_ms": self.slo_p99_ms,
+            "max_rps": round(self.max_rps, 2),
+            "found": self.found,
+            "probes": [probe.as_dict() for probe in self.probes],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        lines = [
+            f"SLO search: p99 <= {self.slo_p99_ms:g}ms "
+            f"({len(self.probes)} probes)"
+        ]
+        for probe in self.probes:
+            state = "ok" if probe.ok else "FAIL"
+            why = (
+                ""
+                if probe.passed_budget
+                else f" (error rate {probe.error_rate:.2%})"
+            )
+            lines.append(
+                f"  {probe.rps:>8.1f} req/s  p99={probe.p99_ms:>8.2f}ms  "
+                f"{state}{why}"
+            )
+        if self.found:
+            lines.append(f"  max sustainable rate: {self.max_rps:.1f} req/s")
+        else:
+            lines.append("  no probed rate met the SLO")
+        return "\n".join(lines)
+
+
+def find_max_rps(
+    target: str,
+    *,
+    slo_p99_ms: float,
+    start_rps: float = 20.0,
+    duration: float = 2.0,
+    rounds: int = 4,
+    runner: Optional[Callable[..., LoadtestReport]] = None,
+    **loadtest_kwargs: Any,
+) -> SloSearchResult:
+    """Bisect for the highest rate whose p99 stays under ``slo_p99_ms``.
+
+    ``start_rps`` is the floor: the search never reports a capacity
+    below it (if the floor probe fails, ``max_rps`` is 0.0 and the
+    caller knows the target can't hold even the base rate).  ``rounds``
+    bounds the bisection after the ramp brackets the cliff; the search
+    also stops early once the bracket is within ``RESOLUTION`` of its
+    upper edge — tighter answers would be noise.  ``runner`` overrides
+    the probe function (tests substitute a synthetic target);
+    everything else in ``loadtest_kwargs`` flows into each
+    :func:`~repro.loadtest.driver.run_loadtest` probe unchanged.
+    """
+    if slo_p99_ms <= 0:
+        raise ValueError(f"slo_p99_ms must be > 0, got {slo_p99_ms}")
+    if start_rps <= 0:
+        raise ValueError(f"start_rps must be > 0, got {start_rps}")
+    if rounds < 0:
+        raise ValueError(f"rounds must be >= 0, got {rounds}")
+    if runner is None:
+        from repro.loadtest.driver import run_loadtest
+
+        runner = run_loadtest
+
+    result = SloSearchResult(slo_p99_ms=float(slo_p99_ms), max_rps=0.0)
+
+    def probe(rps: float) -> SloProbe:
+        report = runner(
+            target, rps=rps, duration=duration, **loadtest_kwargs
+        )
+        outcome = SloProbe(
+            rps=rps,
+            p99_ms=report.p99_ms,
+            error_rate=report.error_rate,
+            passed_budget=report.passed,
+            ok=report.passed and report.p99_ms <= slo_p99_ms,
+        )
+        result.probes.append(outcome)
+        if outcome.ok and rps > result.max_rps:
+            result.max_rps = rps
+            result.best_report = report
+        return outcome
+
+    # 1) floor: if the base rate already violates the SLO, stop — the
+    # answer "less than start_rps" is outside the search's contract
+    if not probe(start_rps).ok:
+        return result
+
+    # 2) ramp: double until a probe fails, bracketing the cliff
+    lo = start_rps
+    hi: Optional[float] = None
+    rate = start_rps
+    for _ in range(MAX_DOUBLINGS):
+        rate *= 2.0
+        if probe(rate).ok:
+            lo = rate
+        else:
+            hi = rate
+            break
+    if hi is None:
+        # never failed inside the ramp cap: the target outruns the
+        # search window; report the last passing rate honestly
+        return result
+
+    # 3) bisect the bracket; stop early once further halving is under
+    # the noise floor
+    for _ in range(rounds):
+        if (hi - lo) <= RESOLUTION * hi:
+            break
+        mid = (lo + hi) / 2.0
+        if probe(mid).ok:
+            lo = mid
+        else:
+            hi = mid
+    return result

@@ -1,0 +1,107 @@
+"""Trace contexts: the identity a request carries across process hops.
+
+A *trace* is one client-observed operation — a ``/plan_batch`` POST,
+say — however many processes it touches on the way.  Its identity is a
+:class:`TraceContext`:
+
+* ``trace_id`` — 16 hex chars shared by every span of the operation;
+* ``span_id`` — 8 hex chars naming the *sender's* span.  Whoever
+  receives the context uses it as the parent of its own root span, so
+  the spans of client, coordinator and workers chain into one tree;
+* ``sampled`` — whether the hops should record spans at all.  An
+  unsampled context still propagates (the ids stay joinable in access
+  logs) but recorders stay silent, which is what keeps always-on
+  tracing affordable.
+
+On the wire the context is one HTTP header (:data:`TRACE_HEADER`)::
+
+    X-Repro-Trace: 6f2a9c0d4e1b8a37-9c4e2d10-01
+
+i.e. ``trace_id-span_id-flags`` with ``01`` sampled / ``00`` not —
+deliberately the shape of a W3C ``traceparent`` without the version
+field.  :func:`parse_trace_header` is the exact inverse of
+:meth:`TraceContext.to_header` for every valid context; a malformed
+header from a foreign client yields ``None`` (requests must never fail
+because their tracing decoration is garbled).
+
+Everything here is stdlib-only so any layer — core sessions included —
+may import it freely.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, replace
+from typing import Optional
+
+#: HTTP header a trace context travels in (request direction only)
+TRACE_HEADER = "X-Repro-Trace"
+
+#: hex chars in a trace id / span id
+TRACE_ID_CHARS = 16
+SPAN_ID_CHARS = 8
+
+_HEADER_RE = re.compile(
+    rf"^([0-9a-f]{{{TRACE_ID_CHARS}}})-([0-9a-f]{{{SPAN_ID_CHARS}}})-(00|01)$"
+)
+
+
+def new_trace_id() -> str:
+    """A fresh random trace id (16 lowercase hex chars)."""
+    return os.urandom(TRACE_ID_CHARS // 2).hex()
+
+
+def new_span_id() -> str:
+    """A fresh random span id (8 lowercase hex chars)."""
+    return os.urandom(SPAN_ID_CHARS // 2).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One operation's identity as it crosses a process boundary."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def to_header(self) -> str:
+        """The ``X-Repro-Trace`` header value this context travels as."""
+        return f"{self.trace_id}-{self.span_id}-{'01' if self.sampled else '00'}"
+
+    def child(self) -> "TraceContext":
+        """The context a downstream hop receives: same trace, new span.
+
+        The fresh ``span_id`` names the span the *caller* is about to
+        record for the hop, so the receiver's root span parents to it.
+        """
+        return replace(self, span_id=new_span_id())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_header()
+
+
+def start_trace(sampled: bool = True) -> TraceContext:
+    """Originate a brand-new trace (the client side of hop zero)."""
+    return TraceContext(
+        trace_id=new_trace_id(), span_id=new_span_id(), sampled=sampled
+    )
+
+
+def parse_trace_header(value: Optional[str]) -> Optional[TraceContext]:
+    """The context an ``X-Repro-Trace`` header carries, else ``None``.
+
+    Lenient on purpose: a missing, empty, or malformed header means
+    "this request is untraced" — a foreign client's junk decoration
+    must never fail the request it decorates.  For every context,
+    ``parse_trace_header(ctx.to_header()) == ctx``.
+    """
+    if not value:
+        return None
+    match = _HEADER_RE.match(value.strip())
+    if match is None:
+        return None
+    trace_id, span_id, flags = match.groups()
+    return TraceContext(
+        trace_id=trace_id, span_id=span_id, sampled=flags == "01"
+    )

@@ -1,0 +1,354 @@
+"""Span recording: named timed sections, flushed as JSONL.
+
+A :class:`Span` is one named, timed section of one process's work on a
+trace — ``server /plan_batch``, ``cache_lookup``, ``dispatch`` — with
+a wall-clock start (so spans from different processes on one host line
+up on a shared timeline) and a monotonic-derived duration (so an NTP
+step mid-span cannot produce negative time).
+
+:class:`SpanRecorder` collects them behind one lock, the same
+discipline as :class:`~repro.service.metrics.ServerMetrics`.  With a
+stream it flushes each span as one JSON line the moment it closes
+(``repro serve --trace [PATH]``, mirroring ``--log``); without one it
+buffers in memory for in-process consumers (tests, the loadtest
+driver).  :func:`parse_span_line` is the exact inverse of
+:meth:`Span.to_json_line`, and ``repro trace`` reassembles whole
+multi-process traces from any pile of such files.
+
+Two recording styles coexist:
+
+* **explicit** — :meth:`SpanRecorder.span` with a trace id and parent
+  id in hand.  The cluster coordinator uses this from its dispatch
+  threads, where no ambient state can help.
+* **ambient** — :func:`activate` installs a (recorder, trace) pair in
+  a ``contextvars`` context local, and :func:`span` opens a child of
+  whatever span is innermost — or does *nothing at all* when no trace
+  is active, which is what lets deep layers like
+  :meth:`~repro.core.session.PlannerSession.plan_batch` carry
+  permanent instrumentation at zero cost on the untraced hot path
+  (one context-var read deciding "no").
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, Iterator, List, Optional
+
+from repro.obs.context import TraceContext, new_span_id
+
+
+@dataclass
+class Span:
+    """One named, timed section of one process's work on a trace."""
+
+    trace_id: str
+    span_id: str
+    #: the enclosing span (possibly in another process); None for roots
+    parent_id: Optional[str]
+    #: stage name — the unit ``repro trace`` aggregates p50/p99 over
+    name: str
+    #: which process kind recorded it: client / server / coordinator...
+    service: str
+    #: wall-clock start, seconds since the epoch (cross-process timeline)
+    start_s: float
+    duration_s: float
+    #: free-form labels: worker url, item counts, reroute round, status
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "service": self.service,
+            "start_s": round(self.start_s, 6),
+            "duration_s": round(self.duration_s, 6),
+        }
+        if self.meta:
+            payload["meta"] = self.meta
+        return payload
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+def parse_span_line(line: str) -> Span:
+    """Parse one :meth:`Span.to_json_line` line back into a :class:`Span`.
+
+    Raises ``ValueError`` on anything that is not a complete span line,
+    so trace-assembly tools fail loudly on truncated or interleaved
+    output instead of silently dropping stages.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not a span line ({exc}): {line!r}") from None
+    if not isinstance(payload, dict):
+        raise ValueError(f"not a span object: {line!r}")
+    missing = [
+        key
+        for key in ("trace_id", "span_id", "name", "service", "start_s",
+                    "duration_s")
+        if key not in payload
+    ]
+    if missing:
+        raise ValueError(f"span line missing field(s) {missing}: {line!r}")
+    return Span(
+        trace_id=str(payload["trace_id"]),
+        span_id=str(payload["span_id"]),
+        parent_id=(
+            None if payload.get("parent_id") is None
+            else str(payload["parent_id"])
+        ),
+        name=str(payload["name"]),
+        service=str(payload["service"]),
+        start_s=float(payload["start_s"]),
+        duration_s=float(payload["duration_s"]),
+        meta=dict(payload.get("meta") or {}),
+    )
+
+
+class SpanRecorder:
+    """Thread-safe span sink: JSONL to a stream, or an in-memory buffer.
+
+    ``SpanRecorder()`` buffers (drain with :meth:`drain`, inspect with
+    :meth:`snapshot`); ``SpanRecorder(stream)`` writes each span as one
+    JSON line the moment it closes (``SpanRecorder.stderr()`` for the
+    bare ``--trace`` flag, :meth:`open` for ``--trace PATH``).  Like
+    :class:`~repro.service.metrics.AccessLog`, a stream closed under us
+    mid-shutdown loses the line, never fails the request it traces.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        *,
+        service: str = "repro",
+        _owns_stream: bool = False,
+    ) -> None:
+        self._stream = stream
+        self._owns_stream = _owns_stream
+        self._lock = threading.Lock()
+        self._buffer: List[Span] = []
+        #: default ``service`` label for spans recorded through this sink
+        self.service = service
+        #: spans ever recorded (tests and status displays)
+        self.spans_recorded = 0
+
+    @classmethod
+    def open(cls, path: str, *, service: str = "repro") -> "SpanRecorder":
+        """A recorder appending JSONL to ``path`` (created if missing)."""
+        return cls(
+            open(path, "a", encoding="utf-8"),
+            service=service,
+            _owns_stream=True,
+        )
+
+    @classmethod
+    def stderr(cls, *, service: str = "repro") -> "SpanRecorder":
+        """A recorder streaming to stderr (the bare ``--trace`` flag)."""
+        return cls(sys.stderr, service=service)
+
+    # -- recording --------------------------------------------------------
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            if self._stream is None:
+                self._buffer.append(span)
+            else:
+                try:
+                    self._stream.write(span.to_json_line() + "\n")
+                    self._stream.flush()
+                except ValueError:
+                    # closed under us (shutdown race): a lost span must
+                    # never fail the request it traces
+                    return
+            self.spans_recorded += 1
+
+    @contextmanager
+    def span(
+        self,
+        trace_id: str,
+        name: str,
+        *,
+        parent_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+        service: Optional[str] = None,
+        **meta: Any,
+    ) -> Iterator[Span]:
+        """Record one explicitly-parented span around a ``with`` body.
+
+        Yields the in-flight :class:`Span` so the body can read its
+        ``span_id`` (to forward in a child :class:`TraceContext`) and
+        add ``meta`` labels; duration and recording happen on exit —
+        exceptions included, so a failed hop still leaves its span.
+        """
+        span = Span(
+            trace_id=trace_id,
+            span_id=span_id if span_id is not None else new_span_id(),
+            parent_id=parent_id,
+            name=name,
+            service=service if service is not None else self.service,
+            start_s=time.time(),
+            duration_s=0.0,
+            meta=dict(meta),
+        )
+        began = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.duration_s = time.perf_counter() - began
+            self.record(span)
+
+    # -- buffered-mode access --------------------------------------------
+
+    def snapshot(self) -> List[Span]:
+        """The buffered spans so far (buffer mode; copies, keeps them)."""
+        with self._lock:
+            return list(self._buffer)
+
+    def drain(self) -> List[Span]:
+        """Remove and return the buffered spans (buffer mode)."""
+        with self._lock:
+            spans, self._buffer = self._buffer, []
+            return spans
+
+    def close(self) -> None:
+        """Close an owned file stream (stderr/borrowed streams survive)."""
+        if self._owns_stream and self._stream is not None:
+            with self._lock:
+                self._stream.close()
+
+
+# ---------------------------------------------------------------------------
+# ambient tracing: the context-local (recorder, trace, span stack) triple
+
+
+class ActiveTrace:
+    """The ambient tracing state one request handler installs.
+
+    ``stack`` holds open span ids innermost-last; its base is the
+    *incoming* context's span id, so the first ambient :func:`span`
+    becomes the process's root span, parented across the process
+    boundary.  The stack is only mutated by the thread that owns the
+    context — dispatch threads use the explicit
+    :meth:`SpanRecorder.span` API instead.
+    """
+
+    __slots__ = ("recorder", "context", "stack")
+
+    def __init__(self, recorder: SpanRecorder, context: TraceContext) -> None:
+        self.recorder = recorder
+        self.context = context
+        self.stack: List[str] = [context.span_id]
+
+    @property
+    def trace_id(self) -> str:
+        return self.context.trace_id
+
+    @property
+    def current_span_id(self) -> str:
+        return self.stack[-1]
+
+
+_ACTIVE: contextvars.ContextVar[Optional[ActiveTrace]] = (
+    contextvars.ContextVar("repro-obs-active", default=None)
+)
+
+
+def current() -> Optional[ActiveTrace]:
+    """The thread's active trace, or ``None`` (the untraced fast path)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def activate(
+    recorder: SpanRecorder, context: TraceContext
+) -> Iterator[ActiveTrace]:
+    """Install ambient tracing for the ``with`` body (this thread only).
+
+    Unsampled contexts install nothing — :func:`span` stays a no-op —
+    but the body runs identically, so sampling decisions never change
+    behaviour.
+    """
+    if not context.sampled:
+        yield None  # type: ignore[misc]
+        return
+    active = ActiveTrace(recorder, context)
+    token = _ACTIVE.set(active)
+    try:
+        yield active
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def serving(
+    recorder: Optional[SpanRecorder],
+    context: Optional[TraceContext],
+    name: str,
+    **meta: Any,
+) -> Iterator[Optional[Span]]:
+    """The receiving side of a hop: root span + ambient tracing.
+
+    Records ``name`` as this process's root span — parented to the
+    *incoming* context's span id, which is how the tree chains across
+    the process boundary — and activates ambient tracing under it so
+    :func:`span` seams inside the handler attach as children.  With no
+    recorder, no context, or an unsampled context this is a no-op and
+    the body runs bare.
+    """
+    if recorder is None or context is None or not context.sampled:
+        yield None
+        return
+    with recorder.span(
+        context.trace_id, name, parent_id=context.span_id, **meta
+    ) as root:
+        inner = TraceContext(
+            trace_id=context.trace_id, span_id=root.span_id, sampled=True
+        )
+        with activate(recorder, inner):
+            yield root
+
+
+@contextmanager
+def span(name: str, **meta: Any) -> Iterator[Optional[Span]]:
+    """Open a child of the innermost ambient span; no-op when untraced.
+
+    This is the form permanent instrumentation uses at the seams (wire
+    decode, cache lookup, kernel time, wire encode): when no trace is
+    active the cost is one context-var read and the body runs bare.
+    """
+    active = _ACTIVE.get()
+    if active is None:
+        yield None
+        return
+    open_span = Span(
+        trace_id=active.trace_id,
+        span_id=new_span_id(),
+        parent_id=active.current_span_id,
+        name=name,
+        service=active.recorder.service,
+        start_s=time.time(),
+        duration_s=0.0,
+        meta=dict(meta),
+    )
+    active.stack.append(open_span.span_id)
+    began = time.perf_counter()
+    try:
+        yield open_span
+    finally:
+        active.stack.pop()
+        open_span.duration_s = time.perf_counter() - began
+        active.recorder.record(open_span)

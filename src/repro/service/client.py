@@ -47,18 +47,20 @@ from __future__ import annotations
 
 import datetime
 import email.utils
+import itertools
 import json
 import os
 import socket
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Callable, Hashable, Iterable, List, TypeVar
+from typing import Any, Callable, Hashable, Iterable, List, Optional, TypeVar
 
 from repro.core.backends import Backend
 from repro.core.cache import BasePlanStore, CacheStats
 from repro.core.pipeline import PlanRequest, PlanResult, plan_request
 from repro.core.vectorize import plan_work_item
+from repro.obs import TRACE_HEADER, SpanRecorder, TraceContext, start_trace
 from repro.registry import register
 from repro.service import wire
 
@@ -131,6 +133,14 @@ class ServiceClient:
     the server refuses — e.g. a pickle-v1 client against a ``--wire
     safe`` server — raises :class:`PlanServiceError` with the server's
     accepted list, *before* any payload is shipped.
+
+    Tracing: every envelope call accepts ``trace=TraceContext`` to
+    propagate (or force-sample) a distributed trace; ``trace_sample=N``
+    makes the client originate a fresh sampled trace on every Nth call
+    instead.  With a ``span_recorder``, the client records the root
+    ``client <path>`` span — the client-observed latency all
+    server-side spans nest inside.  Untraced calls carry no header and
+    pay nothing.
     """
 
     def __init__(
@@ -142,6 +152,8 @@ class ServiceClient:
         retry_wait: float = 0.2,
         retry_after_cap: float = 5.0,
         wire_profile: str | None = None,
+        trace_sample: int | None = None,
+        span_recorder: SpanRecorder | None = None,
     ) -> None:
         self.base_url = service_url(address)
         self.timeout = float(timeout)
@@ -163,6 +175,18 @@ class ServiceClient:
             )
         self.requested_profile = wire_profile
         self._active_profile: str | None = None
+        # -- tracing: callers may pass an explicit TraceContext per call
+        # ("always when the caller asks"); otherwise trace_sample=N
+        # originates a sampled context on every Nth envelope call.  The
+        # counter is a shared iterator: next() is atomic, so concurrent
+        # callers never double-sample a slot.
+        if trace_sample is not None and trace_sample < 1:
+            raise ValueError(f"trace_sample must be >= 1, got {trace_sample}")
+        self.trace_sample = trace_sample
+        #: when set, the client records a root span around each traced
+        #: call (the outermost timing every server-side span nests in)
+        self.span_recorder = span_recorder
+        self._op_counter = itertools.count()
 
     # -- wire-profile handshake ------------------------------------------
 
@@ -209,6 +233,7 @@ class ServiceClient:
         data: bytes | None,
         content_type: str | None,
         profile: str | None = None,
+        trace: Optional[TraceContext] = None,
     ) -> bytes:
         url = f"{self.base_url}{path}"
         headers = {wire.VERSION_HEADER: str(wire.WIRE_VERSION)}
@@ -216,6 +241,8 @@ class ServiceClient:
             headers[wire.PROFILE_HEADER] = profile
         if content_type:
             headers["Content-Type"] = content_type
+        if trace is not None:
+            headers[TRACE_HEADER] = trace.to_header()
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
             request = urllib.request.Request(url, data=data, headers=headers)
@@ -263,17 +290,55 @@ class ServiceClient:
             delay = self.retry_wait
         return min(max(delay, 0.01), self.retry_after_cap)
 
-    def post(self, path: str, payload: Any) -> Any:
+    def _trace_for(self, trace: Optional[TraceContext]) -> Optional[TraceContext]:
+        """The context one envelope call travels with, if any.
+
+        An explicit context wins (the caller is propagating or forced
+        a sample); otherwise ``trace_sample=N`` originates a fresh
+        sampled trace on every Nth call and leaves the rest untraced —
+        no header at all, so the fast path stays byte-identical.
+        """
+        if trace is not None:
+            return trace
+        if self.trace_sample is None:
+            return None
+        if next(self._op_counter) % self.trace_sample != 0:
+            return None
+        return start_trace()
+
+    def post(
+        self, path: str, payload: Any, *, trace: Optional[TraceContext] = None
+    ) -> Any:
         """POST an envelope, return the response envelope's payload.
 
         Packed in the negotiated wire profile; the server answers in
         the same profile (decoded by magic line, so a response can
-        never be mis-read as the wrong format).
+        never be mis-read as the wrong format).  ``trace`` propagates
+        an existing trace context; without one, ``trace_sample`` may
+        originate a fresh sampled trace for this call.
         """
+        ctx = self._trace_for(trace)
         profile = self.wire_profile()
-        body = self._request(
-            path, wire.pack_as(payload, profile), wire.CONTENT_TYPE, profile
-        )
+        data = wire.pack_as(payload, profile)
+        if ctx is not None and ctx.sampled and self.span_recorder is not None:
+            # the client-observed latency every server-side span must
+            # nest inside: pack time is excluded (it happened above),
+            # retries and backoff are included (the caller waits them)
+            with self.span_recorder.span(
+                ctx.trace_id,
+                f"client {path}",
+                span_id=ctx.span_id,
+                parent_id=None,
+                service="client",
+                url=self.base_url,
+            ):
+                body = self._request(
+                    path, data, wire.CONTENT_TYPE, profile, trace=ctx
+                )
+        else:
+            body = self._request(
+                path, data, wire.CONTENT_TYPE, profile, trace=ctx
+            )
         return wire.unpack_any(body)
 
     def get_json(self, path: str) -> dict:
@@ -282,14 +347,26 @@ class ServiceClient:
 
     # -- service calls ---------------------------------------------------
 
-    def plan(self, request: PlanRequest) -> PlanResult:
-        return self.post("/plan", request)
+    def plan(
+        self,
+        request: PlanRequest,
+        *,
+        trace: Optional[TraceContext] = None,
+    ) -> PlanResult:
+        return self.post("/plan", request, trace=trace)
 
-    def plan_items(self, items: List[Any]) -> List[Any]:
-        return self.post("/plan_batch", list(items))
+    def plan_items(
+        self,
+        items: List[Any],
+        *,
+        trace: Optional[TraceContext] = None,
+    ) -> List[Any]:
+        return self.post("/plan_batch", list(items), trace=trace)
 
-    def cache_get(self, key: Hashable) -> PlanResult | None:
-        return self.post("/cache/get", key)
+    def cache_get(
+        self, key: Hashable, *, trace: Optional[TraceContext] = None
+    ) -> PlanResult | None:
+        return self.post("/cache/get", key, trace=trace)
 
     def cache_put(self, key: Hashable, result: PlanResult) -> None:
         profile = self.wire_profile()

@@ -210,8 +210,85 @@ def merge_metrics(payloads: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
     }
 
 
+def prometheus_exposition(payload: Mapping[str, Any]) -> str:
+    """Render a ``/metrics`` JSON payload as Prometheus text format.
+
+    Served from ``/metrics?format=prometheus`` on both servers so any
+    standard scraper works without a client library.  The JSON payload
+    stays the source of truth (and the loadtest cross-check's input);
+    this is a pure rendering of the same counters:
+
+    * ``repro_requests_total`` / ``repro_request_errors_total`` —
+      per-endpoint counters;
+    * ``repro_request_duration_seconds`` — a conventional histogram:
+      per-bucket counts become *cumulative* ``le``-labelled series
+      (our buckets are disjoint internally; Prometheus buckets are
+      "everything ≤ bound"), the overflow bucket becomes ``le="+Inf"``,
+      plus ``_sum`` and ``_count``;
+    * ``repro_uptime_seconds`` — a gauge.
+
+    Works on any payload shaped like :meth:`ServerMetrics.payload`,
+    including :func:`merge_metrics` output — the coordinator exposes
+    its cluster-wide aggregate this way.
+    """
+    bounds = [float(b) for b in payload.get(
+        "latency_buckets_s", LATENCY_BUCKETS_S
+    )]
+    lines = [
+        "# HELP repro_uptime_seconds Seconds since the server started.",
+        "# TYPE repro_uptime_seconds gauge",
+        f"repro_uptime_seconds {float(payload.get('uptime_s', 0.0))}",
+        "# HELP repro_requests_total Requests handled, by endpoint.",
+        "# TYPE repro_requests_total counter",
+    ]
+    endpoints = payload.get("endpoints", {})
+    for name in sorted(endpoints):
+        lines.append(
+            f'repro_requests_total{{endpoint="{name}"}} '
+            f"{int(endpoints[name]['count'])}"
+        )
+    lines += [
+        "# HELP repro_request_errors_total Responses with status >= 400.",
+        "# TYPE repro_request_errors_total counter",
+    ]
+    for name in sorted(endpoints):
+        lines.append(
+            f'repro_request_errors_total{{endpoint="{name}"}} '
+            f"{int(endpoints[name]['errors'])}"
+        )
+    lines += [
+        "# HELP repro_request_duration_seconds Request latency histogram.",
+        "# TYPE repro_request_duration_seconds histogram",
+    ]
+    for name in sorted(endpoints):
+        ep = endpoints[name]
+        cumulative = 0
+        for bound, n in zip(bounds, ep["buckets"]):
+            cumulative += int(n)
+            lines.append(
+                f"repro_request_duration_seconds_bucket"
+                f'{{endpoint="{name}",le="{bound}"}} {cumulative}'
+            )
+        cumulative += int(ep["buckets"][len(bounds)])
+        lines.append(
+            f"repro_request_duration_seconds_bucket"
+            f'{{endpoint="{name}",le="+Inf"}} {cumulative}'
+        )
+        lines.append(
+            f'repro_request_duration_seconds_sum{{endpoint="{name}"}} '
+            f"{float(ep['total_s'])}"
+        )
+        lines.append(
+            f'repro_request_duration_seconds_count{{endpoint="{name}"}} '
+            f"{int(ep['count'])}"
+        )
+    return "\n".join(lines) + "\n"
+
+
 #: field order of an access-log line; parse_access_line requires them all
-ACCESS_LOG_FIELDS = ("ts", "endpoint", "status", "elapsed_ms", "wire", "bytes")
+ACCESS_LOG_FIELDS = (
+    "ts", "endpoint", "status", "elapsed_ms", "wire", "bytes", "trace",
+)
 
 
 def format_access_line(
@@ -221,14 +298,18 @@ def format_access_line(
     *,
     wire: str = "-",
     nbytes: int = 0,
+    trace: str = "-",
     ts: Optional[str] = None,
 ) -> str:
     """One structured access-log line (logfmt-style ``key=value``).
 
     ``ts`` is an ISO-8601 UTC wall-clock stamp — logs are for humans
     correlating with the outside world, unlike the monotonic uptime
-    the metrics use.  None of the built-in field values can contain a
-    space, so the line splits back losslessly.
+    the metrics use.  ``trace`` is the request's trace id when it
+    carried a sampled ``X-Repro-Trace`` context (``-`` otherwise), so
+    log lines join against ``--trace`` span files by id.  None of the
+    built-in field values can contain a space, so the line splits back
+    losslessly.
     """
     if ts is None:
         ts = datetime.datetime.now(datetime.timezone.utc).isoformat(
@@ -237,7 +318,7 @@ def format_access_line(
     return (
         f"ts={ts} endpoint={endpoint} status={int(status)} "
         f"elapsed_ms={1000.0 * elapsed_s:.3f} wire={wire or '-'} "
-        f"bytes={int(nbytes)}"
+        f"bytes={int(nbytes)} trace={trace or '-'}"
     )
 
 
@@ -266,6 +347,7 @@ def parse_access_line(line: str) -> Dict[str, Any]:
         "elapsed_ms": float(fields["elapsed_ms"]),
         "wire": fields["wire"],
         "bytes": int(fields["bytes"]),
+        "trace": fields["trace"],
     }
 
 
@@ -303,9 +385,10 @@ class AccessLog:
         *,
         wire: str = "-",
         nbytes: int = 0,
+        trace: str = "-",
     ) -> None:
         line = format_access_line(
-            endpoint, status, elapsed_s, wire=wire, nbytes=nbytes
+            endpoint, status, elapsed_s, wire=wire, nbytes=nbytes, trace=trace
         )
         with self._lock:
             try:

@@ -49,10 +49,15 @@ transport-level failures and 429 refusals — see
 
 Operability: ``/metrics`` serves per-endpoint request counts and
 latency histograms (:class:`~repro.service.metrics.ServerMetrics`) as
-plain JSON, and ``max_inflight`` (``repro serve --max-inflight N``)
-bounds concurrent planning requests — the excess is refused with
-``429`` + ``Retry-After`` before any planning work starts, so bursts
-degrade gracefully instead of timing every client out.
+plain JSON (``?format=prometheus`` renders the same counters as
+Prometheus text exposition for standard scrapers), and ``max_inflight``
+(``repro serve --max-inflight N``) bounds concurrent planning requests
+— the excess is refused with ``429`` + ``Retry-After`` before any
+planning work starts, so bursts degrade gracefully instead of timing
+every client out.  With ``--trace`` a
+:class:`~repro.obs.SpanRecorder` is attached and requests carrying a
+sampled ``X-Repro-Trace`` context record per-stage spans (wire decode,
+cache lookup, kernel time, wire encode) as JSONL — see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -60,6 +65,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Sequence
 
@@ -73,9 +79,15 @@ from repro.core.cache import (
 from repro.core.pipeline import PlanRequest
 from repro.core.session import PlannerSession
 from repro.core.vectorize import VectorGroup
+from repro import obs
 from repro.registry import RegistryError
 from repro.service import wire
-from repro.service.metrics import AccessLog, AdmissionGate, ServerMetrics
+from repro.service.metrics import (
+    AccessLog,
+    AdmissionGate,
+    ServerMetrics,
+    prometheus_exposition,
+)
 
 #: endpoints /metrics reports individually; anything else aggregates
 #: under "other" so probing clients cannot grow the metric cardinality
@@ -151,12 +163,21 @@ class _PlanHandler(BaseHTTPRequestHandler):
     def _begin(self) -> None:
         """Stamp the request start for the latency histogram."""
         self._started = time.perf_counter()
-        self._endpoint = (
-            self.path if self.path in _KNOWN_ENDPOINTS else "other"
-        )
+        # split any query string off before route matching, so
+        # /metrics?format=prometheus is still the /metrics endpoint
+        # (and not an unbounded "other" per query variant)
+        route, _, query = self.path.partition("?")
+        self._route = route
+        self._query = urllib.parse.parse_qs(query)
+        self._endpoint = route if route in _KNOWN_ENDPOINTS else "other"
         # wire profile for the access log; POST routes overwrite this
         # once _request_profile has decided
         self._profile = "-"
+        # the trace context this request carries, if any; only sampled
+        # ones surface in the access log (unsampled means "don't record")
+        self._trace = obs.parse_trace_header(
+            self.headers.get(obs.TRACE_HEADER)
+        )
 
     def _reply(
         self,
@@ -171,12 +192,18 @@ class _PlanHandler(BaseHTTPRequestHandler):
         # happens-before to reconcile client and server counts exactly
         started = getattr(self, "_started", None)
         if started is not None:
+            trace = getattr(self, "_trace", None)
             self.planner.observe_request(
                 getattr(self, "_endpoint", "other"),
                 code,
                 time.perf_counter() - started,
                 profile=getattr(self, "_profile", "-"),
                 nbytes=len(body),
+                trace=(
+                    trace.trace_id
+                    if trace is not None and trace.sampled
+                    else "-"
+                ),
             )
         self.send_response(code)
         self.send_header("Content-Type", content_type)
@@ -251,21 +278,42 @@ class _PlanHandler(BaseHTTPRequestHandler):
         return profile
 
     def _unpack(self, body: bytes, profile: str) -> Any:
-        return wire.unpack_any(body, allowed=(profile,))
+        with obs.span("wire_decode", profile=profile, nbytes=len(body)):
+            return wire.unpack_any(body, allowed=(profile,))
 
     def _reply_envelope(self, payload: Any, profile: str) -> None:
-        self._reply(200, wire.pack_as(payload, profile), wire.CONTENT_TYPE)
+        with obs.span("wire_encode", profile=profile):
+            body = wire.pack_as(payload, profile)
+        self._reply(200, body, wire.CONTENT_TYPE)
 
     # -- routes ----------------------------------------------------------
+
+    def _metrics_reply(self, payload: dict) -> None:
+        """Serve ``/metrics`` as JSON, or Prometheus text on request."""
+        fmt = (self._query.get("format") or ["json"])[0]
+        if fmt == "prometheus":
+            self._reply(
+                200,
+                prometheus_exposition(payload).encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif fmt == "json":
+            self._reply_json(200, payload)
+        else:
+            self._reply_json(
+                400,
+                {"error": f"unknown metrics format {fmt!r}; "
+                          "pick 'json' or 'prometheus'"},
+            )
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         self._begin()
         try:
-            if self.path == "/healthz":
+            if self._route == "/healthz":
                 self._reply_json(200, self.planner.health_payload())
-            elif self.path == "/metrics":
-                self._reply_json(200, self.planner.metrics.payload())
-            elif self.path == "/cache/stats":
+            elif self._route == "/metrics":
+                self._metrics_reply(self.planner.metrics.payload())
+            elif self._route == "/cache/stats":
                 self._reply_json(
                     200, stats_payload(self.planner.session.cache_stats())
                 )
@@ -280,26 +328,15 @@ class _PlanHandler(BaseHTTPRequestHandler):
             body = self._body()
             profile = self._request_profile(body)
             self._profile = profile
-            if self.path in ("/plan", "/plan_batch"):
-                if not self.planner.admission.try_acquire():
-                    self._reply_admission_full()
-                    return
-                try:
-                    self._do_plan(body, profile)
-                finally:
-                    self.planner.admission.release()
-            elif self.path == "/cache/get":
-                key = self._unpack(body, profile)
-                self._reply_envelope(self.planner.store().get(key), profile)
-            elif self.path == "/cache/put":
-                key, result = self._unpack(body, profile)
-                self.planner.store().put(key, result)
-                self._reply_json(200, {"stored": True})
-            elif self.path == "/cache/clear":
-                self.planner.store().clear()
-                self._reply_json(200, {"cleared": True})
-            else:
-                self._reply_json(404, {"error": f"no such endpoint {self.path}"})
+            # sampled traced requests record a root span covering
+            # everything from here through the response write; seams
+            # inside (decode, cache, kernels, encode) nest under it
+            with obs.serving(
+                self.planner.span_recorder,
+                self._trace,
+                f"server {self._endpoint}",
+            ):
+                self._route_post(body, profile)
         except (wire.WireError, RegistryError, TypeError, ValueError) as exc:
             # client mistakes: bad envelope, unknown strategy, cache off
             self._reply_json(400, {"error": str(exc)})
@@ -307,9 +344,33 @@ class _PlanHandler(BaseHTTPRequestHandler):
             # a genuine planning crash; relay the message truthfully
             self._reply_json(500, {"error": f"{type(exc).__name__}: {exc}"})
 
+    def _route_post(self, body: bytes, profile: str) -> None:
+        if self._route in ("/plan", "/plan_batch"):
+            if not self.planner.admission.try_acquire():
+                self._reply_admission_full()
+                return
+            try:
+                self._do_plan(body, profile)
+            finally:
+                self.planner.admission.release()
+        elif self._route == "/cache/get":
+            key = self._unpack(body, profile)
+            with obs.span("cache_lookup", endpoint="/cache/get"):
+                hit = self.planner.store().get(key)
+            self._reply_envelope(hit, profile)
+        elif self._route == "/cache/put":
+            key, result = self._unpack(body, profile)
+            self.planner.store().put(key, result)
+            self._reply_json(200, {"stored": True})
+        elif self._route == "/cache/clear":
+            self.planner.store().clear()
+            self._reply_json(200, {"cleared": True})
+        else:
+            self._reply_json(404, {"error": f"no such endpoint {self.path}"})
+
     def _do_plan(self, body: bytes, profile: str) -> None:
         """The admission-gated planning endpoints."""
-        if self.path == "/plan":
+        if self._route == "/plan":
             request = self._unpack(body, profile)
             if not isinstance(request, PlanRequest):
                 raise wire.WireError(
@@ -357,6 +418,7 @@ class PlanServer:
         max_inflight: int | None = None,
         retry_after: float = 0.5,
         access_log: AccessLog | None = None,
+        span_recorder: obs.SpanRecorder | None = None,
     ) -> None:
         if wire_mode not in ("auto", "safe"):
             raise ValueError(
@@ -366,6 +428,10 @@ class PlanServer:
         self.metrics = ServerMetrics()
         #: when set, every handled response also appends one access line
         self.access_log = access_log
+        #: when set, sampled traced requests record spans here
+        #: (``repro serve --trace``); None means tracing is off and the
+        #: handlers pay one attribute read per request, nothing more
+        self.span_recorder = span_recorder
         #: queue-depth limit on the planning endpoints (None = unbounded)
         self.admission = AdmissionGate(max_inflight, retry_after)
         #: profiles this server accepts and advertises, preference first;
@@ -409,17 +475,21 @@ class PlanServer:
         *,
         profile: str = "-",
         nbytes: int = 0,
+        trace: str = "-",
     ) -> None:
         """The single exit point every handled response reports through.
 
         Feeds the latency histograms and, when ``--log`` enabled one,
         the access log — from one call site, so the two can never
-        disagree about what was served.
+        disagree about what was served.  ``trace`` is the sampled
+        trace id the request carried (``-`` otherwise), letting log
+        lines join trace files by id.
         """
         self.metrics.observe(endpoint, status, elapsed_s)
         if self.access_log is not None:
             self.access_log.record(
-                endpoint, status, elapsed_s, wire=profile, nbytes=nbytes
+                endpoint, status, elapsed_s,
+                wire=profile, nbytes=nbytes, trace=trace,
             )
 
     def store(self) -> PlanStore:
@@ -526,6 +596,8 @@ class PlanServer:
             self._store.close()
         if self.access_log is not None:
             self.access_log.close()
+        if self.span_recorder is not None:
+            self.span_recorder.close()
 
     def __enter__(self) -> "PlanServer":
         return self.start()

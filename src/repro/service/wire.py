@@ -73,6 +73,11 @@ CONTENT_TYPE = "application/x-repro-plan"
 VERSION_HEADER = "X-Repro-Wire-Version"
 #: HTTP header naming the profile a request/response body is packed in
 PROFILE_HEADER = "X-Repro-Wire"
+#: HTTP header a distributed-trace context travels in.  Defined in
+#: :mod:`repro.obs.context` (stdlib-only, so core layers may import it
+#: without pulling in numpy); re-exported here because this module is
+#: where the service's header names live.
+from repro.obs.context import TRACE_HEADER  # noqa: E402,F401
 
 #: the pickle envelope profile (trusted networks only)
 PROFILE_PICKLE = "pickle-v1"

@@ -11,6 +11,7 @@ mid-batch, not in a gap; planning purity is what makes the replayed
 items identical.
 """
 
+import os
 import signal
 import threading
 import time
@@ -21,7 +22,9 @@ import pytest
 from repro.cluster.lifecycle import LocalCluster
 from repro.core.pipeline import PlanRequest
 from repro.core.session import PlannerSession
+from repro.obs import SpanRecorder, assemble_traces, read_spans, start_trace
 from repro.platform.star import StarPlatform
+from repro.service.client import ServiceClient
 
 #: big enough that each of 3 workers holds ~1.1s of scalar planning
 N_REQUESTS = 450
@@ -100,6 +103,82 @@ def test_sigkill_mid_batch_yields_bit_identical_sweep(
         # the survivors carried rerouted load
         survivors = [w for w in snapshot["workers"] if w["alive"]]
         assert sum(w["dispatched"] for w in survivors) >= N_REQUESTS
+
+
+def test_rerouted_units_keep_their_trace_identity(tmp_path):
+    """A SIGKILL mid-batch shows up *inside* the request's own trace.
+
+    The sampled ``/plan_batch``'s assembled tree must contain the
+    failed dispatch hop (outcome ``unreachable``) *and* the reroute
+    that replayed the dead worker's shard on a survivor (a later-round
+    ``ok`` hop), all under the original trace id — a latency
+    investigation of the slow request explains itself.
+    """
+    rng = np.random.default_rng(20130522)
+    platform = StarPlatform.from_speeds(rng.uniform(1.0, 8.0, size=P))
+    requests = [
+        PlanRequest(platform=platform, N=30_000.0 + i, strategy="het")
+        for i in range(180)
+    ]
+    trace_path = str(tmp_path / "chaos-spans.jsonl")
+    client_rec = SpanRecorder(service="client")
+    ctx = start_trace()
+    with LocalCluster(
+        n=2,
+        cache=None,
+        vectorize=False,  # scalar shards: the kill lands mid-flight
+        heartbeat_interval=0.25,
+        state_path=str(tmp_path / "chaos-trace-cluster.json"),
+        trace=trace_path,
+    ) as cluster:
+
+        def assassin():
+            time.sleep(0.3)
+            cluster.kill_worker(0, signal.SIGKILL)
+
+        killer = threading.Thread(target=assassin, daemon=True)
+        killer.start()
+        client = ServiceClient(
+            cluster.url, span_recorder=client_rec, timeout=60.0
+        )
+        results = client.plan_items(requests, trace=ctx)
+        killer.join()
+        time.sleep(0.5)  # let coordinator + worker spans flush
+
+        snapshot = cluster.coordinator.pool.snapshot()
+        assert sum(1 for w in snapshot["workers"] if not w["alive"]) == 1
+
+    assert len(results) == len(requests)
+    span_files = [trace_path] + [
+        f"{trace_path}.w{i}" for i in range(2)
+        if os.path.exists(f"{trace_path}.w{i}")
+    ]
+    spans = client_rec.drain() + read_spans(span_files)
+    # every span the whole cluster recorded belongs to the one sampled op
+    assert {span.trace_id for span in spans} == {ctx.trace_id}
+
+    (trace,) = assemble_traces(spans)
+    dispatches = [s for s in trace.spans if s.name == "dispatch"]
+    failed = [d for d in dispatches if d.meta["outcome"] == "unreachable"]
+    assert failed, "the killed worker's hop left no span"
+    reroutes = [
+        d for d in dispatches
+        if d.meta["round"] >= 1 and d.meta["outcome"] == "ok"
+    ]
+    assert reroutes, "no successful reroute hop recorded"
+    # the replayed shard is at least as big as what the dead worker held
+    assert sum(d.meta["items"] for d in reroutes) >= failed[0].meta["items"]
+    # the surviving worker served both its own shard and the replay,
+    # as server-side root spans chained under the coordinator's hops
+    server_roots = [
+        s for s in trace.spans
+        if s.service == "server" and s.name == "server /plan_batch"
+    ]
+    assert len(server_roots) >= 2
+    hop_ids = {d.span_id for d in dispatches}
+    assert all(s.parent_id in hop_ids for s in server_roots)
+    # the failed hop is part of the tree, not an orphan
+    assert trace.complete
 
 
 def test_cluster_without_chaos_matches_serial(

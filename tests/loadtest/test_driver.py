@@ -101,7 +101,7 @@ class TestAgainstPlanServer:
         from repro.loadtest import driver as driver_module
         from repro.service.client import PlanServiceUnavailable
 
-        def _always_down(client, op):
+        def _always_down(client, op, trace=None):
             raise PlanServiceUnavailable("cable cut")
 
         monkeypatch.setattr(driver_module, "_execute", _always_down)

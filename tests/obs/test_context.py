@@ -1,0 +1,92 @@
+"""TraceContext: header round-trips, child hops, lenient parsing."""
+
+import re
+
+import pytest
+
+from repro.obs import (
+    SPAN_ID_CHARS,
+    TRACE_HEADER,
+    TRACE_ID_CHARS,
+    TraceContext,
+    new_span_id,
+    new_trace_id,
+    parse_trace_header,
+    start_trace,
+)
+
+
+class TestIds:
+    def test_trace_id_shape(self):
+        tid = new_trace_id()
+        assert re.fullmatch(rf"[0-9a-f]{{{TRACE_ID_CHARS}}}", tid)
+
+    def test_span_id_shape(self):
+        sid = new_span_id()
+        assert re.fullmatch(rf"[0-9a-f]{{{SPAN_ID_CHARS}}}", sid)
+
+    def test_ids_are_random(self):
+        assert len({new_trace_id() for _ in range(32)}) == 32
+
+
+class TestHeaderRoundTrip:
+    def test_sampled(self):
+        ctx = start_trace()
+        assert ctx.to_header().endswith("-01")
+        assert parse_trace_header(ctx.to_header()) == ctx
+
+    def test_unsampled(self):
+        ctx = start_trace(sampled=False)
+        assert ctx.to_header().endswith("-00")
+        parsed = parse_trace_header(ctx.to_header())
+        assert parsed == ctx
+        assert not parsed.sampled
+
+    def test_header_shape(self):
+        ctx = TraceContext(trace_id="0" * 16, span_id="a" * 8)
+        assert ctx.to_header() == "0" * 16 + "-" + "a" * 8 + "-01"
+
+    def test_header_name_is_stable(self):
+        # wire contract: clients and servers must agree forever
+        assert TRACE_HEADER == "X-Repro-Trace"
+
+
+class TestParseLenient:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            "",
+            "garbage",
+            "0" * 16,  # no span/flags
+            "0" * 16 + "-" + "a" * 8,  # no flags
+            "0" * 16 + "-" + "a" * 8 + "-02",  # bad flags
+            "0" * 15 + "-" + "a" * 8 + "-01",  # short trace id
+            "0" * 16 + "-" + "a" * 7 + "-01",  # short span id
+            "0" * 16 + "-" + "A" * 8 + "-01",  # uppercase hex
+            "0" * 16 + "_" + "a" * 8 + "-01",  # wrong separator
+        ],
+    )
+    def test_malformed_yields_none(self, value):
+        assert parse_trace_header(value) is None
+
+    def test_surrounding_whitespace_tolerated(self):
+        ctx = start_trace()
+        assert parse_trace_header(f"  {ctx.to_header()} ") == ctx
+
+
+class TestChild:
+    def test_child_keeps_trace_identity(self):
+        ctx = start_trace()
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.sampled == ctx.sampled
+        assert child.span_id != ctx.span_id
+
+    def test_child_of_unsampled_stays_unsampled(self):
+        assert not start_trace(sampled=False).child().sampled
+
+    def test_context_is_immutable(self):
+        ctx = start_trace()
+        with pytest.raises(AttributeError):
+            ctx.trace_id = "nope"

@@ -1,0 +1,233 @@
+"""SpanRecorder: buffering, JSONL streams, ambient + explicit spans."""
+
+import io
+import threading
+
+import pytest
+
+from repro.obs import (
+    Span,
+    SpanRecorder,
+    TraceContext,
+    activate,
+    current,
+    parse_span_line,
+    serving,
+    span,
+    start_trace,
+)
+
+
+def make_span(**overrides):
+    base = dict(
+        trace_id="a" * 16,
+        span_id="b" * 8,
+        parent_id=None,
+        name="stage",
+        service="test",
+        start_s=100.0,
+        duration_s=0.5,
+    )
+    base.update(overrides)
+    return Span(**base)
+
+
+class TestSpanLine:
+    def test_round_trip_plain(self):
+        original = make_span()
+        parsed = parse_span_line(original.to_json_line())
+        assert parsed == original
+
+    def test_round_trip_with_meta_and_parent(self):
+        original = make_span(
+            parent_id="c" * 8, meta={"worker": "http://x", "items": 3}
+        )
+        parsed = parse_span_line(original.to_json_line())
+        assert parsed == original
+
+    def test_empty_meta_omitted_from_line(self):
+        assert '"meta"' not in make_span().to_json_line()
+
+    def test_rejects_non_json(self):
+        with pytest.raises(ValueError, match="not a span line"):
+            parse_span_line("this is not json")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="not a span object"):
+            parse_span_line("[1, 2]")
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ValueError, match="missing field"):
+            parse_span_line('{"trace_id": "x", "span_id": "y"}')
+
+    def test_end_s(self):
+        assert make_span(start_s=10.0, duration_s=2.5).end_s == 12.5
+
+
+class TestRecorderBufferMode:
+    def test_record_snapshot_drain(self):
+        recorder = SpanRecorder()
+        recorder.record(make_span())
+        recorder.record(make_span(span_id="c" * 8))
+        assert len(recorder.snapshot()) == 2
+        assert len(recorder.snapshot()) == 2  # snapshot keeps
+        drained = recorder.drain()
+        assert len(drained) == 2
+        assert recorder.snapshot() == []
+        assert recorder.spans_recorded == 2
+
+    def test_span_contextmanager_times_and_records(self):
+        recorder = SpanRecorder(service="unit")
+        with recorder.span("f" * 16, "work", items=4) as open_span:
+            open_span.meta["outcome"] = "ok"
+        (recorded,) = recorder.drain()
+        assert recorded.name == "work"
+        assert recorded.service == "unit"
+        assert recorded.meta == {"items": 4, "outcome": "ok"}
+        assert recorded.duration_s >= 0.0
+
+    def test_span_records_on_exception(self):
+        recorder = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with recorder.span("f" * 16, "doomed"):
+                raise RuntimeError("boom")
+        (recorded,) = recorder.drain()
+        assert recorded.name == "doomed"
+
+    def test_span_honours_explicit_ids(self):
+        recorder = SpanRecorder()
+        with recorder.span(
+            "f" * 16, "hop", span_id="1" * 8, parent_id="2" * 8
+        ):
+            pass
+        (recorded,) = recorder.drain()
+        assert recorded.span_id == "1" * 8
+        assert recorded.parent_id == "2" * 8
+
+    def test_threaded_recording_is_lossless(self):
+        recorder = SpanRecorder()
+
+        def hammer(k):
+            for i in range(50):
+                recorder.record(make_span(span_id=f"{k}{i:07d}"))
+
+        threads = [
+            threading.Thread(target=hammer, args=(k,)) for k in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert recorder.spans_recorded == 200
+        assert len(recorder.drain()) == 200
+
+
+class TestRecorderStreamMode:
+    def test_writes_one_line_per_span(self):
+        buf = io.StringIO()
+        recorder = SpanRecorder(buf)
+        recorder.record(make_span())
+        recorder.record(make_span(span_id="c" * 8))
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 2
+        assert parse_span_line(lines[0]).span_id == "b" * 8
+        assert recorder.drain() == []  # stream mode does not buffer
+
+    def test_open_appends_across_recorders(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        first = SpanRecorder.open(path, service="server")
+        first.record(make_span())
+        first.close()
+        second = SpanRecorder.open(path)
+        second.record(make_span(span_id="c" * 8))
+        second.close()
+        lines = (tmp_path / "spans.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+
+    def test_closed_stream_never_raises(self):
+        buf = io.StringIO()
+        recorder = SpanRecorder(buf)
+        buf.close()
+        recorder.record(make_span())  # must not raise
+        assert recorder.spans_recorded == 0
+
+    def test_close_leaves_borrowed_streams_open(self):
+        buf = io.StringIO()
+        SpanRecorder(buf).close()
+        assert not buf.closed
+
+
+class TestAmbient:
+    def test_no_active_trace_is_a_noop(self):
+        assert current() is None
+        with span("anything") as open_span:
+            assert open_span is None
+
+    def test_activate_and_nest(self):
+        recorder = SpanRecorder(service="unit")
+        ctx = start_trace()
+        with activate(recorder, ctx) as active:
+            assert current() is active
+            assert active.current_span_id == ctx.span_id
+            with span("outer") as outer:
+                assert active.current_span_id == outer.span_id
+                with span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+            assert active.current_span_id == ctx.span_id
+        assert current() is None
+        names = {s.name: s for s in recorder.drain()}
+        assert names["outer"].parent_id == ctx.span_id
+        assert names["outer"].trace_id == ctx.trace_id
+        assert names["inner"].service == "unit"
+
+    def test_unsampled_context_installs_nothing(self):
+        recorder = SpanRecorder()
+        with activate(recorder, start_trace(sampled=False)) as active:
+            assert active is None
+            with span("ignored") as open_span:
+                assert open_span is None
+        assert recorder.drain() == []
+
+    def test_ambient_state_is_per_thread(self):
+        recorder = SpanRecorder()
+        seen = []
+
+        def other_thread():
+            seen.append(current())
+
+        with activate(recorder, start_trace()):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert seen == [None]
+
+
+class TestServing:
+    def test_records_root_and_children(self):
+        recorder = SpanRecorder(service="server")
+        incoming = start_trace()
+        with serving(recorder, incoming, "server /plan") as root:
+            assert root.parent_id == incoming.span_id
+            with span("wire_decode"):
+                pass
+        spans = {s.name: s for s in recorder.drain()}
+        assert spans["server /plan"].trace_id == incoming.trace_id
+        assert spans["wire_decode"].parent_id == spans["server /plan"].span_id
+
+    @pytest.mark.parametrize(
+        "recorder,context",
+        [
+            (None, TraceContext("a" * 16, "b" * 8)),
+            (SpanRecorder(), None),
+            (SpanRecorder(), TraceContext("a" * 16, "b" * 8, sampled=False)),
+        ],
+    )
+    def test_noop_without_recorder_context_or_sampling(
+        self, recorder, context
+    ):
+        with serving(recorder, context, "server /plan") as root:
+            assert root is None
+            with span("seam") as seam:
+                assert seam is None
+        if recorder is not None:
+            assert recorder.drain() == []

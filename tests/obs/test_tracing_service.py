@@ -1,0 +1,189 @@
+"""End-to-end tracing through one PlanServer: trees, sampling, logs."""
+
+import io
+import time
+import urllib.request
+
+import pytest
+
+from repro.obs import SpanRecorder, assemble_traces, start_trace
+from repro.platform.star import StarPlatform
+from repro.core.pipeline import PlanRequest
+from repro.service.client import ServiceClient
+from repro.service.metrics import AccessLog, parse_access_line
+from repro.service.server import PlanServer
+
+
+def make_request(n=10_000.0):
+    platform = StarPlatform.from_speeds([1.0, 2.0, 4.0, 8.0])
+    return PlanRequest(platform=platform, N=n, strategy="het")
+
+
+def settle():
+    """The server's root span closes *after* the response is written;
+    give the handler thread a beat before asserting recorder contents."""
+    time.sleep(0.2)
+
+
+@pytest.fixture()
+def traced_server():
+    recorder = SpanRecorder(service="server")
+    with PlanServer(span_recorder=recorder) as server:
+        yield server, recorder
+
+
+class TestServerTracing:
+    def test_traced_plan_builds_complete_tree(self, traced_server):
+        server, server_rec = traced_server
+        client_rec = SpanRecorder(service="client")
+        client = ServiceClient(server.url, span_recorder=client_rec)
+        ctx = start_trace()
+        client.plan(make_request(), trace=ctx)
+        settle()
+        spans = client_rec.drain() + server_rec.drain()
+        (trace,) = assemble_traces(spans)
+        assert trace.trace_id == ctx.trace_id
+        assert trace.complete
+        assert trace.root.name == "client /plan"
+        names = [span.name for _, span in trace.walk()]
+        assert names == [
+            "client /plan",
+            "server /plan",
+            "wire_decode",
+            "cache_lookup",
+            "plan_kernel",
+            "wire_encode",
+        ]
+        # every server stage nests inside the client-observed window
+        root = trace.root
+        for _, span in trace.walk():
+            assert span.start_s >= root.start_s - 1e-6
+        assert trace.accounted_fraction() > 0.0
+
+    def test_cache_hit_skips_the_kernel(self, traced_server):
+        server, server_rec = traced_server
+        client = ServiceClient(server.url)
+        request = make_request()
+        client.plan(request, trace=start_trace())
+        client.plan(request, trace=start_trace())  # same key: cache hit
+        settle()
+        by_trace = {}
+        for span in server_rec.drain():
+            by_trace.setdefault(span.trace_id, []).append(span.name)
+        first, second = sorted(
+            by_trace.values(), key=lambda names: "plan_kernel" not in names
+        )
+        assert "plan_kernel" in first
+        assert "plan_kernel" not in second
+
+    def test_untraced_request_records_nothing(self, traced_server):
+        server, server_rec = traced_server
+        ServiceClient(server.url).plan(make_request())
+        settle()
+        assert server_rec.drain() == []
+
+    def test_unsampled_context_records_nothing(self, traced_server):
+        server, server_rec = traced_server
+        ServiceClient(server.url).plan(
+            make_request(), trace=start_trace(sampled=False)
+        )
+        settle()
+        assert server_rec.drain() == []
+
+    def test_client_sampling_one_in_n(self, traced_server):
+        server, server_rec = traced_server
+        client_rec = SpanRecorder(service="client")
+        client = ServiceClient(
+            server.url, trace_sample=3, span_recorder=client_rec
+        )
+        for _ in range(6):
+            client.cache_get(("miss", 1))
+        settle()
+        client_spans = client_rec.drain()
+        assert len(client_spans) == 2  # ops 0 and 3 of 6
+        sampled_ids = {span.trace_id for span in client_spans}
+        server_ids = {span.trace_id for span in server_rec.drain()}
+        assert server_ids == sampled_ids
+
+    def test_trace_sample_validation(self, traced_server):
+        server, _ = traced_server
+        with pytest.raises(ValueError, match="trace_sample"):
+            ServiceClient(server.url, trace_sample=0)
+
+
+class TestAccessLogJoin:
+    def test_sampled_line_carries_trace_id(self):
+        buf = io.StringIO()
+        recorder = SpanRecorder(service="server")
+        with PlanServer(
+            access_log=AccessLog(buf), span_recorder=recorder
+        ) as server:
+            client = ServiceClient(server.url)
+            ctx = start_trace()
+            client.plan(make_request(), trace=ctx)
+            client.plan(make_request(2000.0))  # untraced
+            settle()
+        lines = [parse_access_line(l) for l in buf.getvalue().splitlines()]
+        by_trace = {entry["trace"] for entry in lines}
+        assert by_trace == {ctx.trace_id, "-"}
+        # the logged id joins against the recorded spans
+        recorded = {span.trace_id for span in recorder.drain()}
+        assert recorded == {ctx.trace_id}
+
+    def test_unsampled_context_logs_dash(self):
+        buf = io.StringIO()
+        with PlanServer(access_log=AccessLog(buf)) as server:
+            ServiceClient(server.url).plan(
+                make_request(), trace=start_trace(sampled=False)
+            )
+        (entry,) = [
+            parse_access_line(l)
+            for l in buf.getvalue().splitlines()
+            if parse_access_line(l)["endpoint"] == "/plan"
+        ]
+        assert entry["trace"] == "-"
+
+
+class TestPrometheusEndpoint:
+    def fetch(self, url):
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, resp.headers.get("Content-Type"), resp.read(
+            ).decode("utf-8")
+
+    def test_prometheus_format(self):
+        with PlanServer() as server:
+            client = ServiceClient(server.url)
+            client.plan(make_request())
+            status, ctype, body = self.fetch(
+                f"{server.url}/metrics?format=prometheus"
+            )
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        assert "# TYPE repro_request_duration_seconds histogram" in body
+        assert 'le="+Inf"' in body
+        assert 'repro_requests_total{endpoint="/plan"} 1' in body
+        # cumulative buckets: counts never decrease as le grows
+        counts = [
+            float(line.rsplit(" ", 1)[1])
+            for line in body.splitlines()
+            if line.startswith(
+                'repro_request_duration_seconds_bucket{endpoint="/plan"'
+            )
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 1.0
+
+    def test_json_format_is_the_default_payload(self):
+        with PlanServer() as server:
+            client = ServiceClient(server.url)
+            explicit = client.get_json("/metrics?format=json")
+            default = client.get_json("/metrics")
+        # same shape either way (counters move between the two calls)
+        assert explicit.keys() == default.keys()
+        assert "endpoints" in explicit and "uptime_s" in explicit
+
+    def test_unknown_format_is_400(self):
+        with PlanServer() as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                self.fetch(f"{server.url}/metrics?format=xml")
+            assert err.value.code == 400

@@ -27,6 +27,27 @@ class TestFormatParse:
         assert parsed["wire"] == "binary-v2"
         assert parsed["bytes"] == 456
         assert parsed["ts"].endswith("+00:00")
+        assert parsed["trace"] == "-"  # untraced request
+
+    def test_trace_id_round_trips(self):
+        line = format_access_line(
+            "/plan_batch", 200, 0.002, trace="deadbeefcafef00d"
+        )
+        assert parse_access_line(line)["trace"] == "deadbeefcafef00d"
+
+    def test_empty_trace_becomes_dash(self):
+        assert parse_access_line(
+            format_access_line("/plan", 200, 0.0, trace="")
+        )["trace"] == "-"
+
+    def test_parse_rejects_missing_trace_field(self):
+        # a pre-trace-era line is incomplete now, by design: consumers
+        # must never silently read half a schema
+        line = (
+            "ts=x endpoint=/plan status=200 elapsed_ms=1.0 wire=- bytes=0"
+        )
+        with pytest.raises(ValueError, match=r"missing field.*trace"):
+            parse_access_line(line)
 
     def test_explicit_timestamp(self):
         line = format_access_line(
@@ -187,3 +208,39 @@ class TestCLIWiring:
         assert log._stream is sys.stderr
         log.close()  # borrowed: must not close stderr
         assert not sys.stderr.closed
+
+    def test_trace_flag_parsing(self):
+        from repro.cli import _span_recorder_from_arg, build_parser
+
+        parser = build_parser()
+        absent = parser.parse_args(["serve"])
+        assert absent.trace is None
+        assert _span_recorder_from_arg(absent, "server") is None
+        bare = parser.parse_args(["serve", "--trace"])
+        assert bare.trace == "-"
+        # cluster workers are subprocesses writing PATH.wN: a path is
+        # mandatory there, so the flag takes a plain argument
+        cluster = parser.parse_args(["cluster", "up", "--trace", "x.jsonl"])
+        assert cluster.trace == "x.jsonl"
+
+    def test_trace_flag_builds_recorders(self, tmp_path):
+        import argparse
+        import sys
+
+        from repro.cli import _span_recorder_from_arg
+
+        bare = _span_recorder_from_arg(
+            argparse.Namespace(trace="-"), "server"
+        )
+        assert bare._stream is sys.stderr
+        assert bare.service == "server"
+        bare.close()
+        assert not sys.stderr.closed
+
+        path = tmp_path / "spans.jsonl"
+        recorder = _span_recorder_from_arg(
+            argparse.Namespace(trace=str(path)), "coordinator"
+        )
+        assert recorder.service == "coordinator"
+        recorder.close()
+        assert path.exists()

@@ -14,6 +14,7 @@ from repro.service.metrics import (
     AdmissionGate,
     ServerMetrics,
     merge_metrics,
+    prometheus_exposition,
 )
 from repro.service.server import PlanServer
 
@@ -143,6 +144,73 @@ class TestMergeMetrics:
         payload["latency_buckets_s"] = [1.0, 2.0]
         with pytest.raises(ValueError, match="bucket grid"):
             merge_metrics([payload])
+
+
+class TestPrometheusExposition:
+    def payload(self):
+        metrics = ServerMetrics()
+        metrics.observe("/plan", 200, 0.001)
+        metrics.observe("/plan", 500, 2.0)
+        metrics.observe("/cache/get", 200, 0.0001)
+        return metrics.payload()
+
+    def test_counters_per_endpoint(self):
+        text = prometheus_exposition(self.payload())
+        assert 'repro_requests_total{endpoint="/plan"} 2' in text
+        assert 'repro_request_errors_total{endpoint="/plan"} 1' in text
+        assert 'repro_requests_total{endpoint="/cache/get"} 1' in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert "# TYPE repro_uptime_seconds gauge" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = prometheus_exposition(self.payload())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith(
+                'repro_request_duration_seconds_bucket{endpoint="/plan"'
+            )
+        ]
+        # one series per internal bound plus the +Inf overflow
+        assert len(counts) == len(LATENCY_BUCKETS_S) + 1
+        assert counts == sorted(counts)
+        assert counts[-1] == 2  # +Inf covers everything observed
+        assert (
+            'repro_request_duration_seconds_bucket'
+            '{endpoint="/plan",le="+Inf"} 2' in text
+        )
+        assert (
+            'repro_request_duration_seconds_count{endpoint="/plan"} 2'
+            in text
+        )
+
+    def test_sum_matches_observed_total(self):
+        text = prometheus_exposition(self.payload())
+        (sum_line,) = [
+            line
+            for line in text.splitlines()
+            if line.startswith(
+                'repro_request_duration_seconds_sum{endpoint="/plan"}'
+            )
+        ]
+        assert float(sum_line.rsplit(" ", 1)[1]) == pytest.approx(
+            2.001, rel=1e-6
+        )
+
+    def test_merged_payload_renders_too(self):
+        a, b = ServerMetrics(), ServerMetrics()
+        a.observe("/plan", 200, 0.01)
+        b.observe("/plan", 200, 0.02)
+        text = prometheus_exposition(
+            merge_metrics([a.payload(), b.payload()])
+        )
+        assert 'repro_requests_total{endpoint="/plan"} 2' in text
+
+    def test_empty_payload_renders_headers_only(self):
+        text = prometheus_exposition(ServerMetrics().payload())
+        assert "repro_uptime_seconds" in text
+        assert "repro_requests_total{" not in text
 
 
 class TestAdmissionGate:
